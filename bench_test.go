@@ -1,0 +1,322 @@
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (§5). Each Benchmark runs the corresponding experiment (heavy
+// simulations are memoized in a shared per-set runner, so a full
+// `go test -bench=.` executes each distinct simulation once) and prints the
+// same rows/series the paper reports; key aggregates are also attached as
+// benchmark metrics.
+//
+// Set selection: the matrix experiments (Fig 1/8/9/10, Table 4, Fig 11/12,
+// headline) run over all 16 workloads; the sweep experiments (Fig 13/14,
+// ablations) default to the representative FastSet. Set REPRO_SET=fast to
+// shrink everything, or REPRO_SET=all to run even the sweeps in full.
+package sac_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	sac "repro"
+)
+
+var (
+	runnersMu sync.Mutex
+	runners   = map[string]*sac.Runner{}
+	printed   = map[string]bool{}
+)
+
+// sharedRunner returns the process-wide runner for a benchmark set so all
+// benches share one memoized simulation pool.
+func sharedRunner(set []string) *sac.Runner {
+	key := fmt.Sprint(set)
+	runnersMu.Lock()
+	defer runnersMu.Unlock()
+	if r, ok := runners[key]; ok {
+		return r
+	}
+	r := sac.NewRunner()
+	r.Benchmarks = set
+	runners[key] = r
+	return r
+}
+
+// matrixSet is the benchmark set for the per-benchmark experiments.
+func matrixSet() []string {
+	if os.Getenv("REPRO_SET") == "fast" {
+		return sac.FastSet()
+	}
+	return nil // all 16
+}
+
+// sweepSet is the benchmark set for the design-space sweeps.
+func sweepSet() []string {
+	if os.Getenv("REPRO_SET") == "all" {
+		return nil
+	}
+	return sac.FastSet()
+}
+
+// printOnce emits an experiment's table a single time per process.
+func printOnce(id string, print func()) {
+	runnersMu.Lock()
+	done := printed[id]
+	printed[id] = true
+	runnersMu.Unlock()
+	if !done {
+		print()
+	}
+}
+
+func BenchmarkTable4_Workloads(b *testing.B) {
+	r := sharedRunner(matrixSet())
+	for i := 0; i < b.N; i++ {
+		res, err := r.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("table4", func() { res.Print(os.Stdout) })
+	}
+}
+
+func BenchmarkFig1_Performance(b *testing.B) {
+	r := sharedRunner(matrixSet())
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig1", func() { res.Print(os.Stdout) })
+		b.ReportMetric(res.Groups["SP"][sac.SMSide].HMSpeedup, "SP-smside-speedup")
+		b.ReportMetric(res.Groups["MP"][sac.MemorySide].HMSpeedup/res.Groups["MP"][sac.SMSide].HMSpeedup, "MP-memside-adv")
+		b.ReportMetric(res.Groups["ALL"][sac.SAC].HMSpeedup, "ALL-sac-speedup")
+	}
+}
+
+func BenchmarkFig8_Speedup(b *testing.B) {
+	r := sharedRunner(matrixSet())
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig8", func() { res.Print(os.Stdout) })
+		b.ReportMetric(res.HM["ALL"][sac.SAC], "sac-vs-mem")
+		b.ReportMetric(res.HM["ALL"][sac.SAC]/res.HM["ALL"][sac.SMSide], "sac-vs-smside")
+	}
+}
+
+func BenchmarkFig9_Occupancy(b *testing.B) {
+	r := sharedRunner(matrixSet())
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig9", func() { res.Print(os.Stdout) })
+	}
+}
+
+func BenchmarkFig10_Bandwidth(b *testing.B) {
+	r := sharedRunner(matrixSet())
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig10", func() { res.Print(os.Stdout) })
+	}
+}
+
+func BenchmarkFig11_WorkingSet(b *testing.B) {
+	r := sharedRunner(matrixSet())
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig11", func() { res.Print(os.Stdout) })
+	}
+}
+
+func BenchmarkFig12_TimeVarying(b *testing.B) {
+	r := sharedRunner(matrixSet())
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig12", func() { res.Print(os.Stdout) })
+		sm, dyn := res.Speedups()
+		if len(sm) > 1 {
+			b.ReportMetric(dyn[0], "k1-sac-speedup")
+			b.ReportMetric(dyn[1], "k2-sac-speedup")
+		}
+	}
+}
+
+func BenchmarkFig13_InputSets(b *testing.B) {
+	r := sharedRunner(sweepSet())
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig13(nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig13", func() { res.Print(os.Stdout) })
+	}
+}
+
+func BenchmarkFig14_Sensitivity(b *testing.B) {
+	r := sharedRunner(sweepSet())
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig14(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig14", func() { res.Print(os.Stdout) })
+	}
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	r := sharedRunner(matrixSet())
+	for i := 0; i < b.N; i++ {
+		res, err := r.Headline()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("headline", func() { res.Print(os.Stdout) })
+		b.ReportMetric(100*(res.AvgOver[sac.MemorySide]-1), "pct-vs-memside")
+		b.ReportMetric(100*(res.AvgOver[sac.SMSide]-1), "pct-vs-smside")
+		b.ReportMetric(100*(res.AvgOver[sac.Static]-1), "pct-vs-static")
+		b.ReportMetric(100*(res.AvgOver[sac.Dynamic]-1), "pct-vs-dynamic")
+	}
+}
+
+func BenchmarkAblationTheta(b *testing.B) {
+	r := sharedRunner(sweepSet())
+	for i := 0; i < b.N; i++ {
+		res, err := r.AblateTheta()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("abl-theta", func() { res.Print(os.Stdout) })
+	}
+}
+
+func BenchmarkAblationWindow(b *testing.B) {
+	r := sharedRunner(sweepSet())
+	for i := 0; i < b.N; i++ {
+		res, err := r.AblateWindow()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("abl-window", func() { res.Print(os.Stdout) })
+	}
+}
+
+func BenchmarkAblationNoLSU(b *testing.B) {
+	r := sharedRunner(sweepSet())
+	for i := 0; i < b.N; i++ {
+		res, err := r.AblateLSU()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("abl-lsu", func() { res.Print(os.Stdout) })
+	}
+}
+
+func BenchmarkAblationDecisionCache(b *testing.B) {
+	r := sharedRunner(sweepSet())
+	for i := 0; i < b.N; i++ {
+		res, err := r.AblateDecisionCache()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("abl-cache", func() { res.Print(os.Stdout) })
+	}
+}
+
+func BenchmarkAblationReprofile(b *testing.B) {
+	r := sharedRunner(sweepSet())
+	for i := 0; i < b.N; i++ {
+		res, err := r.AblateReprofile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("abl-reprofile", func() { res.Print(os.Stdout) })
+	}
+}
+
+// BenchmarkEABValidation scores the analytical model against measured
+// behaviour: decision accuracy and bandwidth/performance correlations.
+func BenchmarkEABValidation(b *testing.B) {
+	r := sharedRunner(matrixSet())
+	for i := 0; i < b.N; i++ {
+		res, err := r.ValidateEAB()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("eabval", func() { res.Print(os.Stdout) })
+		b.ReportMetric(100*res.Accuracy, "decision-accuracy-pct")
+		b.ReportMetric(res.CorrMeasuredBWVsSpeedup, "bw-speedup-corr")
+	}
+}
+
+// --- microbenchmarks of the core components ---
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
+// cycles per wall-second on a small SP workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := sac.ScaledConfig()
+	spec, err := sac.Benchmark("SN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := sac.Run(cfg.WithOrg(sac.SAC), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += run.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkEABModel measures the decision-model cost (§3.6 claims it is a
+// couple dozen operations).
+func BenchmarkEABModel(b *testing.B) {
+	arch := sac.PaperConfig().ArchParams()
+	w := sac.WorkloadInputs{RLocal: 0.4}
+	w.MemSide.LLCHit, w.MemSide.LSU = 0.7, 0.5
+	w.SMSide.LLCHit, w.SMSide.LSU = 0.6, 0.9
+	for i := 0; i < b.N; i++ {
+		d := sac.DecideEAB(arch, w, 0.05)
+		if d.MemSide.Total <= 0 {
+			b.Fatal("bad decision")
+		}
+	}
+}
+
+// BenchmarkStreamGeneration measures synthetic address-stream throughput.
+func BenchmarkStreamGeneration(b *testing.B) {
+	spec, err := sac.Benchmark("RN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sac.ScaledConfig().Machine()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		st := spec.NewStream(m, 0, i%4, 0, 0)
+		for {
+			_, ok := st.Next()
+			if !ok {
+				break
+			}
+			n++
+		}
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "accesses/s")
+}

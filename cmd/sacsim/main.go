@@ -1,0 +1,138 @@
+// Command sacsim runs one Table-4 benchmark on the simulated multi-chip GPU
+// under one LLC organization and reports the run's statistics.
+//
+// Usage:
+//
+//	sacsim -bench RN -org SAC
+//	sacsim -bench BFS -org memory-side -scale full
+//	sacsim -print-config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	sac "repro"
+	"repro/internal/coherence"
+	"repro/internal/llc"
+	"repro/internal/memsys"
+	"repro/internal/noccost"
+)
+
+func main() {
+	var (
+		bench       = flag.String("bench", "RN", "benchmark name (see sacworkloads)")
+		orgName     = flag.String("org", "SAC", "LLC organization: memory-side | SM-side | static | dynamic | SAC")
+		scale       = flag.String("scale", "scaled", "machine scale: scaled | full")
+		sectored    = flag.Bool("sectored", false, "use a sectored LLC (4 sectors/line)")
+		hardware    = flag.Bool("hw-coherence", false, "use hardware (directory) coherence")
+		inputFactor = flag.Float64("input", 1, "input-set scale factor (Fig 13 axis)")
+		printConfig = flag.Bool("print-config", false, "print the configuration (Table 3) and exit")
+	)
+	flag.Parse()
+
+	cfg := sac.ScaledConfig()
+	if *scale == "full" {
+		cfg = sac.PaperConfig()
+	}
+	org, err := llc.ParseOrg(*orgName)
+	if err != nil {
+		// Accept the convenient upper-case spelling too.
+		if *orgName == "SAC" {
+			org = llc.SAC
+		} else {
+			fatal(err)
+		}
+	}
+	cfg.Org = org
+	cfg.Sectored = *sectored
+	if *hardware {
+		cfg.Coherence = coherence.Hardware
+	}
+
+	if *printConfig {
+		printTable3(cfg)
+		return
+	}
+
+	spec, err := sac.Benchmark(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	if *inputFactor != 1 {
+		spec = spec.ScaleInput(*inputFactor)
+	}
+
+	fmt.Printf("running %s under %s (%s scale)...\n", spec.Name, cfg.Org, *scale)
+	run, err := sac.Run(cfg, spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\ncycles            %12d\n", run.Cycles)
+	fmt.Printf("memory ops        %12d (%d reads, %d writes)\n", run.MemOps, run.Reads, run.Writes)
+	fmt.Printf("IPC (mem ops/cyc) %12.4f\n", run.IPC())
+	fmt.Printf("L1 hit rate       %12.4f\n", hitRate(run.L1Hits, run.L1Misses))
+	fmt.Printf("LLC hit rate      %12.4f\n", run.LLCHitRate())
+	fmt.Printf("eff. LLC BW       %12.2f B/cycle\n", run.EffectiveLLCBandwidth())
+	fmt.Printf("avg read latency  %12.1f cycles\n", run.AvgReadLatency())
+	fmt.Printf("ring traffic      %12d bytes\n", run.RingBytes)
+	fmt.Printf("DRAM traffic      %12d bytes\n", run.DRAMBytes)
+	fmt.Printf("LLC remote occup. %12.4f\n", run.RemoteOccupancy())
+	if run.Reconfigs > 0 || cfg.Org == llc.SAC {
+		fmt.Printf("reconfigurations  %12d (flushed %d dirty lines, %d drain cycles)\n",
+			run.Reconfigs, run.DirtyFlushed, run.DrainCycles)
+	}
+	fmt.Println("\nresponse origin breakdown (bytes/cycle):")
+	bd := run.RespBreakdown()
+	for _, o := range []memsys.Origin{memsys.OriginLocalLLC, memsys.OriginRemoteLLC,
+		memsys.OriginLocalMem, memsys.OriginRemoteMem} {
+		fmt.Printf("  %-10s %10.2f\n", o, bd[o])
+	}
+	fmt.Println("\nper-kernel records:")
+	for _, k := range run.Kernels {
+		fmt.Printf("  #%-3d %-10s %-12s %10d cycles %10d ops\n",
+			k.Index, k.Name, k.Org, k.Cycles, k.MemOps)
+	}
+}
+
+func hitRate(h, m int64) float64 {
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+func printTable3(cfg sac.Config) {
+	fmt.Println("Simulated configuration (paper Table 3 at the selected scale):")
+	fmt.Printf("  chips                  %d\n", cfg.Chips)
+	fmt.Printf("  SMs                    %d per chip, %d total\n", cfg.SMsPerChip, cfg.Chips*cfg.SMsPerChip)
+	fmt.Printf("  warps per SM           %d\n", cfg.WarpsPerSM)
+	fmt.Printf("  NoC                    %dx%d crossbar per chip, %.0f B/c per cluster port\n",
+		cfg.ClustersPerChip()+1, cfg.SlicesPerChip+1, cfg.ClusterBW)
+	fmt.Printf("  inter-chip ring        %.0f B/c per pair per direction, hop latency %d\n",
+		cfg.RingLinkBW, cfg.RingHopLatency)
+	fmt.Printf("  LLC                    %d slices/chip x %.0f B/c, %d KB/chip, %d-way\n",
+		cfg.SlicesPerChip, cfg.SliceBW, cfg.LLCBytesPerChip>>10, cfg.LLCWays)
+	fmt.Printf("  DRAM                   %d channels/chip x %.1f B/c, latency %d\n",
+		cfg.ChannelsPerChip, cfg.ChannelBW, cfg.DRAMLatency)
+	fmt.Printf("  L1                     %d KB per SM, %d-way, latency %d\n",
+		cfg.L1BytesPerSM>>10, cfg.L1Ways, cfg.L1Latency)
+	fmt.Printf("  line/page              %d B / %d B, first-touch placement, PAE mapping\n",
+		cfg.Geom.LineBytes, cfg.Geom.PageBytes)
+	fmt.Printf("  coherence              %s\n", cfg.Coherence)
+	fmt.Printf("  workload scale         1/%d of paper footprints\n", cfg.WorkloadScale)
+	a := cfg.ArchParams()
+	fmt.Printf("  EAB arch params        B_intra=%.0f B_inter=%.0f B_LLC=%.0f B_mem=%.0f (B/cycle)\n",
+		a.BIntra, a.BInter, a.BLLC, a.BMem)
+	b := sac.HardwareBudget(cfg.Sectored)
+	fmt.Printf("  SAC counter budget     %d bytes per chip (CRD %d + LSU %d + scalars %d)\n",
+		b.TotalBytes, b.CRDBytes, b.LSUBytes, b.ScalarBytes)
+	noccost.Compare(noccost.PaperShape(), noccost.Tech22()).Print(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sacsim:", err)
+	os.Exit(1)
+}

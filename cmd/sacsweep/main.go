@@ -1,0 +1,170 @@
+// Command sacsweep regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sacsweep -exp fig8                # per-benchmark speedups, all 16 workloads
+//	sacsweep -exp fig14 -set fast     # design-space sweep over the fast subset
+//	sacsweep -exp all -set fast       # every experiment
+//
+// Experiments: table4, fig1, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
+// headline, ablation, all.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	sac "repro"
+	"repro/internal/noccost"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "fig8", "experiment id (or comma list; 'all' for everything)")
+		set     = flag.String("set", "all", "benchmark set: all | fast | comma-separated names")
+		verbose = flag.Bool("v", false, "log each completed simulation")
+		jsonOut = flag.Bool("json", false, "emit results as JSON instead of tables")
+	)
+	flag.Parse()
+
+	r := sac.NewRunner()
+	r.Verbose = *verbose
+	r.Log = os.Stderr
+	switch *set {
+	case "all":
+		// all 16
+	case "fast":
+		r.Benchmarks = sac.FastSet()
+	default:
+		r.Benchmarks = strings.Split(*set, ",")
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"table4", "fig1", "fig8", "fig9", "fig10", "fig11",
+			"fig12", "fig13", "fig14", "headline", "ablation", "noccost", "eabval"}
+	}
+	for _, id := range ids {
+		t0 := time.Now()
+		if err := runExperiment(r, strings.TrimSpace(id), *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "sacsweep:", err)
+			os.Exit(1)
+		}
+		if !*jsonOut {
+			fmt.Printf("\n# %s done in %.1fs (%d simulations cached)\n", id, time.Since(t0).Seconds(), r.Runs())
+		}
+	}
+}
+
+// emit renders one experiment result as a table or as JSON.
+func emit(res printer, id string, jsonOut bool) error {
+	if !jsonOut {
+		res.Print(os.Stdout)
+		return nil
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"experiment": id, "result": res})
+}
+
+func runExperiment(r *sac.Runner, id string, jsonOut bool) error {
+	out := os.Stdout
+	_ = out
+	switch id {
+	case "table4":
+		res, err := r.Table4()
+		if err != nil {
+			return err
+		}
+		return emit(res, id, jsonOut)
+	case "fig1":
+		res, err := r.Fig1()
+		if err != nil {
+			return err
+		}
+		return emit(res, id, jsonOut)
+	case "fig8":
+		res, err := r.Fig8()
+		if err != nil {
+			return err
+		}
+		return emit(res, id, jsonOut)
+	case "fig9":
+		res, err := r.Fig9()
+		if err != nil {
+			return err
+		}
+		return emit(res, id, jsonOut)
+	case "fig10":
+		res, err := r.Fig10()
+		if err != nil {
+			return err
+		}
+		return emit(res, id, jsonOut)
+	case "fig11":
+		res, err := r.Fig11()
+		if err != nil {
+			return err
+		}
+		return emit(res, id, jsonOut)
+	case "fig12":
+		res, err := r.Fig12()
+		if err != nil {
+			return err
+		}
+		return emit(res, id, jsonOut)
+	case "fig13":
+		res, err := r.Fig13(nil, nil)
+		if err != nil {
+			return err
+		}
+		return emit(res, id, jsonOut)
+	case "fig14":
+		res, err := r.Fig14(nil)
+		if err != nil {
+			return err
+		}
+		return emit(res, id, jsonOut)
+	case "headline":
+		res, err := r.Headline()
+		if err != nil {
+			return err
+		}
+		return emit(res, id, jsonOut)
+	case "noccost":
+		return emit(noccost.Compare(noccost.PaperShape(), noccost.Tech22()), id, jsonOut)
+	case "eabval":
+		res, err := r.ValidateEAB()
+		if err != nil {
+			return err
+		}
+		return emit(res, id, jsonOut)
+	case "ablation":
+		for _, f := range []func() (printer, error){
+			func() (printer, error) { return r.AblateTheta() },
+			func() (printer, error) { return r.AblateWindow() },
+			func() (printer, error) { return r.AblateLSU() },
+			func() (printer, error) { return r.AblateDecisionCache() },
+			func() (printer, error) { return r.AblateReprofile() },
+		} {
+			res, err := f()
+			if err != nil {
+				return err
+			}
+			if err := emit(res, id, jsonOut); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}
+
+// printer is the common surface of every experiment result.
+type printer interface{ Print(w io.Writer) }

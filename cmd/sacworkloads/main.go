@@ -1,0 +1,97 @@
+// Command sacworkloads lists the 16 Table-4 benchmarks and optionally
+// re-measures their footprints and sharing classes from the generated
+// address streams (the Table 4 / Figure 11 characterization).
+//
+// Usage:
+//
+//	sacworkloads                 # list the catalog
+//	sacworkloads -measure        # re-measure footprints (slower)
+//	sacworkloads -measure -bench BFS -windows 1000,10000,100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	sac "repro"
+)
+
+func main() {
+	var (
+		measure = flag.Bool("measure", false, "replay streams and measure footprints")
+		bench   = flag.String("bench", "", "restrict to one benchmark")
+		windows = flag.String("windows", "", "comma-separated window sizes in cycles for the Fig 11 analysis")
+	)
+	flag.Parse()
+
+	specs := sac.Benchmarks()
+	if *bench != "" {
+		s, err := sac.Benchmark(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		specs = []sac.Spec{s}
+	}
+
+	fmt.Printf("%-6s %-10s %8s %8s %7s %9s %9s %9s %10s\n",
+		"name", "suite", "CTAs", "group", "kernels", "fp(MB)", "true(MB)", "false(MB)", "source")
+	for _, s := range specs {
+		group := "MP"
+		if s.SMSide {
+			group = "SP"
+		}
+		var fp, tr, fa float64
+		for _, k := range s.Kernels {
+			fp = max(fp, k.PrivateMB+k.FalseMB+k.TrueMB)
+			tr = max(tr, k.TrueMB)
+			fa = max(fa, k.FalseMB)
+		}
+		fmt.Printf("%-6s %-10s %8d %8s %7d %9.1f %9.1f %9.1f %10s\n",
+			s.Name, s.Suite, s.CTAs, group, s.KernelCount(), fp, tr, fa, "Table 4")
+	}
+
+	if !*measure {
+		return
+	}
+
+	var wins []int64
+	for _, part := range strings.Split(*windows, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			fatal(err)
+		}
+		wins = append(wins, v)
+	}
+	if len(wins) == 0 {
+		wins = []int64{1 << 62} // one whole-run window: footprint only
+	}
+
+	cfg := sac.ScaledConfig()
+	fmt.Printf("\nmeasured from generated streams (scale 1/%d, reported at full scale):\n", cfg.WorkloadScale)
+	for _, s := range specs {
+		res, err := sac.WorkingSets(cfg, s, wins)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-6s footprint %8.1f MB  true %8.1f MB  false %8.1f MB\n",
+			s.Name, res.FootprintMB, res.TrueSharedMB, res.FalseSharedMB)
+		if len(wins) > 1 || wins[0] != 1<<62 {
+			for _, w := range res.Windows {
+				fmt.Printf("       window %8dc: true %7.2f false %7.2f non %7.2f total %7.2f MB\n",
+					w.WindowCycles, w.TrueSharedMB, w.FalseSharedMB, w.NonSharedMB, w.TotalMB())
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sacworkloads:", err)
+	os.Exit(1)
+}

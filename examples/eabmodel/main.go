@@ -1,0 +1,64 @@
+// EAB model standalone: the paper's analytical model (§3.3) needs no
+// simulator — given the machine's four raw bandwidths and five profiled
+// workload numbers it predicts which LLC organization provides more
+// effective bandwidth. This example maps the decision boundary across the
+// (remote fraction, SM-side hit rate) plane for the paper's machine.
+//
+//	go run ./examples/eabmodel
+package main
+
+import (
+	"fmt"
+
+	sac "repro"
+)
+
+func main() {
+	arch := sac.PaperConfig().ArchParams()
+	fmt.Printf("machine: B_intra=%.0f B_inter=%.0f B_LLC=%.0f B_mem=%.0f GB/s\n\n",
+		arch.BIntra, arch.BInter, arch.BLLC, arch.BMem)
+
+	// A workload whose memory-side hit rate is 0.7 with mildly concentrated
+	// slices (LSU 0.6 — shared lines pile onto their home slices); how do the
+	// remote fraction and the replication-degraded SM-side hit rate steer
+	// the decision?
+	fmt.Println("decision map (S = reconfigure to SM-side, m = stay memory-side), θ = 5%:")
+	fmt.Print("                    SM-side LLC hit rate\n          ")
+	for h := 0.0; h <= 0.901; h += 0.1 {
+		fmt.Printf("%5.1f", h)
+	}
+	fmt.Println()
+	for rr := 0.0; rr <= 0.91; rr += 0.1 {
+		fmt.Printf("Rremote %.1f", rr)
+		for h := 0.0; h <= 0.901; h += 0.1 {
+			w := sac.WorkloadInputs{RLocal: 1 - rr}
+			w.MemSide.LLCHit, w.MemSide.LSU = 0.7, 0.6
+			w.SMSide.LLCHit, w.SMSide.LSU = h, 0.95
+			d := sac.DecideEAB(arch, w, 0.05)
+			mark := "    m"
+			if d.PickSM {
+				mark = "    S"
+			}
+			fmt.Print(mark)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nthe shape to notice: with little remote traffic the organizations tie")
+	fmt.Println("(the model never switches), and the more traffic crosses the ring, the")
+	fmt.Println("lower the SM-side hit rate it is willing to accept — replication pays")
+	fmt.Println("for itself by getting traffic off the inter-chip links *ahead of* the LLC.")
+
+	// One concrete decision with the numbers printed.
+	w := sac.WorkloadInputs{RLocal: 0.35}
+	w.MemSide.LLCHit, w.MemSide.LSU = 0.65, 0.45
+	w.SMSide.LLCHit, w.SMSide.LSU = 0.5, 0.9
+	d := sac.DecideEAB(arch, w, 0.05)
+	fmt.Printf("\nexample inputs: Rlocal=%.2f memHit=%.2f memLSU=%.2f smHit=%.2f smLSU=%.2f\n",
+		w.RLocal, w.MemSide.LLCHit, w.MemSide.LSU, w.SMSide.LLCHit, w.SMSide.LSU)
+	fmt.Printf("EAB memory-side = %.0f (local %.0f + remote %.0f)\n",
+		d.MemSide.Total, d.MemSide.Local, d.MemSide.Remote)
+	fmt.Printf("EAB SM-side     = %.0f (local %.0f + remote %.0f)\n",
+		d.SMSide.Total, d.SMSide.Local, d.SMSide.Remote)
+	fmt.Printf("advantage %.1f%% → reconfigure: %v\n", 100*d.Advantage, d.PickSM)
+}

@@ -1,0 +1,50 @@
+// Graph analytics: BFS alternates a full-graph expansion kernel (K1, which
+// prefers the memory-side LLC) with a hot-frontier kernel (K2, which prefers
+// SM-side). A fixed organization is wrong half the time; SAC re-decides per
+// kernel — the paper's Figure 12 scenario.
+//
+//	go run ./examples/graphanalytics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sac "repro"
+)
+
+func main() {
+	cfg := sac.ScaledConfig()
+	spec, err := sac.Benchmark("BFS")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	runs := map[string]*sac.Stats{}
+	for _, org := range []sac.Org{sac.MemorySide, sac.SMSide, sac.SAC} {
+		r, err := sac.Run(cfg.WithOrg(org), spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs[org.String()] = r
+	}
+	mem, sm, dyn := runs["memory-side"], runs["SM-side"], runs["SAC"]
+
+	fmt.Println("BFS per-kernel cycles (K1 = graph expansion, K2 = hot frontier):")
+	fmt.Printf("%-4s %-8s %12s %12s %12s %14s\n",
+		"#", "kernel", "memory-side", "SM-side", "SAC", "SAC's choice")
+	for i := range mem.Kernels {
+		fmt.Printf("%-4d %-8s %12d %12d %12d %14s\n",
+			i, mem.Kernels[i].Name,
+			mem.Kernels[i].Cycles, sm.Kernels[i].Cycles, dyn.Kernels[i].Cycles,
+			dyn.Kernels[i].Org)
+	}
+
+	fmt.Printf("\nwhole application: memory-side %d cycles, SM-side %d, SAC %d\n",
+		mem.Cycles, sm.Cycles, dyn.Cycles)
+	fmt.Printf("SAC vs memory-side: %.2fx    SAC vs SM-side: %.2fx\n",
+		sac.Speedup(dyn, mem), sac.Speedup(dyn, sm))
+	if dyn.Cycles < sm.Cycles && dyn.Cycles < mem.Cycles {
+		fmt.Println("SAC beats BOTH fixed organizations by choosing per kernel (paper §5.4).")
+	}
+}

@@ -1,0 +1,78 @@
+// Trace replay: capture a workload's address streams to a file, reload
+// them, and drive the simulator from the file — the path a downstream user
+// takes to evaluate SAC on their own kernels' traces. Replay is bit-exact:
+// the replayed run reports identical cycles and traffic to the synthetic
+// run it was captured from.
+//
+//	go run ./examples/tracereplay
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	sac "repro"
+	"repro/internal/trace"
+)
+
+func main() {
+	cfg := sac.ScaledConfig()
+	spec, err := sac.Benchmark("BT")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	path := filepath.Join(os.TempDir(), "bt.sact")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trace.Capture(f, spec, cfg.Machine()); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := os.Stat(path)
+	fmt.Printf("captured %s: %d bytes\n", path, st.Size())
+
+	g, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := trace.Read(g)
+	g.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %q: %d kernels, %d accesses\n",
+		tr.Header.Name, tr.Header.Kernels, tr.TotalAccesses())
+
+	replay := trace.NewReplay(tr)
+	if err := replay.CheckMachine(cfg.Machine()); err != nil {
+		log.Fatal(err)
+	}
+
+	synthetic, err := sac.Run(cfg.WithOrg(sac.SAC), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replayed, err := sac.RunWorkload(cfg.WithOrg(sac.SAC), replay)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-12s %12s %12s\n", "", "synthetic", "replayed")
+	fmt.Printf("%-12s %12d %12d\n", "cycles", synthetic.Cycles, replayed.Cycles)
+	fmt.Printf("%-12s %12d %12d\n", "mem ops", synthetic.MemOps, replayed.MemOps)
+	fmt.Printf("%-12s %12d %12d\n", "LLC hits", synthetic.LLCHits, replayed.LLCHits)
+	fmt.Printf("%-12s %12d %12d\n", "ring bytes", synthetic.RingBytes, replayed.RingBytes)
+	if synthetic.Cycles == replayed.Cycles && synthetic.LLCHits == replayed.LLCHits {
+		fmt.Println("\nreplay is bit-exact.")
+	} else {
+		fmt.Println("\nWARNING: replay diverged from the synthetic run!")
+	}
+	os.Remove(path)
+}

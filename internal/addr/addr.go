@@ -1,0 +1,207 @@
+// Package addr implements the address-mapping substrate of the multi-chip
+// GPU: the PAE-style randomized hash that spreads lines across LLC slices
+// and DRAM channels (Liu et al., ISCA 2018), and the first-touch page table
+// that assigns each memory page to the memory partition of the chip that
+// first accesses it (Arunkumar et al., ISCA 2017).
+package addr
+
+import "repro/internal/memsys"
+
+// Mix64 is the splitmix64 finalizer, used throughout the simulator as a
+// deterministic hash. It is the only source of "randomness" in the repo.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// PAE implements the randomized (power-efficient) address mapping: a line is
+// hashed to an LLC slice index within a chip and to a DRAM channel within
+// its home partition. Hashing rather than bit-slicing removes the pathologic
+// "valley" strides, making the uniform-distribution assumption behind
+// B_mem in the EAB model hold (paper §3.3).
+type PAE struct {
+	slicesPerChip   int
+	channelsPerChip int
+	salt            uint64
+}
+
+// NewPAE returns a mapper for the given per-chip slice and channel counts.
+func NewPAE(slicesPerChip, channelsPerChip int) *PAE {
+	if slicesPerChip <= 0 || channelsPerChip <= 0 {
+		panic("addr: non-positive slice or channel count")
+	}
+	return &PAE{slicesPerChip: slicesPerChip, channelsPerChip: channelsPerChip, salt: paeSalt}
+}
+
+const paeSalt = 0x5ac5ac5ac5ac5ac
+
+// Slice returns the LLC slice index (within whichever chip serves the line)
+// for a line index. The same line maps to the same slice index on every
+// chip, so a memory-side lookup at the home chip and an SM-side lookup at
+// the requesting chip use the same slice position — exactly the property the
+// SAC routing switch relies on.
+func (p *PAE) Slice(line uint64) int {
+	return int(Mix64(line^paeSalt) % uint64(p.slicesPerChip))
+}
+
+// Channel returns the DRAM channel index within the home chip's partition.
+// Slices have point-to-point links to their memory controllers, so the
+// channel is derived from the slice index to keep that pairing stable.
+func (p *PAE) Channel(line uint64) int {
+	return p.Slice(line) * p.channelsPerChip / p.slicesPerChip
+}
+
+// SlicesPerChip returns the configured slice count.
+func (p *PAE) SlicesPerChip() int { return p.slicesPerChip }
+
+// ChannelsPerChip returns the configured channel count.
+func (p *PAE) ChannelsPerChip() int { return p.channelsPerChip }
+
+// PageTable implements first-touch page placement: the first chip to access
+// any line of a page becomes the page's home. It also records, per page, a
+// bitmask of the chips that have accessed each line — the raw material for
+// classifying lines as non-shared, falsely shared or truly shared
+// (paper §2.2) and for the working-set analysis of Figure 11.
+type PageTable struct {
+	geom  memsys.Geometry
+	chips int
+	pages map[uint64]*pageEntry
+}
+
+type pageEntry struct {
+	home       int
+	lineChips  []uint8 // per line within the page: bitmask of accessor chips
+	chipsTouch uint8   // union of accessor chips for the whole page
+}
+
+// NewPageTable returns an empty first-touch page table for a system with the
+// given chip count (at most 8 chips fit the bitmask; the paper uses 4).
+func NewPageTable(geom memsys.Geometry, chips int) *PageTable {
+	if chips <= 0 || chips > 8 {
+		panic("addr: chip count must be in 1..8")
+	}
+	return &PageTable{geom: geom, chips: chips, pages: make(map[uint64]*pageEntry)}
+}
+
+// Touch records an access by chip to the given line and returns the page's
+// home chip, allocating the page to the toucher if this is the first access.
+func (t *PageTable) Touch(line uint64, chip int) (home int) {
+	page := t.geom.PageOfLine(line)
+	e, ok := t.pages[page]
+	if !ok {
+		e = &pageEntry{home: chip, lineChips: make([]uint8, t.geom.LinesPerPage())}
+		t.pages[page] = e
+	}
+	idx := int(line) - int(page)*t.geom.LinesPerPage()
+	e.lineChips[idx] |= 1 << uint(chip)
+	e.chipsTouch |= 1 << uint(chip)
+	return e.home
+}
+
+// Home returns the home chip of a line's page, or -1 when the page has never
+// been touched.
+func (t *PageTable) Home(line uint64) int {
+	e, ok := t.pages[t.geom.PageOfLine(line)]
+	if !ok {
+		return -1
+	}
+	return e.home
+}
+
+// Pages returns the number of allocated pages.
+func (t *PageTable) Pages() int { return len(t.pages) }
+
+// SharingClass classifies a line according to the paper's §2.2 definitions.
+type SharingClass uint8
+
+const (
+	// NonShared — the line is accessed by one chip and no other line of its
+	// page is accessed by another chip.
+	NonShared SharingClass = iota
+	// FalseShared — the line is accessed by a single chip, but some other
+	// line of the same page is accessed by a different chip.
+	FalseShared
+	// TrueShared — the line is accessed by multiple chips.
+	TrueShared
+)
+
+func (c SharingClass) String() string {
+	switch c {
+	case NonShared:
+		return "non-shared"
+	case FalseShared:
+		return "false-shared"
+	case TrueShared:
+		return "true-shared"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify returns the sharing class of a line given the accesses recorded
+// so far. Untouched lines classify as NonShared.
+func (t *PageTable) Classify(line uint64) SharingClass {
+	page := t.geom.PageOfLine(line)
+	e, ok := t.pages[page]
+	if !ok {
+		return NonShared
+	}
+	idx := int(line) - int(page)*t.geom.LinesPerPage()
+	mask := e.lineChips[idx]
+	if popcount8(mask) > 1 {
+		return TrueShared
+	}
+	// Single accessor (or none): falsely shared if any chip other than that
+	// accessor touched some line of the page.
+	if e.chipsTouch&^mask != 0 && mask != 0 {
+		return FalseShared
+	}
+	return NonShared
+}
+
+// FootprintBytes returns the total bytes of all lines ever touched,
+// broken down by sharing class. This regenerates Table 4's Footprint,
+// True-Shared and False-Shared columns.
+func (t *PageTable) FootprintBytes() (total, trueShared, falseShared int64) {
+	lineBytes := int64(t.geom.LineBytes)
+	for _, e := range t.pages {
+		for _, mask := range e.lineChips {
+			if mask == 0 {
+				continue
+			}
+			total += lineBytes
+			if popcount8(mask) > 1 {
+				trueShared += lineBytes
+			} else if e.chipsTouch&^mask != 0 {
+				falseShared += lineBytes
+			}
+		}
+	}
+	return total, trueShared, falseShared
+}
+
+// HomeHistogram returns how many pages are homed on each chip — useful for
+// verifying that first-touch placement spreads pages under distributed CTA
+// scheduling.
+func (t *PageTable) HomeHistogram() []int {
+	h := make([]int, t.chips)
+	for _, e := range t.pages {
+		h[e.home]++
+	}
+	return h
+}
+
+// Reset drops all placement and sharing state (between whole-application
+// runs; kernel boundaries do NOT reset placement).
+func (t *PageTable) Reset() { t.pages = make(map[uint64]*pageEntry) }
+
+func popcount8(x uint8) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,196 @@
+// Package bwsim provides the two primitives every bandwidth-limited
+// component of the simulator is built from: token buckets that meter
+// bytes-per-cycle capacity, and bounded FIFO queues with cheap ring-buffer
+// semantics. NoC ports, inter-chip links, LLC slice pipelines and DRAM
+// channels are all a (queue, bucket) pair.
+package bwsim
+
+import "fmt"
+
+// TokenBucket meters a resource with a sustained rate of BytesPerCycle and
+// a burst ceiling. Refill once per cycle, then spend tokens to move
+// messages. A zero-valued bucket is unusable; use NewBucket.
+type TokenBucket struct {
+	bytesPerCycle float64
+	burst         float64
+	credit        float64
+}
+
+// NewBucket returns a bucket with the given sustained rate. The burst cap is
+// two cycles' worth of bandwidth (at least one message of any size moves
+// eventually because Take accepts a partial debt of up to one burst).
+func NewBucket(bytesPerCycle float64) *TokenBucket {
+	if bytesPerCycle <= 0 {
+		panic(fmt.Sprintf("bwsim: non-positive bandwidth %v", bytesPerCycle))
+	}
+	return &TokenBucket{
+		bytesPerCycle: bytesPerCycle,
+		burst:         2 * bytesPerCycle,
+		credit:        bytesPerCycle,
+	}
+}
+
+// Rate returns the sustained bytes/cycle of the bucket.
+func (b *TokenBucket) Rate() float64 { return b.bytesPerCycle }
+
+// SetRate changes the sustained rate (used by sensitivity sweeps that
+// reconfigure link bandwidth between runs).
+func (b *TokenBucket) SetRate(bytesPerCycle float64) {
+	if bytesPerCycle <= 0 {
+		panic(fmt.Sprintf("bwsim: non-positive bandwidth %v", bytesPerCycle))
+	}
+	b.bytesPerCycle = bytesPerCycle
+	b.burst = 2 * bytesPerCycle
+	if b.credit > b.burst {
+		b.credit = b.burst
+	}
+}
+
+// Refill adds one cycle of credit, capped at the burst ceiling. Call exactly
+// once per simulated cycle.
+func (b *TokenBucket) Refill() {
+	b.credit += b.bytesPerCycle
+	if b.credit > b.burst {
+		b.credit = b.burst
+	}
+}
+
+// Advance adds dt cycles of credit at once, capped at the burst ceiling —
+// equivalent to dt consecutive Refill calls (the cap makes them identical).
+// Components that skipped idle cycles use it to catch up lazily.
+func (b *TokenBucket) Advance(dt int64) {
+	if dt <= 0 {
+		return
+	}
+	b.credit += float64(dt) * b.bytesPerCycle
+	if b.credit > b.burst {
+		b.credit = b.burst
+	}
+}
+
+// CanTake reports whether a message of n bytes may move this cycle. To keep
+// large messages from deadlocking on narrow links, a message may move
+// whenever credit is positive; it then drives the credit negative, which
+// stalls the link for the appropriate number of later cycles. This models a
+// multi-cycle serialization of a long packet.
+func (b *TokenBucket) CanTake() bool { return b.credit > 0 }
+
+// Take spends n bytes of credit. It must only be called after CanTake
+// returned true this cycle.
+func (b *TokenBucket) Take(n int) {
+	b.credit -= float64(n)
+}
+
+// Credit returns the current credit, for tests and debugging.
+func (b *TokenBucket) Credit() float64 { return b.credit }
+
+// Queue is a bounded FIFO of T backed by a growable ring buffer. The bound
+// is a back-pressure signal, not a hard allocation limit: Full tells the
+// producer to stall, while Push always succeeds so that in-flight messages
+// are never dropped.
+type Queue[T any] struct {
+	buf   []T
+	head  int
+	n     int
+	bound int
+}
+
+// NewQueue returns a queue whose Full threshold is bound entries.
+// bound <= 0 means unbounded.
+func NewQueue[T any](bound int) *Queue[T] {
+	capHint := bound
+	if capHint <= 0 || capHint > 1024 {
+		capHint = 16
+	}
+	return &Queue[T]{buf: make([]T, capHint), bound: bound}
+}
+
+// Len returns the number of queued entries.
+func (q *Queue[T]) Len() int { return q.n }
+
+// Empty reports whether the queue holds no entries.
+func (q *Queue[T]) Empty() bool { return q.n == 0 }
+
+// Full reports whether the queue has reached its back-pressure bound.
+func (q *Queue[T]) Full() bool { return q.bound > 0 && q.n >= q.bound }
+
+// Bound returns the configured back-pressure threshold (0 = unbounded).
+func (q *Queue[T]) Bound() int { return q.bound }
+
+// Push appends v. It always succeeds; callers honoring back-pressure should
+// consult Full before producing new work.
+func (q *Queue[T]) Push(v T) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+}
+
+// Pop removes and returns the oldest entry. ok is false when empty.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	if q.n == 0 {
+		return v, false
+	}
+	v = q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v, true
+}
+
+// Peek returns the oldest entry without removing it.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if q.n == 0 {
+		return v, false
+	}
+	return q.buf[q.head], true
+}
+
+func (q *Queue[T]) grow() {
+	nb := make([]T, max(len(q.buf)*2, 8))
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// DelayLine schedules items to become visible a fixed number of cycles in
+// the future; DRAM access latency and L1 hit latency use it. Items inserted
+// at cycle c with delay d pop at cycle c+d in insertion order.
+type DelayLine[T any] struct {
+	entries Queue[delayEntry[T]]
+}
+
+type delayEntry[T any] struct {
+	due int64
+	v   T
+}
+
+// NewDelayLine returns an empty delay line.
+func NewDelayLine[T any]() *DelayLine[T] {
+	return &DelayLine[T]{entries: Queue[delayEntry[T]]{buf: make([]delayEntry[T], 16)}}
+}
+
+// Len returns the number of in-flight items.
+func (d *DelayLine[T]) Len() int { return d.entries.Len() }
+
+// Insert schedules v to emerge at cycle now+delay. delay must be
+// non-decreasing across inserts at the same cycle for FIFO emergence
+// (all users of DelayLine use a constant delay, which satisfies this).
+func (d *DelayLine[T]) Insert(now int64, delay int64, v T) {
+	d.entries.Push(delayEntry[T]{due: now + delay, v: v})
+}
+
+// PopDue removes and returns the oldest item whose due cycle has arrived.
+func (d *DelayLine[T]) PopDue(now int64) (v T, ok bool) {
+	e, ok := d.entries.Peek()
+	if !ok || e.due > now {
+		var zero T
+		return zero, false
+	}
+	e2, _ := d.entries.Pop()
+	return e2.v, true
+}

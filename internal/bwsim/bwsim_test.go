@@ -1,0 +1,179 @@
+package bwsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBucketSustainedRate(t *testing.T) {
+	// A 64 B/cycle bucket must move exactly 6400 bytes of 32 B messages in
+	// 100 cycles (after warmup), i.e. 2 messages per cycle sustained.
+	b := NewBucket(64)
+	moved := 0
+	for cycle := 0; cycle < 100; cycle++ {
+		b.Refill()
+		for b.CanTake() {
+			b.Take(32)
+			moved += 32
+		}
+	}
+	// Initial credit gives at most one burst of slack.
+	if moved < 6400 || moved > 6400+int(b.Rate()*2) {
+		t.Fatalf("moved %d bytes in 100 cycles at 64 B/c, want ~6400", moved)
+	}
+}
+
+func TestBucketLargeMessageSerializes(t *testing.T) {
+	// A 160 B message on a 32 B/cycle link should pass roughly every 5 cycles.
+	b := NewBucket(32)
+	moved := 0
+	for cycle := 0; cycle < 100; cycle++ {
+		b.Refill()
+		if b.CanTake() {
+			b.Take(160)
+			moved++
+		}
+	}
+	if moved < 18 || moved > 22 {
+		t.Fatalf("moved %d large messages in 100 cycles, want ~20", moved)
+	}
+}
+
+func TestBucketBurstCap(t *testing.T) {
+	b := NewBucket(10)
+	for i := 0; i < 100; i++ {
+		b.Refill()
+	}
+	if b.Credit() > 20 {
+		t.Fatalf("credit %v exceeds burst cap 20", b.Credit())
+	}
+}
+
+func TestBucketSetRate(t *testing.T) {
+	b := NewBucket(100)
+	b.SetRate(10)
+	if b.Rate() != 10 {
+		t.Fatalf("Rate = %v, want 10", b.Rate())
+	}
+	if b.Credit() > 20 {
+		t.Fatalf("credit %v not clamped to new burst", b.Credit())
+	}
+}
+
+func TestBucketPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBucket(0) did not panic")
+		}
+	}()
+	NewBucket(0)
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int](4)
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", q.Len())
+	}
+	if !q.Full() {
+		t.Fatal("queue over bound should report Full")
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty succeeded")
+	}
+	if !q.Empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestQueuePeek(t *testing.T) {
+	q := NewQueue[string](0)
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty succeeded")
+	}
+	q.Push("a")
+	q.Push("b")
+	if v, ok := q.Peek(); !ok || v != "a" {
+		t.Fatalf("Peek = %q,%v", v, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatal("Peek must not consume")
+	}
+}
+
+func TestQueueUnbounded(t *testing.T) {
+	q := NewQueue[int](0)
+	for i := 0; i < 1000; i++ {
+		q.Push(i)
+		if q.Full() {
+			t.Fatal("unbounded queue reported Full")
+		}
+	}
+}
+
+// Property: any interleaving of pushes and pops preserves FIFO order.
+func TestQueueOrderProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		q := NewQueue[int](3)
+		next := 0
+		expect := 0
+		for _, push := range ops {
+			if push {
+				q.Push(next)
+				next++
+			} else if v, ok := q.Pop(); ok {
+				if v != expect {
+					return false
+				}
+				expect++
+			}
+		}
+		for {
+			v, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if v != expect {
+				return false
+			}
+			expect++
+		}
+		return expect == next
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayLine(t *testing.T) {
+	d := NewDelayLine[int]()
+	d.Insert(10, 5, 1)
+	d.Insert(10, 5, 2)
+	d.Insert(11, 5, 3)
+	if _, ok := d.PopDue(14); ok {
+		t.Fatal("item emerged early")
+	}
+	if v, ok := d.PopDue(15); !ok || v != 1 {
+		t.Fatalf("PopDue(15) = %d,%v want 1", v, ok)
+	}
+	if v, ok := d.PopDue(15); !ok || v != 2 {
+		t.Fatalf("second PopDue(15) = %d,%v want 2", v, ok)
+	}
+	if _, ok := d.PopDue(15); ok {
+		t.Fatal("third item emerged early")
+	}
+	if v, ok := d.PopDue(16); !ok || v != 3 {
+		t.Fatalf("PopDue(16) = %d,%v want 3", v, ok)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", d.Len())
+	}
+}

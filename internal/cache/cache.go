@@ -1,0 +1,368 @@
+// Package cache implements the set-associative cache model used for both
+// the private L1s and the LLC slices of the multi-chip GPU, plus the MSHR
+// file that tracks outstanding misses.
+//
+// The model is behavioural, not data-carrying: it tracks tags, LRU state,
+// dirty bits, per-line home-chip annotations (for the local-vs-remote
+// occupancy census of Figure 9), per-sector valid bits when sectored mode is
+// on, and way-partition masks (the mechanism behind the Static/L1.5 and
+// Dynamic LLC organizations, which reserve subsets of ways for local versus
+// remote data).
+package cache
+
+import "fmt"
+
+// Partition selects which subset of ways an access may allocate into.
+// The plain memory-side / SM-side organizations use PartAll; the Static and
+// Dynamic organizations split ways between PartLocal and PartRemote.
+type Partition uint8
+
+const (
+	// PartAll may allocate in any way.
+	PartAll Partition = iota
+	// PartLocal may allocate only in the ways reserved for local data.
+	PartLocal
+	// PartRemote may allocate only in the ways reserved for remote data.
+	PartRemote
+)
+
+// Config describes a cache instance.
+type Config struct {
+	Sets      int  // number of sets (power of two not required)
+	Ways      int  // associativity
+	LineBytes int  // line size
+	Sectors   int  // >1 enables sectored mode: tags are per line, validity per sector
+	WriteBack bool // true for the LLC; the L1 is write-through and leaves this false
+}
+
+// Lines returns the total line capacity.
+func (c Config) Lines() int { return c.Sets * c.Ways }
+
+// Bytes returns the total data capacity in bytes.
+func (c Config) Bytes() int { return c.Lines() * c.LineBytes }
+
+type way struct {
+	valid   bool
+	tag     uint64
+	dirty   bool
+	lastUse int64 // LRU timestamp
+	remote  bool  // line's home chip differs from the cache's chip (Fig 9 census)
+	sectors uint8 // per-sector valid bits (sectored mode); all-ones otherwise
+}
+
+// Cache is a single set-associative cache array.
+type Cache struct {
+	cfg        Config
+	sets       [][]way
+	tick       int64
+	localWays  int // ways reserved for PartLocal; rest are PartRemote
+	partActive bool
+
+	// Counters (reset by ResetStats).
+	Hits        int64
+	Misses      int64
+	SectorMiss  int64 // tag hit but sector invalid (sectored mode only)
+	Evictions   int64
+	Writebacks  int64
+	Invalidates int64
+}
+
+// New returns an empty cache. Panics on an invalid config, as caches are
+// constructed from static configuration.
+func New(cfg Config) *Cache {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.LineBytes <= 0 {
+		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
+	}
+	if cfg.Sectors <= 0 {
+		cfg.Sectors = 1
+	}
+	if cfg.Sectors > 8 {
+		panic("cache: at most 8 sectors per line")
+	}
+	sets := make([][]way, cfg.Sets)
+	backing := make([]way, cfg.Sets*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{cfg: cfg, sets: sets, localWays: cfg.Ways}
+}
+
+// Cfg returns the cache's configuration.
+func (c *Cache) Cfg() Config { return c.cfg }
+
+// SetPartition reserves the first localWays ways of every set for local data
+// and the remainder for remote data, activating partitioned allocation.
+// localWays must be in [1, Ways-1]. Used by the Static and Dynamic LLCs.
+func (c *Cache) SetPartition(localWays int) {
+	if localWays < 1 || localWays >= c.cfg.Ways {
+		panic(fmt.Sprintf("cache: localWays %d out of [1,%d)", localWays, c.cfg.Ways))
+	}
+	c.localWays = localWays
+	c.partActive = true
+}
+
+// ClearPartition disables partitioned allocation (all ways for everyone).
+func (c *Cache) ClearPartition() {
+	c.partActive = false
+	c.localWays = c.cfg.Ways
+}
+
+// LocalWays returns the current local partition size (Ways when unpartitioned).
+func (c *Cache) LocalWays() int { return c.localWays }
+
+func (c *Cache) setIndex(line uint64) int {
+	// Lines arriving here were already spread across slices by the PAE hash;
+	// a second small mix decorrelates the set index from the slice index.
+	return int((line*0x9e3779b97f4a7c15)>>32) % c.cfg.Sets
+}
+
+func (c *Cache) wayRange(p Partition) (lo, hi int) {
+	if !c.partActive || p == PartAll {
+		return 0, c.cfg.Ways
+	}
+	if p == PartLocal {
+		return 0, c.localWays
+	}
+	return c.localWays, c.cfg.Ways
+}
+
+func sectorBit(sector int) uint8 { return 1 << uint(sector) }
+
+// Lookup probes for a line (and sector, when sectored). It updates LRU on a
+// hit but never allocates. Returns whether the access hit.
+func (c *Cache) Lookup(line uint64, sector int) bool {
+	c.tick++
+	set := c.sets[c.setIndex(line)]
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == line {
+			if c.cfg.Sectors > 1 && w.sectors&sectorBit(sector) == 0 {
+				c.SectorMiss++
+				c.Misses++
+				return false
+			}
+			w.lastUse = c.tick
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Probe reports whether the line (and sector) is present without touching
+// LRU or counters. Used by coherence and by the occupancy census.
+func (c *Cache) Probe(line uint64, sector int) bool {
+	set := c.sets[c.setIndex(line)]
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == line {
+			return c.cfg.Sectors <= 1 || w.sectors&sectorBit(sector) != 0
+		}
+	}
+	return false
+}
+
+// Victim describes a line evicted by Fill.
+type Victim struct {
+	Line   uint64
+	Dirty  bool // needs a writeback (write-back caches only)
+	Remote bool
+}
+
+// Fill installs a line (or adds a sector to an already-present line) in the
+// partition's way range, evicting the LRU way of that range if needed.
+// remote annotates whether the line's home is another chip. The returned
+// victim is valid only when evicted is true.
+func (c *Cache) Fill(line uint64, sector int, p Partition, remote bool) (victim Victim, evicted bool) {
+	c.tick++
+	set := c.sets[c.setIndex(line)]
+	// Sector fill into an existing line?
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == line {
+			w.sectors |= sectorBit(sector)
+			w.lastUse = c.tick
+			return Victim{}, false
+		}
+	}
+	lo, hi := c.wayRange(p)
+	// Free way in range?
+	for i := lo; i < hi; i++ {
+		if !set[i].valid {
+			c.install(&set[i], line, sector, remote)
+			return Victim{}, false
+		}
+	}
+	// Evict LRU in range.
+	lru := lo
+	for i := lo + 1; i < hi; i++ {
+		if set[i].lastUse < set[lru].lastUse {
+			lru = i
+		}
+	}
+	w := &set[lru]
+	victim = Victim{Line: w.tag, Dirty: w.dirty && c.cfg.WriteBack, Remote: w.remote}
+	c.Evictions++
+	if victim.Dirty {
+		c.Writebacks++
+	}
+	c.install(w, line, sector, remote)
+	return victim, true
+}
+
+func (c *Cache) install(w *way, line uint64, sector int, remote bool) {
+	w.valid = true
+	w.tag = line
+	w.dirty = false
+	w.remote = remote
+	w.lastUse = c.tick
+	if c.cfg.Sectors > 1 {
+		w.sectors = sectorBit(sector)
+	} else {
+		w.sectors = 1
+	}
+}
+
+// MarkDirty sets the dirty bit of a present line (stores hitting a
+// write-back cache). It is a no-op when the line is absent.
+func (c *Cache) MarkDirty(line uint64) {
+	set := c.sets[c.setIndex(line)]
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].dirty = true
+			return
+		}
+	}
+}
+
+// Invalidate drops a line if present, returning whether it was dirty (the
+// caller is responsible for the writeback traffic). Used by hardware
+// coherence.
+func (c *Cache) Invalidate(line uint64) (wasPresent, wasDirty bool) {
+	set := c.sets[c.setIndex(line)]
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == line {
+			c.Invalidates++
+			dirty := w.dirty && c.cfg.WriteBack
+			w.valid = false
+			w.dirty = false
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// FlushAll invalidates every line and returns the number of dirty lines
+// that needed writing back — the cost SAC pays when reconfiguring away from
+// a configuration with dirty LLC state, and the cost software coherence
+// pays at kernel boundaries.
+func (c *Cache) FlushAll() (dirtyLines int) {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			w := &c.sets[s][i]
+			if w.valid {
+				if w.dirty && c.cfg.WriteBack {
+					dirtyLines++
+					c.Writebacks++
+				}
+				w.valid = false
+				w.dirty = false
+				c.Invalidates++
+			}
+		}
+	}
+	return dirtyLines
+}
+
+// FlushAllFunc invalidates every line like FlushAll, additionally invoking
+// onDirty for each dirty line so the caller can issue the writeback traffic.
+func (c *Cache) FlushAllFunc(onDirty func(line uint64, remote bool)) (dirtyLines int) {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			w := &c.sets[s][i]
+			if w.valid {
+				if w.dirty && c.cfg.WriteBack {
+					dirtyLines++
+					c.Writebacks++
+					if onDirty != nil {
+						onDirty(w.tag, w.remote)
+					}
+				}
+				w.valid = false
+				w.dirty = false
+				c.Invalidates++
+			}
+		}
+	}
+	return dirtyLines
+}
+
+// FlushDirty writes back and invalidates only the dirty lines, leaving clean
+// lines resident — the cost of SAC's memory-side → SM-side reconfiguration
+// under software coherence (§3.6 step 2).
+func (c *Cache) FlushDirty(onDirty func(line uint64, remote bool)) (dirtyLines int) {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			w := &c.sets[s][i]
+			if w.valid && w.dirty && c.cfg.WriteBack {
+				dirtyLines++
+				c.Writebacks++
+				if onDirty != nil {
+					onDirty(w.tag, w.remote)
+				}
+				w.valid = false
+				w.dirty = false
+				c.Invalidates++
+			}
+		}
+	}
+	return dirtyLines
+}
+
+// Occupancy counts valid lines, split into local-homed and remote-homed —
+// the Figure 9 census.
+func (c *Cache) Occupancy() (local, remote int) {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			w := &c.sets[s][i]
+			if !w.valid {
+				continue
+			}
+			if w.remote {
+				remote++
+			} else {
+				local++
+			}
+		}
+	}
+	return local, remote
+}
+
+// DirtyLines counts lines with the dirty bit set.
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid && c.sets[s][i].dirty {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 with no accesses.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// ResetStats zeroes the counters without touching contents.
+func (c *Cache) ResetStats() {
+	c.Hits, c.Misses, c.SectorMiss, c.Evictions, c.Writebacks, c.Invalidates = 0, 0, 0, 0, 0, 0
+}

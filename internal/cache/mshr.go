@@ -1,0 +1,77 @@
+package cache
+
+import "repro/internal/memsys"
+
+// MSHR is a miss-status holding register file for one LLC slice. Primary
+// misses allocate an entry and travel onward to memory; secondary misses on
+// the same line merge into the existing entry and wait for its fill. A full
+// MSHR back-pressures the slice: the lookup stage must stall.
+type MSHR struct {
+	capacity int
+	entries  map[uint64]*mshrEntry
+
+	// Counters.
+	Primary   int64
+	Secondary int64
+	StallFull int64
+}
+
+type mshrEntry struct {
+	waiters []*memsys.Request
+}
+
+// NewMSHR returns an MSHR file with the given entry capacity.
+func NewMSHR(capacity int) *MSHR {
+	if capacity <= 0 {
+		panic("cache: MSHR capacity must be positive")
+	}
+	return &MSHR{capacity: capacity, entries: make(map[uint64]*mshrEntry, capacity)}
+}
+
+// Len returns the number of outstanding entries.
+func (m *MSHR) Len() int { return len(m.entries) }
+
+// Full reports whether a new primary miss cannot allocate.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.capacity }
+
+// Lookup reports whether a line already has an outstanding miss.
+func (m *MSHR) Lookup(line uint64) bool {
+	_, ok := m.entries[line]
+	return ok
+}
+
+// Allocate registers a miss for req. It returns primary=true when this is a
+// new entry (the caller must forward the request toward memory) and
+// primary=false when the request merged into an existing entry (it will be
+// released by Fill). Callers must check Full before allocating a primary
+// miss; Allocate panics when asked to allocate past capacity, because that
+// indicates the back-pressure contract was violated.
+func (m *MSHR) Allocate(req *memsys.Request) (primary bool) {
+	if e, ok := m.entries[req.Line]; ok {
+		e.waiters = append(e.waiters, req)
+		req.MergedMSHR = true
+		m.Secondary++
+		return false
+	}
+	if m.Full() {
+		panic("cache: MSHR allocate past capacity (back-pressure violated)")
+	}
+	m.entries[req.Line] = &mshrEntry{}
+	m.Primary++
+	return true
+}
+
+// Fill completes the outstanding miss on line, removing the entry and
+// returning the merged secondary requests that were waiting for the data
+// (possibly empty). The primary request is carried by the caller.
+func (m *MSHR) Fill(line uint64) []*memsys.Request {
+	e, ok := m.entries[line]
+	if !ok {
+		return nil
+	}
+	delete(m.entries, line)
+	return e.waiters
+}
+
+// NoteStall counts a cycle in which a primary miss could not allocate.
+func (m *MSHR) NoteStall() { m.StallFull++ }

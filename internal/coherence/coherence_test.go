@@ -1,0 +1,88 @@
+package coherence
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestProtocolString(t *testing.T) {
+	if Software.String() != "software" || Hardware.String() != "hardware" {
+		t.Fatal("protocol strings wrong")
+	}
+	if Protocol(5).String() == "" {
+		t.Fatal("unknown protocol should stringify")
+	}
+}
+
+func TestSharerTracking(t *testing.T) {
+	d := NewDirectory(4)
+	d.AddSharer(10, 0)
+	d.AddSharer(10, 2)
+	if !d.IsSharer(10, 0) || !d.IsSharer(10, 2) || d.IsSharer(10, 1) {
+		t.Fatal("IsSharer wrong")
+	}
+	if got := d.Sharers(10); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("Sharers = %v", got)
+	}
+	d.RemoveSharer(10, 0)
+	if got := d.Sharers(10); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("Sharers after remove = %v", got)
+	}
+	d.RemoveSharer(10, 2)
+	if d.Lines() != 0 {
+		t.Fatal("empty line entry not reclaimed")
+	}
+	if d.Sharers(10) != nil {
+		t.Fatal("untracked line has sharers")
+	}
+}
+
+func TestWriteInvalidate(t *testing.T) {
+	d := NewDirectory(4)
+	d.AddSharer(7, 0)
+	d.AddSharer(7, 1)
+	d.AddSharer(7, 3)
+	// Chip 1 writes: chips 0 and 3 must be invalidated; chip 1 remains.
+	inv := d.WriteInvalidate(7, 1)
+	if !reflect.DeepEqual(inv, []int{0, 3}) {
+		t.Fatalf("invalidated %v, want [0 3]", inv)
+	}
+	if got := d.Sharers(7); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("sharers after write = %v", got)
+	}
+	if d.Invalidations != 2 {
+		t.Fatalf("Invalidations = %d", d.Invalidations)
+	}
+	// Second write by the same chip: no sharers to kill.
+	if inv := d.WriteInvalidate(7, 1); inv != nil {
+		t.Fatalf("second write invalidated %v", inv)
+	}
+	if d.WriteMisses != 1 {
+		t.Fatalf("WriteMisses = %d", d.WriteMisses)
+	}
+}
+
+func TestWriteInvalidateUntrackedLine(t *testing.T) {
+	d := NewDirectory(4)
+	if inv := d.WriteInvalidate(99, 2); inv != nil {
+		t.Fatalf("untracked write invalidated %v", inv)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := NewDirectory(2)
+	d.AddSharer(1, 0)
+	d.Reset()
+	if d.Lines() != 0 || d.IsSharer(1, 0) {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestNewDirectoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("9-chip directory did not panic")
+		}
+	}()
+	NewDirectory(9)
+}

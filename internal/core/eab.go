@@ -1,0 +1,168 @@
+// Package core implements the paper's primary contribution: the Effective
+// Available Bandwidth (EAB) analytical model (§3.3, Tables 1 and 2), the
+// Chip Request Directory (CRD) and hardware performance-counter architecture
+// that collect the model's inputs while running the memory-side
+// configuration (§3.4, Figure 7), the per-chip hardware budget accounting
+// (§3.6), and the SAC runtime controller that profiles each kernel for a
+// short window and decides whether to reconfigure the LLC to SM-side
+// (§3.2, §3.5).
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ArchParams are the architecture-only EAB inputs (Table 2): raw bandwidths
+// in bytes/cycle, system-aggregate.
+type ArchParams struct {
+	BIntra float64 // bandwidth of intra-chip links (SMs <-> LLC slices)
+	BInter float64 // bandwidth of inter-chip links
+	BLLC   float64 // raw LLC bandwidth
+	BMem   float64 // raw memory bandwidth
+}
+
+// Validate checks the parameters are usable.
+func (a ArchParams) Validate() error {
+	if a.BIntra <= 0 || a.BInter <= 0 || a.BLLC <= 0 || a.BMem <= 0 {
+		return fmt.Errorf("core: non-positive bandwidth in %+v", a)
+	}
+	return nil
+}
+
+// ConfigInputs are the workload-and-configuration-dependent EAB inputs for
+// one LLC organization.
+type ConfigInputs struct {
+	LLCHit float64 // LLC hit rate under this configuration, in [0,1]
+	LSU    float64 // LLC slice uniformity under this configuration, in (0,1]
+}
+
+// WorkloadInputs are the full measured inputs of one profiling window.
+type WorkloadInputs struct {
+	RLocal  float64      // fraction of requests to the local memory partition
+	MemSide ConfigInputs // measured under the (active) memory-side config
+	SMSide  ConfigInputs // predicted by the CRD + SM-side slice counters
+}
+
+// Validate checks ranges.
+func (w WorkloadInputs) Validate() error {
+	in01 := func(v float64) bool { return v >= 0 && v <= 1 }
+	if !in01(w.RLocal) || !in01(w.MemSide.LLCHit) || !in01(w.SMSide.LLCHit) ||
+		!in01(w.MemSide.LSU) || !in01(w.SMSide.LSU) {
+		return fmt.Errorf("core: inputs out of [0,1]: %+v", w)
+	}
+	return nil
+}
+
+// EAB is the model's output for one configuration.
+type EAB struct {
+	Local  float64
+	Remote float64
+	Total  float64
+}
+
+// unlimited stands in for the "—" entries of Table 1 (links assumed not
+// bandwidth-limited, e.g. the point-to-point LLC-to-memory connections).
+var unlimited = math.Inf(1)
+
+// eabSide computes EAB_{local|remote} = min(B_SM_LLC, B_LLC_hit +
+// min(B_LLC_miss, B_LLC_mem, B_mem)) — the paper's §3.3 equation.
+func eabSide(bSMLLC, bLLCHit, bLLCMiss, bLLCMem, bMem float64) float64 {
+	return math.Min(bSMLLC, bLLCHit+math.Min(bLLCMiss, math.Min(bLLCMem, bMem)))
+}
+
+// MemorySideEAB evaluates the model for the memory-side configuration
+// (Table 1, left half).
+func MemorySideEAB(a ArchParams, w WorkloadInputs) EAB {
+	rl, rr := w.RLocal, 1-w.RLocal
+	hit := a.BLLC * w.MemSide.LSU * w.MemSide.LLCHit
+	miss := a.BLLC * w.MemSide.LSU * (1 - w.MemSide.LLCHit)
+	local := eabSide(
+		a.BIntra,  // B_SM_LLC,local = B_intra
+		hit*rl,    // B_LLC_hit,local
+		miss*rl,   // B_LLC_miss,local
+		unlimited, // B_LLC_mem,local = — (point-to-point)
+		a.BMem*rl, // B_mem,local
+	)
+	remote := eabSide(
+		a.BInter,  // B_SM_LLC,remote = B_inter
+		hit*rr,    // B_LLC_hit,remote
+		miss*rr,   // B_LLC_miss,remote
+		unlimited, // B_LLC_mem,remote = —
+		a.BMem*rr, // B_mem,remote
+	)
+	return EAB{Local: local, Remote: remote, Total: local + remote}
+}
+
+// SMSideEAB evaluates the model for the SM-side configuration (Table 1,
+// right half).
+func SMSideEAB(a ArchParams, w WorkloadInputs) EAB {
+	rl, rr := w.RLocal, 1-w.RLocal
+	hit := a.BLLC * w.SMSide.LSU * w.SMSide.LLCHit
+	miss := a.BLLC * w.SMSide.LSU * (1 - w.SMSide.LLCHit)
+	local := eabSide(
+		a.BIntra*rl, // intra network shared by local and remote requests
+		hit*rl,
+		miss*rl,
+		unlimited, // local misses go to local memory: point-to-point
+		a.BMem*rl,
+	)
+	remote := eabSide(
+		a.BIntra*rr,
+		hit*rr,
+		miss*rr,
+		a.BInter, // remote misses cross the inter-chip network
+		a.BMem*rr,
+	)
+	return EAB{Local: local, Remote: remote, Total: local + remote}
+}
+
+// Decision is the outcome of comparing the two EABs.
+type Decision struct {
+	MemSide   EAB
+	SMSide    EAB
+	Theta     float64
+	PickSM    bool    // true: reconfigure to SM-side
+	Advantage float64 // (SMSide.Total - MemSide.Total) / MemSide.Total
+}
+
+// Decide compares the EABs with threshold theta (the paper uses θ = 5%):
+// the LLC reconfigures to SM-side only when its predicted EAB exceeds the
+// memory-side EAB by more than θ, covering the coherence overhead the model
+// leaves out (§3.5).
+func Decide(a ArchParams, w WorkloadInputs, theta float64) Decision {
+	m := MemorySideEAB(a, w)
+	s := SMSideEAB(a, w)
+	d := Decision{MemSide: m, SMSide: s, Theta: theta}
+	if m.Total > 0 {
+		d.Advantage = (s.Total - m.Total) / m.Total
+	} else if s.Total > 0 {
+		d.Advantage = math.Inf(1)
+	}
+	d.PickSM = d.Advantage > theta
+	return d
+}
+
+// LSU computes the LLC slice uniformity (§3.3): the mean over slices of
+// R_i / max_j R_j. It is 1 for perfectly uniform request distributions and
+// 1/N when a single slice receives all requests. With no requests, LSU is
+// defined as 1 (no non-uniformity observed).
+func LSU(requests []int64) float64 {
+	if len(requests) == 0 {
+		return 1
+	}
+	var maxR int64
+	for _, r := range requests {
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if maxR == 0 {
+		return 1
+	}
+	var sum float64
+	for _, r := range requests {
+		sum += float64(r) / float64(maxR)
+	}
+	return sum / float64(len(requests))
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Paper-shaped architecture parameters (bytes/cycle, system aggregate):
+// 4 TB/s intra per chip × 4 = 16384, ring 768 GB/s = 768, LLC 16 TB/s =
+// 16384, DRAM 1.75 TB/s = 1792.
+var paperArch = ArchParams{BIntra: 16384, BInter: 768, BLLC: 16384, BMem: 1792}
+
+func TestArchValidate(t *testing.T) {
+	if err := paperArch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := paperArch
+	bad.BInter = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero BInter accepted")
+	}
+}
+
+func TestLSU(t *testing.T) {
+	if got := LSU([]int64{10, 10, 10, 10}); got != 1 {
+		t.Fatalf("uniform LSU = %v, want 1", got)
+	}
+	// All requests to one of four slices: LSU = 1/4.
+	if got := LSU([]int64{40, 0, 0, 0}); got != 0.25 {
+		t.Fatalf("concentrated LSU = %v, want 0.25", got)
+	}
+	if got := LSU(nil); got != 1 {
+		t.Fatalf("empty LSU = %v, want 1", got)
+	}
+	if got := LSU([]int64{0, 0}); got != 1 {
+		t.Fatalf("zero-request LSU = %v, want 1", got)
+	}
+}
+
+// Property: LSU is in [1/N, 1] for any non-negative request vector with at
+// least one request.
+func TestLSURangeProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		rs := make([]int64, len(raw))
+		var any bool
+		for i, v := range raw {
+			rs[i] = int64(v)
+			if v > 0 {
+				any = true
+			}
+		}
+		got := LSU(rs)
+		if !any {
+			return got == 1
+		}
+		return got >= 1/float64(len(rs))-1e-12 && got <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemorySideRemoteCappedByInterLink(t *testing.T) {
+	// All-remote workload with perfect hit rate: the memory-side EAB must be
+	// capped by B_inter — the paper's core observation about bandwidth
+	// *ahead of* the LLC.
+	w := WorkloadInputs{
+		RLocal:  0,
+		MemSide: ConfigInputs{LLCHit: 1, LSU: 1},
+		SMSide:  ConfigInputs{LLCHit: 1, LSU: 1},
+	}
+	m := MemorySideEAB(paperArch, w)
+	if m.Remote != paperArch.BInter {
+		t.Fatalf("memory-side remote EAB = %v, want B_inter %v", m.Remote, paperArch.BInter)
+	}
+	s := SMSideEAB(paperArch, w)
+	// SM-side hits locally: remote side is bounded by intra bandwidth.
+	if s.Remote != math.Min(paperArch.BIntra, paperArch.BLLC) {
+		t.Fatalf("SM-side remote EAB = %v", s.Remote)
+	}
+	if s.Total <= m.Total {
+		t.Fatal("high-hit all-remote workload should prefer SM-side")
+	}
+}
+
+func TestSMSideMissesCappedByInterLink(t *testing.T) {
+	// All-remote workload that misses everywhere: SM-side misses must be
+	// bounded by B_inter (B_LLC_mem,remote = B_inter in Table 1).
+	w := WorkloadInputs{
+		RLocal:  0,
+		MemSide: ConfigInputs{LLCHit: 0, LSU: 1},
+		SMSide:  ConfigInputs{LLCHit: 0, LSU: 1},
+	}
+	s := SMSideEAB(paperArch, w)
+	if s.Remote != paperArch.BInter {
+		t.Fatalf("SM-side all-miss remote EAB = %v, want %v", s.Remote, paperArch.BInter)
+	}
+}
+
+func TestLocalOnlyWorkloadEquivalent(t *testing.T) {
+	// A purely local workload sees (near) identical EABs: no reconfiguration
+	// motive. (Identical hit rates and LSU by construction here.)
+	w := WorkloadInputs{
+		RLocal:  1,
+		MemSide: ConfigInputs{LLCHit: 0.7, LSU: 0.9},
+		SMSide:  ConfigInputs{LLCHit: 0.7, LSU: 0.9},
+	}
+	m, s := MemorySideEAB(paperArch, w), SMSideEAB(paperArch, w)
+	if math.Abs(m.Total-s.Total) > 1e-9 {
+		t.Fatalf("local-only EABs differ: %v vs %v", m.Total, s.Total)
+	}
+	d := Decide(paperArch, w, 0.05)
+	if d.PickSM {
+		t.Fatal("local-only workload must stay memory-side")
+	}
+}
+
+func TestLowSMSideHitRatePrefersMemorySide(t *testing.T) {
+	// MP-shaped inputs: replication collapses the SM-side hit rate.
+	w := WorkloadInputs{
+		RLocal:  0.6,
+		MemSide: ConfigInputs{LLCHit: 0.65, LSU: 0.9},
+		SMSide:  ConfigInputs{LLCHit: 0.15, LSU: 0.95},
+	}
+	d := Decide(paperArch, w, 0.05)
+	if d.PickSM {
+		t.Fatalf("MP-shaped workload picked SM-side (adv %.3f)", d.Advantage)
+	}
+}
+
+func TestHighSharingPrefersSMSide(t *testing.T) {
+	// SP-shaped inputs: mostly remote, hit rate survives replication, and
+	// memory-side concentrates requests on few slices (low LSU).
+	w := WorkloadInputs{
+		RLocal:  0.3,
+		MemSide: ConfigInputs{LLCHit: 0.8, LSU: 0.5},
+		SMSide:  ConfigInputs{LLCHit: 0.7, LSU: 0.95},
+	}
+	d := Decide(paperArch, w, 0.05)
+	if !d.PickSM {
+		t.Fatalf("SP-shaped workload stayed memory-side (adv %.3f)", d.Advantage)
+	}
+}
+
+func TestThetaGatesMarginalGains(t *testing.T) {
+	// Construct a marginal advantage and check θ decides.
+	w := WorkloadInputs{
+		RLocal:  0.97,
+		MemSide: ConfigInputs{LLCHit: 0.5, LSU: 1},
+		SMSide:  ConfigInputs{LLCHit: 0.55, LSU: 1},
+	}
+	loose := Decide(paperArch, w, 0.0)
+	tight := Decide(paperArch, w, 0.5)
+	if loose.Advantage <= 0 {
+		t.Skipf("inputs not marginal (adv %.4f)", loose.Advantage)
+	}
+	if !loose.PickSM {
+		t.Fatal("θ=0 should accept any positive advantage")
+	}
+	if tight.PickSM {
+		t.Fatal("θ=0.5 should reject a marginal advantage")
+	}
+}
+
+func TestDecisionAdvantageSign(t *testing.T) {
+	w := WorkloadInputs{
+		RLocal:  0.5,
+		MemSide: ConfigInputs{LLCHit: 0.9, LSU: 1},
+		SMSide:  ConfigInputs{LLCHit: 0.1, LSU: 1},
+	}
+	d := Decide(paperArch, w, 0.05)
+	if d.Advantage >= 0 {
+		t.Fatalf("advantage %.3f should be negative when SM-side hit collapses", d.Advantage)
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	good := WorkloadInputs{RLocal: 0.5, MemSide: ConfigInputs{0.5, 0.5}, SMSide: ConfigInputs{0.5, 0.5}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.RLocal = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range RLocal accepted")
+	}
+}
+
+// Property: EAB totals are monotone in hit rate for a fixed configuration —
+// a higher hit rate never lowers the predicted bandwidth when memory is the
+// bottleneck side.
+func TestEABMonotoneInHitRateProperty(t *testing.T) {
+	f := func(rl8, h8 uint8) bool {
+		rl := float64(rl8%101) / 100
+		h := float64(h8%90) / 100
+		w1 := WorkloadInputs{RLocal: rl, MemSide: ConfigInputs{h, 1}, SMSide: ConfigInputs{h, 1}}
+		w2 := WorkloadInputs{RLocal: rl, MemSide: ConfigInputs{h + 0.1, 1}, SMSide: ConfigInputs{h + 0.1, 1}}
+		return MemorySideEAB(paperArch, w2).Total >= MemorySideEAB(paperArch, w1).Total-1e-9 &&
+			SMSideEAB(paperArch, w2).Total >= SMSideEAB(paperArch, w1).Total-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package dram models one chip's memory partition: a set of channels, each
+// with a bandwidth-gated request queue and a fixed access latency. The LLC
+// slices have point-to-point links to their memory controllers (paper §3.3:
+// local LLC misses are not bandwidth-limited between LLC and memory), so the
+// only contended resource is the channel's data bandwidth itself.
+//
+// The package also carries the memory-interface presets used by the
+// Figure 14 sensitivity sweep (GDDR5, GDDR6, HBM2).
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/bwsim"
+	"repro/internal/memsys"
+)
+
+// Interface is a memory-technology preset.
+type Interface struct {
+	Name       string
+	TotalGBs   float64 // total system bandwidth in GB/s at full (paper) scale
+	LatencyCyc int64   // access latency in core cycles
+}
+
+// Presets matching the paper's Figure 14 memory-interface axis. The paper's
+// default (Table 3) is GDDR6 at 1.75 TB/s over 32 channels.
+var (
+	GDDR5 = Interface{Name: "GDDR5", TotalGBs: 875, LatencyCyc: 220}
+	GDDR6 = Interface{Name: "GDDR6", TotalGBs: 1750, LatencyCyc: 200}
+	HBM2  = Interface{Name: "HBM2", TotalGBs: 2900, LatencyCyc: 180}
+)
+
+// Config sizes one memory partition.
+type Config struct {
+	Channels   int
+	ChannelBW  float64 // bytes/cycle per channel
+	Latency    int64   // access latency in cycles
+	QueueBound int     // per-channel queue back-pressure threshold
+
+	// BanksPerChannel > 0 enables bank-level row-buffer timing (see
+	// banks.go); 0 keeps the pure bandwidth + fixed-latency model.
+	BanksPerChannel int
+	Timing          BankTiming // used when BanksPerChannel > 0
+}
+
+// Partition is the memory system attached to one GPU chip.
+type Partition struct {
+	cfg      Config
+	queues   []*bwsim.Queue[*memsys.Request]
+	buckets  []*bwsim.TokenBucket
+	inFlight []*bwsim.DelayLine[*memsys.Request]
+	banks    []*banks // nil entries when bank timing is disabled
+	pending  int
+	lastRef  int64
+
+	// Stats.
+	Reads      int64
+	Writes     int64
+	BytesMoved int64
+}
+
+// New returns an idle partition.
+func New(cfg Config) *Partition {
+	if cfg.Channels <= 0 || cfg.ChannelBW <= 0 {
+		panic(fmt.Sprintf("dram: invalid config %+v", cfg))
+	}
+	if cfg.Latency < 1 {
+		cfg.Latency = 1
+	}
+	if cfg.BanksPerChannel > 0 && cfg.Timing.RowBytes <= 0 {
+		cfg.Timing = DefaultBankTiming()
+	}
+	p := &Partition{
+		cfg:      cfg,
+		queues:   make([]*bwsim.Queue[*memsys.Request], cfg.Channels),
+		buckets:  make([]*bwsim.TokenBucket, cfg.Channels),
+		inFlight: make([]*bwsim.DelayLine[*memsys.Request], cfg.Channels),
+		banks:    make([]*banks, cfg.Channels),
+	}
+	for c := 0; c < cfg.Channels; c++ {
+		p.queues[c] = bwsim.NewQueue[*memsys.Request](cfg.QueueBound)
+		p.buckets[c] = bwsim.NewBucket(cfg.ChannelBW)
+		p.inFlight[c] = bwsim.NewDelayLine[*memsys.Request]()
+		if cfg.BanksPerChannel > 0 {
+			p.banks[c] = newBanks(cfg.BanksPerChannel, cfg.Timing)
+		}
+	}
+	return p
+}
+
+// Cfg returns the partition's configuration.
+func (p *Partition) Cfg() Config { return p.cfg }
+
+// CanAccept reports whether channel ch has queue space. This is the shared
+// memory-controller request queue of §3.1: both local LLC misses and
+// bypassing remote misses contend for it, and when it is full the selection
+// logic must hold the request in the queue ahead of the LLC slice.
+func (p *Partition) CanAccept(ch int) bool { return !p.queues[ch].Full() }
+
+// Enqueue submits a request to its channel. Callers must honor CanAccept.
+func (p *Partition) Enqueue(req *memsys.Request) {
+	if req.Channel < 0 || req.Channel >= p.cfg.Channels {
+		panic(fmt.Sprintf("dram: request channel %d outside %d channels", req.Channel, p.cfg.Channels))
+	}
+	p.queues[req.Channel].Push(req)
+	p.pending++
+}
+
+// Pending returns queued plus in-flight requests.
+func (p *Partition) Pending() int { return p.pending }
+
+// Tick advances one cycle; completed requests are passed to done.
+// Reads move a full line of data; writes (writebacks and write-through
+// stores) also move a full line. Every access costs lineBytes of channel
+// bandwidth.
+func (p *Partition) Tick(now int64, lineBytes int, done func(*memsys.Request)) {
+	if p.pending == 0 {
+		p.lastRef = now
+		return
+	}
+	dt := now - p.lastRef
+	p.lastRef = now
+	for c := 0; c < p.cfg.Channels; c++ {
+		// Completions first.
+		for {
+			req, ok := p.inFlight[c].PopDue(now)
+			if !ok {
+				break
+			}
+			p.pending--
+			done(req)
+		}
+		// Issue new accesses under the bandwidth gate (and, when enabled,
+		// the bank occupancy gate).
+		bkt := p.buckets[c]
+		bkt.Advance(dt)
+		q := p.queues[c]
+		for !q.Empty() && bkt.CanTake() {
+			head, _ := q.Peek()
+			extra := int64(0)
+			if p.banks[c] != nil {
+				e, ok := p.banks[c].admit(now, head, lineBytes)
+				if !ok {
+					break // head-of-line waits for its bank
+				}
+				extra = e
+			}
+			req, _ := q.Pop()
+			bkt.Take(lineBytes)
+			p.BytesMoved += int64(lineBytes)
+			if req.Kind == memsys.Write {
+				p.Writes++
+			} else {
+				p.Reads++
+			}
+			p.inFlight[c].Insert(now, p.cfg.Latency+extra, req)
+		}
+	}
+}
+
+// RowBufferStats aggregates bank statistics over the partition's channels
+// (zeros when bank timing is disabled).
+func (p *Partition) RowBufferStats() (hits, misses, conflicts int64) {
+	for _, b := range p.banks {
+		if b == nil {
+			continue
+		}
+		hits += b.RowHits
+		misses += b.RowMisses
+		conflicts += b.Conflicts
+	}
+	return hits, misses, conflicts
+}
+
+// DrainWriteback accounts for a background writeback (e.g. during an LLC
+// flush) without a request object: it consumes channel bandwidth only.
+func (p *Partition) DrainWriteback(ch int, lineBytes int) {
+	if ch < 0 || ch >= p.cfg.Channels {
+		panic("dram: bad channel")
+	}
+	p.Writes++
+	p.BytesMoved += int64(lineBytes)
+	p.buckets[ch].Take(lineBytes)
+}

@@ -1,0 +1,205 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/memsys"
+)
+
+func mkReq(id uint64, ch int, kind memsys.AccessKind) *memsys.Request {
+	return &memsys.Request{ID: id, Channel: ch, Kind: kind}
+}
+
+func TestLatency(t *testing.T) {
+	p := New(Config{Channels: 2, ChannelBW: 128, Latency: 50})
+	var done []*memsys.Request
+	cb := func(r *memsys.Request) { done = append(done, r) }
+	p.Enqueue(mkReq(1, 0, memsys.Read))
+	for now := int64(0); now < 50; now++ {
+		p.Tick(now, 128, cb)
+	}
+	if len(done) != 0 {
+		t.Fatal("request completed before latency elapsed")
+	}
+	p.Tick(50, 128, cb)
+	if len(done) != 1 || done[0].ID != 1 {
+		t.Fatalf("done = %v", done)
+	}
+	if p.Reads != 1 || p.Writes != 0 {
+		t.Fatalf("reads=%d writes=%d", p.Reads, p.Writes)
+	}
+}
+
+func TestChannelBandwidth(t *testing.T) {
+	// 64 B/cycle channel with 128 B lines: one access every 2 cycles → ~50
+	// completions in 100 cycles + latency.
+	p := New(Config{Channels: 1, ChannelBW: 64, Latency: 10})
+	var done int
+	cb := func(*memsys.Request) { done++ }
+	for i := 0; i < 200; i++ {
+		p.Enqueue(mkReq(uint64(i), 0, memsys.Read))
+	}
+	for now := int64(0); now < 110; now++ {
+		p.Tick(now, 128, cb)
+	}
+	if done < 45 || done > 56 {
+		t.Fatalf("completed %d in 100+10 cycles at 0.5 lines/cycle, want ~50", done)
+	}
+}
+
+func TestChannelsIndependent(t *testing.T) {
+	p := New(Config{Channels: 2, ChannelBW: 128, Latency: 5})
+	var done int
+	cb := func(*memsys.Request) { done++ }
+	for i := 0; i < 20; i++ {
+		p.Enqueue(mkReq(uint64(i), i%2, memsys.Read))
+	}
+	for now := int64(0); now < 20; now++ {
+		p.Tick(now, 128, cb)
+	}
+	if done != 20 {
+		t.Fatalf("completed %d, want all 20 (parallel channels)", done)
+	}
+}
+
+func TestWritesCounted(t *testing.T) {
+	p := New(Config{Channels: 1, ChannelBW: 1e6, Latency: 1})
+	var done int
+	cb := func(*memsys.Request) { done++ }
+	p.Enqueue(mkReq(1, 0, memsys.Write))
+	for now := int64(0); now < 5; now++ {
+		p.Tick(now, 128, cb)
+	}
+	if p.Writes != 1 || done != 1 {
+		t.Fatalf("writes=%d done=%d", p.Writes, done)
+	}
+}
+
+func TestBackPressure(t *testing.T) {
+	p := New(Config{Channels: 1, ChannelBW: 1, Latency: 1, QueueBound: 2})
+	p.Enqueue(mkReq(1, 0, memsys.Read))
+	p.Enqueue(mkReq(2, 0, memsys.Read))
+	if p.CanAccept(0) {
+		t.Fatal("full queue should refuse")
+	}
+	if p.Pending() != 2 {
+		t.Fatalf("Pending = %d", p.Pending())
+	}
+}
+
+func TestDrainWriteback(t *testing.T) {
+	p := New(Config{Channels: 1, ChannelBW: 128, Latency: 1})
+	p.DrainWriteback(0, 128)
+	if p.Writes != 1 || p.BytesMoved != 128 {
+		t.Fatalf("writes=%d bytes=%d", p.Writes, p.BytesMoved)
+	}
+}
+
+func TestEnqueuePanicsOnBadChannel(t *testing.T) {
+	p := New(Config{Channels: 2, ChannelBW: 1, Latency: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad channel did not panic")
+		}
+	}()
+	p.Enqueue(mkReq(1, 7, memsys.Read))
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with 0 channels did not panic")
+		}
+	}()
+	New(Config{Channels: 0, ChannelBW: 1})
+}
+
+func TestPresets(t *testing.T) {
+	if GDDR6.TotalGBs <= GDDR5.TotalGBs || HBM2.TotalGBs <= GDDR6.TotalGBs {
+		t.Fatal("preset bandwidth ordering wrong")
+	}
+	for _, i := range []Interface{GDDR5, GDDR6, HBM2} {
+		if i.Name == "" || i.LatencyCyc <= 0 {
+			t.Fatalf("bad preset %+v", i)
+		}
+	}
+}
+
+func TestBankRowBufferHits(t *testing.T) {
+	p := New(Config{
+		Channels: 1, ChannelBW: 1e6, Latency: 10,
+		BanksPerChannel: 4,
+		Timing:          BankTiming{RowBytes: 2048, HitBusy: 2, MissBusy: 20, MissExtra: 40},
+	})
+	var done int
+	cb := func(*memsys.Request) { done++ }
+	// Sixteen accesses to consecutive lines of one row: 1 miss + 15 hits.
+	for i := 0; i < 16; i++ {
+		p.Enqueue(&memsys.Request{ID: uint64(i), Line: 1000*16 + uint64(i), Channel: 0, Kind: memsys.Read})
+	}
+	for now := int64(0); now < 200; now++ {
+		p.Tick(now, 128, cb)
+	}
+	hits, misses, _ := p.RowBufferStats()
+	if done != 16 {
+		t.Fatalf("completed %d", done)
+	}
+	if misses != 1 || hits != 15 {
+		t.Fatalf("row hits=%d misses=%d, want 15/1", hits, misses)
+	}
+}
+
+func TestBankConflictsSerialize(t *testing.T) {
+	// Two alternating rows on the SAME bank: every access is a row miss and
+	// the bank occupancy (20 cycles each) dominates completion time.
+	cfgFast := Config{Channels: 1, ChannelBW: 1e6, Latency: 1}
+	cfgBank := cfgFast
+	cfgBank.BanksPerChannel = 1
+	cfgBank.Timing = BankTiming{RowBytes: 2048, HitBusy: 2, MissBusy: 20, MissExtra: 0}
+
+	run := func(cfg Config) int64 {
+		p := New(cfg)
+		var done int
+		cb := func(*memsys.Request) { done++ }
+		for i := 0; i < 10; i++ {
+			row := uint64(i%2) * 1000 // alternate rows
+			p.Enqueue(&memsys.Request{ID: uint64(i), Line: row*16 + uint64(i), Channel: 0, Kind: memsys.Read})
+		}
+		var now int64
+		for ; now < 10000 && done < 10; now++ {
+			p.Tick(now, 128, cb)
+		}
+		if done != 10 {
+			t.Fatalf("stuck: %d done", done)
+		}
+		return now
+	}
+	fast := run(cfgFast)
+	banked := run(cfgBank)
+	if banked < fast+9*18 {
+		t.Fatalf("bank conflicts did not serialize: %d vs %d cycles", banked, fast)
+	}
+	// And PAE-spread lines across many banks avoid the serialization.
+	cfgSpread := cfgBank
+	cfgSpread.BanksPerChannel = 16
+	spreadP := New(cfgSpread)
+	var done int
+	for i := 0; i < 10; i++ {
+		spreadP.Enqueue(&memsys.Request{ID: uint64(i), Line: uint64(i) * 977, Channel: 0, Kind: memsys.Read})
+	}
+	var now int64
+	for ; now < 10000 && done < 10; now++ {
+		spreadP.Tick(now, 128, func(*memsys.Request) { done++ })
+	}
+	if now >= banked {
+		t.Fatalf("spread accesses (%d cycles) not faster than single-bank conflicts (%d)", now, banked)
+	}
+}
+
+func TestBanksDisabledByDefault(t *testing.T) {
+	p := New(Config{Channels: 1, ChannelBW: 64, Latency: 5})
+	h, m, c := p.RowBufferStats()
+	if h+m+c != 0 {
+		t.Fatal("bank stats present without bank timing")
+	}
+}

@@ -1,0 +1,104 @@
+// Package eval is the reproduction harness: one runner per table and figure
+// of the paper's evaluation (§5). Each experiment executes the required
+// simulations — memoized, so overlapping experiments share runs — and
+// returns a typed result that can be printed as the same rows/series the
+// paper reports.
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/gpu"
+	"repro/internal/llc"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Runner executes experiments against one baseline configuration.
+type Runner struct {
+	// Base is the baseline system configuration; its Org field is ignored
+	// (experiments pick organizations explicitly).
+	Base gpu.Config
+	// Benchmarks restricts the benchmark set (names from workload.Names);
+	// nil means all 16.
+	Benchmarks []string
+	// Verbose, when set, streams one line per completed run to Log.
+	Verbose bool
+	Log     io.Writer
+
+	memo map[runKey]*stats.Run
+}
+
+type runKey struct {
+	cfg  gpu.Config
+	name string
+}
+
+// NewRunner returns a Runner over the scaled baseline configuration.
+func NewRunner() *Runner { return &Runner{Base: gpu.ScaledConfig()} }
+
+// FastSet is a representative benchmark subset (3 SP + 3 MP spanning the
+// strong and atypical cases of each group) used by the expensive sweep
+// experiments to keep single-core wall time manageable. Pass
+// Benchmarks = workload.Names() for full-fidelity sweeps.
+func FastSet() []string { return []string{"RN", "SN", "BS", "GEMM", "BP", "DWT"} }
+
+// specs resolves the benchmark selection.
+func (r *Runner) specs() ([]workload.Spec, error) {
+	names := r.Benchmarks
+	if len(names) == 0 {
+		names = workload.Names()
+	}
+	out := make([]workload.Spec, 0, len(names))
+	for _, n := range names {
+		s, err := workload.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// run executes (or recalls) one simulation.
+func (r *Runner) run(cfg gpu.Config, spec workload.Spec) (*stats.Run, error) {
+	if r.memo == nil {
+		r.memo = make(map[runKey]*stats.Run)
+	}
+	key := runKey{cfg, spec.Name}
+	if got, ok := r.memo[key]; ok {
+		return got, nil
+	}
+	res, err := gpu.Run(cfg, spec)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %s under %s: %w", spec.Name, cfg.Org, err)
+	}
+	r.memo[key] = res
+	if r.Verbose && r.Log != nil {
+		fmt.Fprintf(r.Log, "# run %-10s %-12s cycles=%-10d ipc=%.4f\n",
+			spec.Name, cfg.Org, res.Cycles, res.IPC())
+	}
+	return res, nil
+}
+
+// runOrg is run with an organization override.
+func (r *Runner) runOrg(org llc.Org, spec workload.Spec) (*stats.Run, error) {
+	return r.run(r.Base.WithOrg(org), spec)
+}
+
+// Runs returns the number of distinct simulations executed so far.
+func (r *Runner) Runs() int { return len(r.memo) }
+
+// orderedOrgs is the paper's comparison order.
+func orderedOrgs() []llc.Org { return llc.Orgs() }
+
+// printHeader emits a table header row.
+func printHeader(w io.Writer, title string, cols []string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	fmt.Fprintf(w, "%-14s", "benchmark")
+	for _, c := range cols {
+		fmt.Fprintf(w, "%12s", c)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,168 @@
+package gpu
+
+import (
+	"repro/internal/bwsim"
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/dram"
+	"repro/internal/llc"
+	"repro/internal/memsys"
+	"repro/internal/noc"
+	"repro/internal/sm"
+)
+
+// llcSlice is one LLC slice: a bandwidth-gated lookup queue in front of a
+// set-associative array with an MSHR file, plus the hit-latency pipeline.
+// The SAC bypass path (selection logic, mux/demux) is modelled in the
+// system's routing: bypassing requests go straight to the memory
+// controller's shared queue and never enter lookupQ.
+type llcSlice struct {
+	arr      *cache.Cache
+	mshr     *cache.MSHR
+	lookupQ  *bwsim.Queue[*memsys.Request]
+	bkt      *bwsim.TokenBucket
+	hitDelay *bwsim.DelayLine[*memsys.Request]
+}
+
+// chip bundles one GPU chip's hardware.
+type chip struct {
+	idx     int
+	sms     []*sm.SM
+	reqNet  *noc.Crossbar
+	respNet *noc.Crossbar
+	slices  []*llcSlice
+	mem     *dram.Partition
+	dyn     *llc.DynamicController // Dynamic organization only
+	dir     *coherence.Directory   // hardware coherence only
+
+	// Epoch accumulators for the Dynamic controller.
+	lastRingBytes int64
+	lastDRAMBytes int64
+}
+
+// Port layout of the request network:
+//
+//	inputs:  [0, clusters) SM clusters, [clusters] ring ingress
+//	outputs: [0, slices) LLC slices, [slices] ring egress
+//
+// and of the response network:
+//
+//	inputs:  [0, slices) LLC slices, [slices] ring ingress
+//	outputs: [0, clusters) SM clusters, [clusters] ring egress
+func (c *chip) ringInReqPort(cfg *Config) int   { return cfg.ClustersPerChip() }
+func (c *chip) ringOutReqPort(cfg *Config) int  { return cfg.SlicesPerChip }
+func (c *chip) ringInRespPort(cfg *Config) int  { return cfg.SlicesPerChip }
+func (c *chip) ringOutRespPort(cfg *Config) int { return cfg.ClustersPerChip() }
+
+func newChip(cfg *Config, idx int) *chip {
+	clusters := cfg.ClustersPerChip()
+	c := &chip{idx: idx}
+
+	c.sms = make([]*sm.SM, cfg.SMsPerChip)
+	for i := range c.sms {
+		c.sms[i] = sm.New(sm.Config{
+			Chip:    idx,
+			Index:   i,
+			L1Lines: cfg.L1BytesPerSM / cfg.Geom.LineBytes,
+			L1Ways:  cfg.L1Ways,
+			Geom:    cfg.Geom,
+			Sectors: cfg.SectorCount(),
+		})
+	}
+
+	c.reqNet = noc.New(noc.Config{
+		InPorts:      clusters + 1,
+		OutPorts:     cfg.SlicesPerChip + 1,
+		InBW:         cfg.ClusterBW,
+		OutBW:        cfg.SliceBW,
+		IngressBound: cfg.QueueBound,
+	})
+	c.respNet = noc.New(noc.Config{
+		InPorts:      cfg.SlicesPerChip + 1,
+		OutPorts:     clusters + 1,
+		InBW:         cfg.SliceBW,
+		OutBW:        cfg.ClusterBW,
+		IngressBound: 0, // responses always drain (sized response path)
+	})
+
+	sliceLines := cfg.LLCBytesPerChip / cfg.Geom.LineBytes / cfg.SlicesPerChip
+	c.slices = make([]*llcSlice, cfg.SlicesPerChip)
+	for s := range c.slices {
+		c.slices[s] = &llcSlice{
+			arr: cache.New(cache.Config{
+				Sets:      sliceLines / cfg.LLCWays,
+				Ways:      cfg.LLCWays,
+				LineBytes: cfg.Geom.LineBytes,
+				Sectors:   cfg.SectorCount(),
+				WriteBack: true,
+			}),
+			mshr:     cache.NewMSHR(cfg.MSHRPerSlice),
+			lookupQ:  bwsim.NewQueue[*memsys.Request](cfg.QueueBound),
+			bkt:      bwsim.NewBucket(cfg.SliceBW),
+			hitDelay: bwsim.NewDelayLine[*memsys.Request](),
+		}
+	}
+
+	c.mem = dram.New(dram.Config{
+		Channels:        cfg.ChannelsPerChip,
+		ChannelBW:       cfg.ChannelBW,
+		Latency:         cfg.DRAMLatency,
+		QueueBound:      cfg.QueueBound,
+		BanksPerChannel: cfg.BanksPerChannel,
+	})
+
+	if cfg.Org == llc.Dynamic {
+		c.dyn = llc.NewDynamicController(
+			cfg.LLCWays, cfg.DynamicEpoch,
+			2*cfg.RingLinkBW,
+			float64(cfg.ChannelsPerChip)*cfg.ChannelBW,
+		)
+	}
+	if cfg.Coherence == coherence.Hardware {
+		c.dir = coherence.NewDirectory(cfg.Chips)
+	}
+	return c
+}
+
+// setPartition applies a local/remote way split to every slice.
+func (c *chip) setPartition(localWays int) {
+	for _, s := range c.slices {
+		s.arr.SetPartition(localWays)
+	}
+}
+
+// clearPartition removes way partitioning from every slice.
+func (c *chip) clearPartition() {
+	for _, s := range c.slices {
+		s.arr.ClearPartition()
+	}
+}
+
+// inflight counts requests resident in this chip's queues and pipelines
+// (excluding SM-level pending maps, which the system tracks separately).
+func (c *chip) inflight() int {
+	n := c.reqNet.Pending() + c.respNet.Pending() + c.mem.Pending()
+	for _, s := range c.slices {
+		n += s.lookupQ.Len() + s.hitDelay.Len() + s.mshr.Len()
+	}
+	return n
+}
+
+// occupancy sums the Figure 9 census over the chip's slices.
+func (c *chip) occupancy() (local, remote int) {
+	for _, s := range c.slices {
+		l, r := s.arr.Occupancy()
+		local += l
+		remote += r
+	}
+	return local, remote
+}
+
+// llcCounters sums hits/misses over slices.
+func (c *chip) llcCounters() (hits, misses int64) {
+	for _, s := range c.slices {
+		hits += s.arr.Hits
+		misses += s.arr.Misses
+	}
+	return hits, misses
+}

@@ -1,0 +1,93 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/llc"
+)
+
+func TestSectorCount(t *testing.T) {
+	cfg := ScaledConfig()
+	if cfg.SectorCount() != 1 {
+		t.Fatalf("conventional SectorCount = %d", cfg.SectorCount())
+	}
+	cfg.Sectored = true
+	if cfg.SectorCount() != 4 {
+		t.Fatalf("sectored SectorCount = %d", cfg.SectorCount())
+	}
+}
+
+func TestMachineShape(t *testing.T) {
+	cfg := ScaledConfig()
+	m := cfg.Machine()
+	if m.Chips != cfg.Chips || m.SMsPerChip != cfg.SMsPerChip ||
+		m.WarpsPerSM != cfg.WarpsPerSM || m.Scale != cfg.WorkloadScale {
+		t.Fatalf("machine %+v does not mirror config", m)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithOrgIsCopy(t *testing.T) {
+	base := ScaledConfig()
+	derived := base.WithOrg(llc.SAC)
+	if base.Org == llc.SAC {
+		t.Fatal("WithOrg mutated the receiver")
+	}
+	if derived.Org != llc.SAC {
+		t.Fatal("WithOrg did not set the org")
+	}
+}
+
+func TestClustersPerChip(t *testing.T) {
+	cfg := PaperConfig()
+	if got := cfg.ClustersPerChip(); got != 32 {
+		t.Fatalf("paper clusters = %d, want 32", got)
+	}
+	if got := ScaledConfig().ClustersPerChip(); got != 8 {
+		t.Fatalf("scaled clusters = %d, want 8", got)
+	}
+}
+
+func TestValidateCatchesCacheGeometry(t *testing.T) {
+	cfg := ScaledConfig()
+	cfg.LLCBytesPerChip = 100 * 128 // 100 lines over 4 slices: 25 per slice, not /16 ways
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("odd LLC geometry accepted")
+	}
+	cfg = ScaledConfig()
+	cfg.L1BytesPerSM = 3 * 128
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("odd L1 geometry accepted")
+	}
+	cfg = ScaledConfig()
+	cfg.WorkloadScale = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero workload scale accepted")
+	}
+	cfg = ScaledConfig()
+	cfg.MaxCycles = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero MaxCycles accepted")
+	}
+}
+
+func TestSystemClassPresets(t *testing.T) {
+	mcm, ms, base := MCMConfig(), MultiSocketConfig(), ScaledConfig()
+	if err := mcm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if mcm.RingLinkBW <= base.RingLinkBW {
+		t.Fatal("MCM links should be faster than the baseline")
+	}
+	if ms.RingLinkBW >= base.RingLinkBW {
+		t.Fatal("multi-socket links should be slower than the baseline")
+	}
+	if ms.RingHopLatency <= mcm.RingHopLatency {
+		t.Fatal("multi-socket hops should be slower than MCM hops")
+	}
+}

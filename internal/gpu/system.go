@@ -1,0 +1,950 @@
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/llc"
+	"repro/internal/memsys"
+	"repro/internal/noc"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/xchip"
+)
+
+// runState is the system's phase within a kernel.
+type runState uint8
+
+const (
+	stRun           runState = iota // SMs issuing
+	stDrainSwitch                   // draining before a SAC mode switch
+	stDrainSwitchWB                 // switch flush writebacks in flight
+	stDrainEnd                      // warps done; draining residual traffic
+	stDrainEndWB                    // kernel-boundary flush writebacks in flight
+	stDrainRevert                   // draining before reverting to memory-side for re-profiling
+	stDrainRevertWB                 // revert flush writebacks in flight
+)
+
+// Workload is a source of per-warp access streams: the synthetic Table-4
+// specs (workload.Spec) and trace replays (trace.Replay) both implement it.
+type Workload interface {
+	// SourceName labels the workload in statistics.
+	SourceName() string
+	// KernelCount returns the number of kernel invocations.
+	KernelCount() int
+	// KernelName returns the name of invocation i.
+	KernelName(i int) string
+	// Stream builds warp (chip, sm, warp)'s stream for kernel ki on machine m.
+	Stream(m workload.Machine, ki, chip, sm, warp int) workload.AccessStream
+}
+
+// System is one simulated multi-chip GPU executing one benchmark.
+type System struct {
+	cfg   Config
+	spec  Workload
+	chips []*chip
+	ring  *xchip.Ring
+	pae   *addr.PAE
+	pages *addr.PageTable
+
+	mode  llc.Mode
+	sac   *core.Controller
+	hwCoh bool
+
+	reqSinks  []noc.Sink
+	respSinks []noc.Sink
+
+	run    *stats.Run
+	now    int64
+	nextID uint64
+	state  runState
+
+	kernelIdx        int
+	kernelStartCycle int64
+	kernelStartOps   int64
+	kernelMode       llc.Mode // mode the kernel (mostly) ran under, for Figure 12
+}
+
+// New builds a system for one benchmark run.
+func New(cfg Config, spec Workload) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Machine().Validate(); err != nil {
+		return nil, err
+	}
+	if spec.KernelCount() == 0 {
+		return nil, fmt.Errorf("gpu: workload %q has no kernels", spec.SourceName())
+	}
+	s := &System{
+		cfg:   cfg,
+		spec:  spec,
+		pae:   addr.NewPAE(cfg.SlicesPerChip, cfg.ChannelsPerChip),
+		pages: addr.NewPageTable(cfg.Geom, cfg.Chips),
+		mode:  cfg.Org.InitialMode(),
+		run:   &stats.Run{Benchmark: spec.SourceName(), Org: cfg.Org.String()},
+	}
+	s.chips = make([]*chip, cfg.Chips)
+	for i := range s.chips {
+		s.chips[i] = newChip(&cfg, i)
+	}
+	s.hwCoh = cfg.Coherence == coherence.Hardware
+	for _, c := range s.chips {
+		s.reqSinks = append(s.reqSinks, s.reqSink(c))
+		s.respSinks = append(s.respSinks, s.respSink(c))
+	}
+	s.ring = xchip.New(xchip.Config{
+		Chips:      cfg.Chips,
+		LinkBW:     cfg.RingLinkBW,
+		HopLatency: cfg.RingHopLatency,
+		QueueBound: cfg.QueueBound,
+	})
+	if cfg.Org.Partitioned() {
+		for _, c := range s.chips {
+			c.setPartition(cfg.LLCWays / 2)
+		}
+	}
+	if cfg.Org == llc.SAC {
+		crdCfg := core.CRDConfig{
+			Sets: 8, Ways: 16,
+			Sectors:        cfg.SectorCount(),
+			LLCSetsPerChip: cfg.LLCBytesPerChip / cfg.Geom.LineBytes / cfg.SlicesPerChip / cfg.LLCWays * cfg.SlicesPerChip,
+		}
+		prof := core.NewProfiler(cfg.Chips, cfg.SlicesPerChip, crdCfg)
+		s.sac = core.NewController(cfg.ArchParams(), prof, cfg.SACOpts)
+	}
+	return s, nil
+}
+
+// Mode returns the system's current routing mode.
+func (s *System) Mode() llc.Mode { return s.mode }
+
+// SAC returns the SAC controller, or nil for other organizations.
+func (s *System) SAC() *core.Controller { return s.sac }
+
+// Now returns the current cycle.
+func (s *System) Now() int64 { return s.now }
+
+// Run executes every kernel invocation of the benchmark and returns the
+// collected statistics.
+func (s *System) Run() (*stats.Run, error) {
+	for s.kernelIdx = 0; s.kernelIdx < s.spec.KernelCount(); s.kernelIdx++ {
+		if err := s.runKernel(); err != nil {
+			return nil, err
+		}
+	}
+	s.finalize()
+	return s.run, nil
+}
+
+func (s *System) runKernel() error {
+	m := s.cfg.Machine()
+	for _, c := range s.chips {
+		for _, smu := range c.sms {
+			streams := make([]workload.AccessStream, s.cfg.WarpsPerSM)
+			for w := range streams {
+				streams[w] = s.spec.Stream(m, s.kernelIdx, c.idx, smu.Index(), w)
+			}
+			smu.LoadStreams(streams)
+		}
+	}
+	s.kernelStartCycle = s.now
+	s.kernelStartOps = s.run.MemOps
+	s.state = stRun
+	if s.cfg.Org == llc.SAC {
+		s.mode = llc.ModeMemorySide
+		s.sac.StartKernel(s.now)
+		if d, ok := s.sac.AdoptCached(s.spec.KernelName(s.kernelIdx)); ok && d.PickSM {
+			// Extension (Options.ReuseKernelDecisions): a repeat invocation
+			// adopts its cached decision without re-profiling. Nothing is in
+			// flight at kernel start, so the switch happens immediately
+			// after the (possibly empty) flush.
+			s.state = stDrainSwitch
+		}
+	}
+	s.kernelMode = s.mode
+
+	for {
+		if s.now-s.kernelStartCycle > s.cfg.MaxCycles {
+			return fmt.Errorf("gpu: %s kernel %d exceeded %d cycles (org %s, state %d)",
+				s.spec.SourceName(), s.kernelIdx, s.cfg.MaxCycles, s.cfg.Org, s.state)
+		}
+		if s.step() {
+			break
+		}
+	}
+
+	s.run.Kernels = append(s.run.Kernels, stats.KernelRec{
+		Index:  s.kernelIdx,
+		Name:   s.spec.KernelName(s.kernelIdx),
+		Org:    s.kernelMode.String(),
+		Cycles: s.now - s.kernelStartCycle,
+		MemOps: s.run.MemOps - s.kernelStartOps,
+	})
+	return nil
+}
+
+// step advances one cycle; it returns true when the kernel has fully
+// retired (including boundary flushes).
+func (s *System) step() bool {
+	s.now++
+	now := s.now
+
+	// 1. DRAM completions and issue.
+	for _, c := range s.chips {
+		ch := c
+		c.mem.Tick(now, s.cfg.Geom.LineBytes, func(req *memsys.Request) { s.dramDone(ch, req) })
+	}
+	// 2. LLC hit-latency pipelines drain into the response network.
+	for _, c := range s.chips {
+		for si, sl := range c.slices {
+			for {
+				req, ok := sl.hitDelay.PopDue(now)
+				if !ok {
+					break
+				}
+				s.respondFromSlice(c, si, req)
+			}
+		}
+	}
+	// 3. Response networks deliver to SMs / ring.
+	for i, c := range s.chips {
+		c.respNet.Tick(s.respSinks[i])
+	}
+	// 4. Ring moves inter-chip traffic.
+	s.ring.Tick(now, ringSink{s})
+	// 5. LLC slices perform lookups.
+	for _, c := range s.chips {
+		for si := range c.slices {
+			s.tickSlice(c, si)
+		}
+	}
+	// 6. Request networks deliver to slices / ring.
+	for i, c := range s.chips {
+		c.reqNet.Tick(s.reqSinks[i])
+	}
+	// 7. SMs issue new accesses (unless draining).
+	if s.state == stRun {
+		s.issuePhase()
+	}
+	// 8. Controllers, profiling, sampling, state transitions.
+	s.controlPhase()
+
+	return s.boundaryPhase()
+}
+
+// issuePhase lets every SM issue at most one access.
+func (s *System) issuePhase() {
+	for _, c := range s.chips {
+		for _, smu := range c.sms {
+			if s.now < smu.SleepUntil() {
+				continue // no warp can issue yet (cleared by Receive)
+			}
+			cluster := smu.Index() / s.cfg.SMsPerCluster
+			canInject := c.reqNet.CanInject(cluster)
+			res := smu.Issue(s.now, canInject, &s.nextID)
+			if !res.Issued {
+				continue
+			}
+			s.run.MemOps++
+			if res.IsWrite {
+				s.run.Writes++
+			} else {
+				s.run.Reads++
+				switch {
+				case res.L1Hit:
+					s.run.L1Hits++
+				case res.Merged:
+					s.run.L1Misses++
+					s.run.L1Merged++
+				default:
+					s.run.L1Misses++
+				}
+			}
+			if res.Req != nil {
+				s.dispatch(c, cluster, res.Req)
+			}
+		}
+	}
+}
+
+// dispatch resolves placement and injects a fresh SM request into the
+// request network.
+func (s *System) dispatch(c *chip, cluster int, req *memsys.Request) {
+	req.HomeChip = s.pages.Touch(req.Line, req.SrcChip)
+	req.Slice = s.pae.Slice(req.Line)
+	req.Channel = s.pae.Channel(req.Line)
+	route := llc.RouteFor(s.mode, req.SrcChip, req.HomeChip)
+	req.ServeChip = route.LookupChip
+	req.Stage = memsys.StageNoCReq
+
+	out := req.Slice
+	if req.ServeChip != c.idx {
+		out = c.ringOutReqPort(&s.cfg) // memory-side remote: straight to the ring
+	}
+	c.reqNet.Inject(noc.Message{
+		Req: req, In: cluster, Out: out,
+		Bytes: req.ReqBytes(s.cfg.Geom.LineBytes),
+	})
+}
+
+// reqSink handles messages leaving a chip's request crossbar.
+func (s *System) reqSink(c *chip) noc.Sink {
+	ringOut := c.ringOutReqPort(&s.cfg)
+	return noc.SinkFunc{
+		CanAcceptF: func(out int, m noc.Message) bool {
+			if out == ringOut {
+				return s.ring.CanInject(c.idx, s.reqRingDst(m.Req), m.Req.Line)
+			}
+			return !c.slices[out].lookupQ.Full()
+		},
+		AcceptF: func(out int, m noc.Message) {
+			if out == ringOut {
+				m.Req.Stage = memsys.StageRingReq
+				s.ring.Inject(xchip.Message{
+					Req: m.Req, Src: c.idx, Dst: s.reqRingDst(m.Req),
+					Bytes: m.Bytes,
+				})
+				return
+			}
+			m.Req.Stage = memsys.StageLLC
+			c.slices[out].lookupQ.Push(m.Req)
+		},
+	}
+}
+
+// reqRingDst returns the chip a request-side ring message is heading to.
+func (s *System) reqRingDst(req *memsys.Request) int {
+	if req.Inval {
+		return req.ServeChip // invalidation target carried in ServeChip
+	}
+	if req.Stage == memsys.StageRingReq && req.ServeChip != req.SrcChip {
+		return req.ServeChip // memory-side remote request to its serving chip
+	}
+	return req.HomeChip // bypasses, writebacks, hybrid second lookups
+}
+
+// respSink handles messages leaving a chip's response crossbar.
+func (s *System) respSink(c *chip) noc.Sink {
+	ringOut := c.ringOutRespPort(&s.cfg)
+	return noc.SinkFunc{
+		CanAcceptF: func(out int, m noc.Message) bool {
+			if out == ringOut {
+				return s.ring.CanInject(c.idx, m.Req.SrcChip, m.Req.Line)
+			}
+			return true // SMs always absorb responses
+		},
+		AcceptF: func(out int, m noc.Message) {
+			if out == ringOut {
+				m.Req.Stage = memsys.StageRingResp
+				s.ring.Inject(xchip.Message{
+					Req: m.Req, Src: c.idx, Dst: m.Req.SrcChip, Bytes: m.Bytes,
+				})
+				return
+			}
+			s.deliverToSM(c, m.Req)
+		},
+	}
+}
+
+// deliverToSM completes a load at its SM.
+func (s *System) deliverToSM(c *chip, req *memsys.Request) {
+	req.Stage = memsys.StageDone
+	req.DoneCycle = s.now
+	smu := c.sms[req.SrcSM]
+	smu.Receive(s.now, req)
+	s.run.AddResponse(req.Origin, req.RespBytes(s.cfg.Geom.LineBytes))
+	s.run.ReadLatencySum += s.now - req.IssueCycle
+	s.run.ReadLatencyN++
+}
+
+// ringSink adapts the system to the ring's delivery interface.
+type ringSink struct{ s *System }
+
+func (rs ringSink) CanAccept(chipIdx int, m xchip.Message) bool {
+	s := rs.s
+	c := s.chips[chipIdx]
+	req := m.Req
+	switch {
+	case req.Inval:
+		return true
+	case req.Stage == memsys.StageRingResp:
+		return true // fills/deliveries always absorb
+	case req.Bypass || req.WB:
+		return s.chips[chipIdx].mem.CanAccept(req.Channel) // §3.1 shared MC queue
+	default:
+		return c.reqNet.CanInject(c.ringInReqPort(&s.cfg))
+	}
+}
+
+func (rs ringSink) Accept(chipIdx int, m xchip.Message) {
+	s := rs.s
+	c := s.chips[chipIdx]
+	req := m.Req
+	switch {
+	case req.Inval:
+		// Hardware-coherence invalidation arriving at a sharer.
+		c.slices[req.Slice].arr.Invalidate(req.Line)
+		s.run.InvalMessages++
+	case req.Stage == memsys.StageRingResp:
+		s.ringResponseArrived(c, req)
+	case req.Bypass || req.WB:
+		// SM-side remote miss or writeback: bypass the LLC slice into the
+		// shared memory-controller queue.
+		req.Stage = memsys.StageDRAM
+		c.mem.Enqueue(req)
+	default:
+		// Memory-side remote request or hybrid second lookup: traverse this
+		// chip's request NoC to the slice.
+		req.Stage = memsys.StageNoCReq
+		c.reqNet.Inject(noc.Message{
+			Req: req, In: c.ringInReqPort(&s.cfg), Out: req.Slice,
+			Bytes: req.ReqBytes(s.cfg.Geom.LineBytes),
+		})
+	}
+}
+
+// ringResponseArrived handles a response reaching the requesting chip.
+func (s *System) ringResponseArrived(c *chip, req *memsys.Request) {
+	lineRemote := req.HomeChip != c.idx
+	switch {
+	case req.Bypass:
+		// SM-side remote miss fill: install in the local slice, release the
+		// MSHR waiters, respond.
+		s.fillSlice(c, req.Slice, req, cache.PartAll, lineRemote)
+	case req.Phase == 1:
+		// Hybrid: fill the requester's remote partition (the L1.5 role).
+		s.fillSlice(c, req.Slice, req, cache.PartRemote, lineRemote)
+	default:
+		// Memory-side remote response: no local install.
+		if req.Kind == memsys.Read {
+			c.respNet.Inject(noc.Message{
+				Req: req, In: c.ringInRespPort(&s.cfg), Out: req.SrcSM / s.cfg.SMsPerCluster,
+				Bytes: req.RespBytes(s.cfg.Geom.LineBytes),
+			})
+		}
+	}
+}
+
+// fillSlice installs a returning line into a slice of the requesting chip,
+// releases MSHR waiters and generates the responses.
+func (s *System) fillSlice(c *chip, si int, req *memsys.Request, part cache.Partition, remote bool) {
+	sl := c.slices[si]
+	victim, evicted := sl.arr.Fill(req.Line, req.Sector, part, remote)
+	if evicted {
+		s.evict(c, victim)
+	}
+	if req.Kind == memsys.Write {
+		sl.arr.MarkDirty(req.Line)
+	}
+	if s.hwCoh {
+		if d := c.dirFor(s, req.Line); d != nil {
+			d.AddSharer(req.Line, c.idx)
+		}
+	}
+	waiters := sl.mshr.Fill(req.Line)
+	s.respondAfterFill(c, si, req)
+	for _, w := range waiters {
+		w.Origin = req.Origin
+		w.LLCHit = req.LLCHit
+		if w.Kind == memsys.Write {
+			sl.arr.MarkDirty(w.Line)
+		}
+		s.respondAfterFill(c, si, w)
+	}
+}
+
+// dirFor returns the hardware-coherence directory responsible for a line
+// (at the line's home chip), or nil under software coherence.
+func (c *chip) dirFor(s *System, line uint64) *coherence.Directory {
+	home := s.pages.Home(line)
+	if home < 0 {
+		return nil
+	}
+	return s.chips[home].dir
+}
+
+// respondAfterFill sends the response of a filled request toward its SM
+// (writes are absorbed: write-through stores carry no response).
+func (s *System) respondAfterFill(c *chip, si int, req *memsys.Request) {
+	if req.Kind != memsys.Read {
+		return
+	}
+	c.respNet.Inject(noc.Message{
+		Req: req, In: si, Out: req.SrcSM / s.cfg.SMsPerCluster,
+		Bytes: req.RespBytes(s.cfg.Geom.LineBytes),
+	})
+}
+
+// evict handles a victim leaving an LLC slice: dirty lines become writeback
+// traffic to the victim's home memory; the coherence directory drops the
+// sharer.
+func (s *System) evict(c *chip, v cache.Victim) {
+	if s.hwCoh {
+		if d := c.dirFor(s, v.Line); d != nil {
+			d.RemoveSharer(v.Line, c.idx)
+		}
+	}
+	if !v.Dirty {
+		return
+	}
+	home := s.pages.Home(v.Line)
+	if home < 0 {
+		home = c.idx
+	}
+	s.writeback(c, v.Line, home)
+}
+
+// writeback issues a dirty-line writeback from chip c to the line's home.
+func (s *System) writeback(c *chip, line uint64, home int) {
+	s.nextID++
+	wb := &memsys.Request{
+		ID: s.nextID, Kind: memsys.Write, Line: line,
+		Addr:    line * uint64(s.cfg.Geom.LineBytes),
+		SrcChip: c.idx, HomeChip: home, ServeChip: home,
+		Slice:   s.pae.Slice(line),
+		Channel: s.pae.Channel(line),
+		WB:      true, Bypass: true,
+		Stage: memsys.StageDRAM,
+	}
+	if home == c.idx {
+		c.mem.Enqueue(wb)
+		return
+	}
+	wb.Stage = memsys.StageRingReq
+	s.ring.Inject(xchip.Message{
+		Req: wb, Src: c.idx, Dst: home,
+		Bytes: wb.ReqBytes(s.cfg.Geom.LineBytes),
+	})
+}
+
+// tickSlice performs bandwidth-gated lookups at one slice.
+func (s *System) tickSlice(c *chip, si int) {
+	sl := c.slices[si]
+	sl.bkt.Refill()
+	for !sl.lookupQ.Empty() && sl.bkt.CanTake() {
+		req, _ := sl.lookupQ.Peek()
+		done, cost := s.lookup(c, si, req)
+		if !done {
+			sl.mshr.NoteStall()
+			return // head-of-line blocked: resources full downstream
+		}
+		sl.lookupQ.Pop()
+		sl.bkt.Take(cost)
+	}
+}
+
+// lookup processes one request at a slice. It returns done=false when the
+// request cannot proceed this cycle (MSHR, DRAM queue or ring full) and the
+// bandwidth cost of the lookup otherwise.
+func (s *System) lookup(c *chip, si int, req *memsys.Request) (done bool, cost int) {
+	sl := c.slices[si]
+	lineBytes := s.cfg.Geom.LineBytes
+	atHome := c.idx == req.HomeChip
+	secondLookup := req.Phase == 1 && atHome && req.SrcChip != c.idx
+
+	// Probe first (no counters, no LRU): a miss that cannot proceed this
+	// cycle (MSHR/DRAM/ring full) must not repeat its lookup statistics on
+	// every retry cycle.
+	hit := sl.arr.Probe(req.Line, req.Sector)
+	if !hit && !s.missResourcesAvailable(c, sl, req, secondLookup) {
+		return false, 0
+	}
+	sl.arr.Lookup(req.Line, req.Sector) // commit counters and recency
+
+	// SAC profiling observes every first lookup (which, during the window,
+	// runs under the memory-side configuration: this chip is the home chip).
+	if s.sac != nil && !secondLookup && s.sac.Profiling(s.now) {
+		s.sac.Profiler().Record(req.Line, req.Sector, req.SrcChip, req.HomeChip, si, hit)
+	}
+
+	if hit {
+		req.LLCHit = true
+		if req.SrcChip == c.idx {
+			req.Origin = memsys.OriginLocalLLC
+		} else {
+			req.Origin = memsys.OriginRemoteLLC
+		}
+		if req.Kind == memsys.Write {
+			sl.arr.MarkDirty(req.Line)
+			s.writeInvalidate(c, req)
+			return true, lineBytes // stores deposit a line of data
+		}
+		sl.hitDelay.Insert(s.now, s.cfg.LLCLatency, req)
+		return true, lineBytes
+	}
+
+	// Miss paths. Resources were checked by missResourcesAvailable.
+	if secondLookup {
+		// Hybrid home-side miss: fetch from the home memory partition. No
+		// MSHR here (the requester chip holds the MSHR entry for reads).
+		req.Stage = memsys.StageDRAM
+		c.mem.Enqueue(req)
+		return true, memsys.CtrlBytes
+	}
+
+	if sl.mshr.Lookup(req.Line) {
+		sl.mshr.Allocate(req) // secondary miss: merge
+		return true, memsys.CtrlBytes
+	}
+
+	switch {
+	case atHome:
+		// Memory-side / SM-side local / hybrid local: local memory.
+		sl.mshr.Allocate(req)
+		req.Stage = memsys.StageDRAM
+		c.mem.Enqueue(req)
+	case s.mode == llc.ModeSMSide:
+		// SM-side remote miss: cross the ring and bypass the home LLC
+		// (paper Figure 6, steps 3-4).
+		sl.mshr.Allocate(req)
+		req.Bypass = true
+		req.Stage = memsys.StageRingReq
+		s.ring.Inject(xchip.Message{
+			Req: req, Src: c.idx, Dst: req.HomeChip,
+			Bytes: req.ReqBytes(lineBytes),
+		})
+	default:
+		// Hybrid remote first-lookup miss: second lookup at the home chip.
+		// Writes travel without an MSHR entry — they are absorbed at the
+		// home side (write-through toward the home partition) and never
+		// generate a response.
+		if req.Kind == memsys.Read {
+			sl.mshr.Allocate(req)
+		}
+		req.Phase = 1
+		req.Stage = memsys.StageRingReq
+		s.ring.Inject(xchip.Message{
+			Req: req, Src: c.idx, Dst: req.HomeChip,
+			Bytes: req.ReqBytes(lineBytes),
+		})
+	}
+	return true, memsys.CtrlBytes
+}
+
+// missResourcesAvailable reports whether a missing request can take its
+// miss path this cycle (§3.1 back-pressure: a full shared memory-controller
+// queue or ring link holds the request in the queue ahead of the slice).
+func (s *System) missResourcesAvailable(c *chip, sl *llcSlice, req *memsys.Request, secondLookup bool) bool {
+	if secondLookup {
+		return c.mem.CanAccept(req.Channel)
+	}
+	if sl.mshr.Lookup(req.Line) {
+		return true // merge needs no downstream resources
+	}
+	atHome := c.idx == req.HomeChip
+	needMSHR := atHome || s.mode == llc.ModeSMSide || req.Kind == memsys.Read
+	if needMSHR && sl.mshr.Full() {
+		return false
+	}
+	if atHome {
+		return c.mem.CanAccept(req.Channel)
+	}
+	return s.ring.CanInject(c.idx, req.HomeChip, req.Line)
+}
+
+// writeInvalidate performs the hardware-coherence write action: update the
+// local copy, invalidate every remote copy (§5.6).
+func (s *System) writeInvalidate(c *chip, req *memsys.Request) {
+	if !s.hwCoh {
+		return
+	}
+	d := c.dirFor(s, req.Line)
+	if d == nil {
+		return
+	}
+	d.AddSharer(req.Line, c.idx)
+	for _, sharer := range d.WriteInvalidate(req.Line, c.idx) {
+		if sharer == c.idx {
+			continue
+		}
+		s.nextID++
+		inv := &memsys.Request{
+			ID: s.nextID, Kind: memsys.Write, Line: req.Line,
+			SrcChip: c.idx, HomeChip: req.HomeChip,
+			ServeChip: sharer, Slice: s.pae.Slice(req.Line),
+			Inval: true, Stage: memsys.StageRingReq,
+		}
+		if sharer == c.idx {
+			continue
+		}
+		s.ring.Inject(xchip.Message{
+			Req: inv, Src: c.idx, Dst: sharer, Bytes: memsys.CtrlBytes,
+		})
+	}
+}
+
+// respondFromSlice sends a hit response from a slice into the response
+// network (toward the local SM or across the ring).
+func (s *System) respondFromSlice(c *chip, si int, req *memsys.Request) {
+	out := req.SrcSM / s.cfg.SMsPerCluster
+	if req.SrcChip != c.idx {
+		out = c.ringOutRespPort(&s.cfg)
+	}
+	c.respNet.Inject(noc.Message{
+		Req: req, In: si, Out: out,
+		Bytes: req.RespBytes(s.cfg.Geom.LineBytes),
+	})
+}
+
+// dramDone handles a completed memory access at chip c (the home chip).
+func (s *System) dramDone(c *chip, req *memsys.Request) {
+	if req.WB {
+		return // writeback retired
+	}
+	if req.Origin == memsys.OriginNone {
+		if req.SrcChip == c.idx {
+			req.Origin = memsys.OriginLocalMem
+		} else {
+			req.Origin = memsys.OriginRemoteMem
+		}
+	}
+	if req.Bypass {
+		// SM-side remote miss: the line returns to the requesting chip over
+		// the ring (the home LLC was bypassed).
+		req.Stage = memsys.StageRingResp
+		s.ring.Inject(xchip.Message{
+			Req: req, Src: c.idx, Dst: req.SrcChip,
+			Bytes: req.RespBytes(s.cfg.Geom.LineBytes),
+		})
+		return
+	}
+	// The serving slice is on this chip: install and respond.
+	route := llc.RouteFor(s.mode, req.SrcChip, req.HomeChip)
+	part := route.HomePart
+	sl := c.slices[req.Slice]
+	victim, evicted := sl.arr.Fill(req.Line, req.Sector, part, false)
+	if evicted {
+		s.evict(c, victim)
+	}
+	if req.Kind == memsys.Write {
+		sl.arr.MarkDirty(req.Line)
+		s.writeInvalidate(c, req)
+	}
+	if s.hwCoh {
+		if d := c.dirFor(s, req.Line); d != nil {
+			d.AddSharer(req.Line, c.idx)
+		}
+	}
+	waiters := sl.mshr.Fill(req.Line)
+	s.respondMemFill(c, req)
+	for _, w := range waiters {
+		w.Origin = req.Origin
+		if w.Kind == memsys.Write {
+			sl.arr.MarkDirty(w.Line)
+		}
+		s.respondMemFill(c, w)
+	}
+}
+
+// respondMemFill routes a memory-fill response toward its SM.
+func (s *System) respondMemFill(c *chip, req *memsys.Request) {
+	if req.Kind != memsys.Read {
+		return
+	}
+	s.respondFromSlice(c, req.Slice, req)
+}
+
+// inflight reports whether any request is still in the system.
+func (s *System) inflight() bool {
+	if s.ring.Pending() > 0 {
+		return true
+	}
+	for _, c := range s.chips {
+		if c.inflight() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// controlPhase runs the periodic controllers: SAC's profiling window, the
+// Dynamic organization's rebalancing, and the occupancy census.
+func (s *System) controlPhase() {
+	// SAC decision at the end of the profiling window.
+	if s.sac != nil && s.state == stRun && s.sac.WindowElapsed(s.now) {
+		d := s.sac.Decide()
+		s.sac.StoreDecision(s.spec.KernelName(s.kernelIdx), d)
+		if d.PickSM && s.mode != llc.ModeSMSide {
+			s.state = stDrainSwitch
+		}
+	}
+
+	// Periodic re-profiling (Options.ReprofileEvery): revert to memory-side
+	// and open a fresh window.
+	if s.sac != nil && s.state == stRun && s.sac.ReprofileDue(s.now) {
+		if s.mode == llc.ModeSMSide {
+			s.state = stDrainRevert
+		} else {
+			s.sac.Rearm(s.now)
+		}
+	}
+
+	// Dynamic way rebalancing.
+	if s.cfg.Org == llc.Dynamic {
+		for _, c := range s.chips {
+			ringBytes := s.ring.BytesMoved // global; per-chip approximation below
+			dramBytes := c.mem.BytesMoved
+			c.dyn.Observe((ringBytes-c.lastRingBytes)/int64(s.cfg.Chips), dramBytes-c.lastDRAMBytes)
+			c.lastRingBytes = ringBytes
+			c.lastDRAMBytes = dramBytes
+			if c.dyn.Tick(s.now) {
+				c.setPartition(c.dyn.LocalWays())
+			}
+		}
+	}
+
+	// Occupancy census for Figure 9.
+	if s.now%512 == 0 {
+		for _, c := range s.chips {
+			l, r := c.occupancy()
+			s.run.OccLocalSum += int64(l)
+			s.run.OccRemoteSum += int64(r)
+		}
+		s.run.OccSamples++
+	}
+
+	// Drain-state bookkeeping.
+	switch s.state {
+	case stDrainSwitch:
+		s.run.DrainCycles++
+		if !s.inflight() {
+			// Flush per coherence scheme, then adopt the SM-side mode.
+			if s.cfg.Coherence == coherence.Software {
+				s.flushLLC(false)
+				s.state = stDrainSwitchWB
+			} else {
+				s.switchToSMSide()
+			}
+		}
+	case stDrainSwitchWB:
+		s.run.DrainCycles++
+		if !s.inflight() {
+			s.switchToSMSide()
+		}
+	case stDrainRevert:
+		s.run.DrainCycles++
+		if !s.inflight() {
+			// Dirty remote-homed lines would be stale under memory-side
+			// routing: write them back before the revert.
+			s.flushLLC(false)
+			s.state = stDrainRevertWB
+		}
+	case stDrainRevertWB:
+		s.run.DrainCycles++
+		if !s.inflight() {
+			s.mode = llc.ModeMemorySide
+			s.run.Reconfigs++
+			s.sac.Rearm(s.now)
+			s.state = stRun
+		}
+	}
+}
+
+func (s *System) switchToSMSide() {
+	s.mode = llc.ModeSMSide
+	s.kernelMode = llc.ModeSMSide
+	s.run.Reconfigs++
+	s.state = stRun
+}
+
+// flushLLC writes back dirty lines and invalidates LLC contents. full=false
+// flushes dirty lines only (SAC switch under software coherence); full=true
+// invalidates everything (kernel-boundary coherence flush).
+func (s *System) flushLLC(full bool) {
+	for _, c := range s.chips {
+		ch := c
+		onDirty := func(line uint64, remote bool) {
+			home := s.pages.Home(line)
+			if home < 0 {
+				home = ch.idx
+			}
+			s.writeback(ch, line, home)
+			s.run.DirtyFlushed++
+		}
+		for _, sl := range c.slices {
+			if full {
+				sl.arr.FlushAllFunc(onDirty)
+			} else {
+				sl.arr.FlushDirty(onDirty)
+			}
+		}
+		if c.dir != nil && full {
+			c.dir.Reset()
+		}
+	}
+}
+
+// boundaryPhase checks for kernel completion and runs the kernel-boundary
+// protocol. It returns true when the kernel (and its boundary work) is done.
+func (s *System) boundaryPhase() bool {
+	switch s.state {
+	case stRun:
+		for _, c := range s.chips {
+			for _, smu := range c.sms {
+				if !smu.KernelDone() {
+					return false
+				}
+			}
+		}
+		s.state = stDrainEnd
+		return false
+	case stDrainEnd:
+		s.run.DrainCycles++
+		if s.inflight() {
+			return false
+		}
+		// Software L1 coherence: invalidate L1s at every kernel boundary.
+		for _, c := range s.chips {
+			for _, smu := range c.sms {
+				smu.FlushL1()
+			}
+		}
+		// LLC flush when the configuration cached remote data under
+		// software coherence (SM-side and hybrid organizations).
+		needFlush := s.cfg.Coherence == coherence.Software && s.mode != llc.ModeMemorySide
+		// SAC reverts to memory-side between kernels; under software
+		// coherence the flush above covers it, under hardware coherence the
+		// revert is just a routing switch (stale local copies age out).
+		if s.cfg.Org == llc.SAC && s.mode == llc.ModeSMSide {
+			s.mode = llc.ModeMemorySide
+		}
+		if needFlush {
+			s.flushLLC(true)
+			s.state = stDrainEndWB
+			return false
+		}
+		return true
+	case stDrainEndWB:
+		s.run.DrainCycles++
+		if s.inflight() {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// finalize folds component counters into the run statistics.
+func (s *System) finalize() {
+	s.run.Cycles = s.now
+	for _, c := range s.chips {
+		h, m := c.llcCounters()
+		s.run.LLCHits += h
+		s.run.LLCMisses += m
+		s.run.DRAMBytes += c.mem.BytesMoved
+	}
+	s.run.RingBytes = s.ring.BytesMoved
+}
+
+// Run is the package-level convenience: build a system and run it.
+func Run(cfg Config, spec Workload) (*stats.Run, error) {
+	sys, err := New(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run()
+}

@@ -1,0 +1,129 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryLineAndPage(t *testing.T) {
+	g := Geometry{LineBytes: 128, PageBytes: 4096, Sectors: 4}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := g.LinesPerPage(); got != 32 {
+		t.Fatalf("LinesPerPage = %d, want 32", got)
+	}
+	if got := g.Line(129); got != 1 {
+		t.Fatalf("Line(129) = %d, want 1", got)
+	}
+	if got := g.Page(4095); got != 0 {
+		t.Fatalf("Page(4095) = %d, want 0", got)
+	}
+	if got := g.Page(4096); got != 1 {
+		t.Fatalf("Page(4096) = %d, want 1", got)
+	}
+	if got := g.PageOfLine(31); got != 0 {
+		t.Fatalf("PageOfLine(31) = %d, want 0", got)
+	}
+	if got := g.PageOfLine(32); got != 1 {
+		t.Fatalf("PageOfLine(32) = %d, want 1", got)
+	}
+}
+
+func TestGeometrySectors(t *testing.T) {
+	g := Geometry{LineBytes: 128, PageBytes: 4096, Sectors: 4}
+	cases := []struct {
+		addr uint64
+		want int
+	}{
+		{0, 0}, {31, 0}, {32, 1}, {63, 1}, {64, 2}, {96, 3}, {127, 3},
+		{128, 0}, // next line starts over
+	}
+	for _, c := range cases {
+		if got := g.SectorOfAddr(c.addr); got != c.want {
+			t.Errorf("SectorOfAddr(%d) = %d, want %d", c.addr, got, c.want)
+		}
+	}
+	unsectored := Geometry{LineBytes: 128, PageBytes: 4096, Sectors: 1}
+	if got := unsectored.SectorOfAddr(100); got != 0 {
+		t.Errorf("unsectored SectorOfAddr = %d, want 0", got)
+	}
+}
+
+func TestGeometryValidateRejectsBadShapes(t *testing.T) {
+	bad := []Geometry{
+		{LineBytes: 0, PageBytes: 4096, Sectors: 1},
+		{LineBytes: 128, PageBytes: 0, Sectors: 1},
+		{LineBytes: 100, PageBytes: 4096, Sectors: 1}, // page not multiple of line
+		{LineBytes: 128, PageBytes: 4096, Sectors: 0},
+		{LineBytes: 128, PageBytes: 4096, Sectors: 3}, // 128 % 3 != 0
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", g)
+		}
+	}
+}
+
+// Property: page/line arithmetic is consistent — the page of an address
+// equals the page of its line for any address.
+func TestGeometryPageLineConsistencyProperty(t *testing.T) {
+	g := Geometry{LineBytes: 128, PageBytes: 4096, Sectors: 4}
+	f := func(addr uint64) bool {
+		addr %= 1 << 40 // keep multiplication in PageOfLine overflow-free
+		return g.Page(addr) == g.PageOfLine(g.Line(addr))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestBytes(t *testing.T) {
+	read := &Request{Kind: Read}
+	write := &Request{Kind: Write}
+	const line = 128
+	if got := read.ReqBytes(line); got != CtrlBytes {
+		t.Errorf("read ReqBytes = %d, want %d", got, CtrlBytes)
+	}
+	if got := read.RespBytes(line); got != DataBytesHeader+line {
+		t.Errorf("read RespBytes = %d, want %d", got, DataBytesHeader+line)
+	}
+	if got := write.ReqBytes(line); got != DataBytesHeader+line {
+		t.Errorf("write ReqBytes = %d, want %d", got, DataBytesHeader+line)
+	}
+	if got := write.RespBytes(line); got != CtrlBytes {
+		t.Errorf("write RespBytes = %d, want %d", got, CtrlBytes)
+	}
+}
+
+func TestRequestIsLocal(t *testing.T) {
+	r := &Request{SrcChip: 2, HomeChip: 2}
+	if !r.IsLocal() {
+		t.Error("same chip should be local")
+	}
+	r.HomeChip = 3
+	if r.IsLocal() {
+		t.Error("different chip should be remote")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("AccessKind strings wrong")
+	}
+	if AccessKind(9).String() == "" {
+		t.Error("unknown AccessKind should still stringify")
+	}
+	wantOrigins := map[Origin]string{
+		OriginNone: "none", OriginLocalLLC: "localLLC", OriginRemoteLLC: "remoteLLC",
+		OriginLocalMem: "localMem", OriginRemoteMem: "remoteMem",
+	}
+	for o, w := range wantOrigins {
+		if o.String() != w {
+			t.Errorf("Origin(%d).String() = %q, want %q", o, o.String(), w)
+		}
+	}
+	if Origin(99).String() == "" {
+		t.Error("unknown Origin should still stringify")
+	}
+}

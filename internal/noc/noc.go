@@ -1,0 +1,159 @@
+// Package noc models the intra-chip concentrated crossbar network of one
+// GPU chip. The paper's baseline is a 38x22 crossbar per chip: 32 SM-cluster
+// ports plus 6 inter-chip-link ports on the input side, 16 LLC-slice ports
+// plus 6 inter-chip-link ports on the output side, with separate request and
+// response networks.
+//
+// The crossbar here is policy-free: the chip decides each message's output
+// port according to the active LLC organization (that is exactly the
+// "configurable routing policy" SAC toggles) and the crossbar moves messages
+// under per-port bandwidth with round-robin arbitration across input ports.
+// An input queue whose head is blocked (no credit at its output port, or the
+// sink refuses delivery) blocks — input-queued switch semantics.
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/bwsim"
+	"repro/internal/memsys"
+)
+
+// Message is a routed unit: a request plus its crossbar ports and wire cost.
+type Message struct {
+	Req   *memsys.Request
+	In    int // input port index
+	Out   int // output port index
+	Bytes int // wire cost on this network
+}
+
+// Config sizes a crossbar.
+type Config struct {
+	InPorts      int
+	OutPorts     int
+	InBW         float64 // bytes/cycle per input port
+	OutBW        float64 // bytes/cycle per output port
+	IngressBound int     // per-input-queue back-pressure threshold (0 = unbounded)
+}
+
+// Sink receives messages leaving the crossbar. CanAccept lets the sink
+// back-pressure an output port; Accept must succeed after CanAccept.
+type Sink interface {
+	CanAccept(out int, m Message) bool
+	Accept(out int, m Message)
+}
+
+// Crossbar is one network (request or response) of one chip.
+type Crossbar struct {
+	cfg     Config
+	ingress []*bwsim.Queue[Message]
+	inBkt   []*bwsim.TokenBucket
+	outBkt  []*bwsim.TokenBucket
+	rr      int   // round-robin pointer over input ports
+	pending int   // queued messages across all input ports
+	cycle   int64 // Tick count, for lazy bucket refill
+	lastRef int64 // cycle of the last bucket refill
+
+	// Stats.
+	BytesMoved   int64
+	MsgsMoved    int64
+	BlockedCycle int64 // cycles in which at least one head-of-line was blocked
+}
+
+// New returns an idle crossbar.
+func New(cfg Config) *Crossbar {
+	if cfg.InPorts <= 0 || cfg.OutPorts <= 0 || cfg.InBW <= 0 || cfg.OutBW <= 0 {
+		panic(fmt.Sprintf("noc: invalid config %+v", cfg))
+	}
+	x := &Crossbar{
+		cfg:     cfg,
+		ingress: make([]*bwsim.Queue[Message], cfg.InPorts),
+		inBkt:   make([]*bwsim.TokenBucket, cfg.InPorts),
+		outBkt:  make([]*bwsim.TokenBucket, cfg.OutPorts),
+	}
+	for i := range x.ingress {
+		x.ingress[i] = bwsim.NewQueue[Message](cfg.IngressBound)
+		x.inBkt[i] = bwsim.NewBucket(cfg.InBW)
+	}
+	for o := range x.outBkt {
+		x.outBkt[o] = bwsim.NewBucket(cfg.OutBW)
+	}
+	return x
+}
+
+// Cfg returns the crossbar's configuration.
+func (x *Crossbar) Cfg() Config { return x.cfg }
+
+// CanInject reports whether input port in has queue space.
+func (x *Crossbar) CanInject(in int) bool { return !x.ingress[in].Full() }
+
+// Inject enqueues a message at its input port. Producers should honor
+// CanInject; injection always succeeds so in-flight messages are never lost.
+func (x *Crossbar) Inject(m Message) {
+	if m.In < 0 || m.In >= x.cfg.InPorts || m.Out < 0 || m.Out >= x.cfg.OutPorts {
+		panic(fmt.Sprintf("noc: message ports (%d,%d) outside %dx%d crossbar", m.In, m.Out, x.cfg.InPorts, x.cfg.OutPorts))
+	}
+	x.ingress[m.In].Push(m)
+	x.pending++
+}
+
+// Pending returns the number of queued messages across all input ports.
+func (x *Crossbar) Pending() int { return x.pending }
+
+// Tick moves messages for one cycle, delivering to sink. Idle crossbars
+// return immediately; bucket credit catches up lazily when traffic resumes.
+func (x *Crossbar) Tick(sink Sink) {
+	x.cycle++
+	if x.pending == 0 {
+		return
+	}
+	dt := x.cycle - x.lastRef
+	x.lastRef = x.cycle
+	for _, b := range x.inBkt {
+		b.Advance(dt)
+	}
+	for _, b := range x.outBkt {
+		b.Advance(dt)
+	}
+	blocked := false
+	// Round-robin over input ports; each port drains while it has credit.
+	for i := 0; i < x.cfg.InPorts; i++ {
+		in := (x.rr + i) % x.cfg.InPorts
+		q := x.ingress[in]
+		for !q.Empty() && x.inBkt[in].CanTake() {
+			head, _ := q.Peek()
+			if !x.outBkt[head.Out].CanTake() || !sink.CanAccept(head.Out, head) {
+				blocked = true
+				break // head-of-line blocks this input port this cycle
+			}
+			q.Pop()
+			x.pending--
+			x.inBkt[in].Take(head.Bytes)
+			x.outBkt[head.Out].Take(head.Bytes)
+			x.BytesMoved += int64(head.Bytes)
+			x.MsgsMoved++
+			sink.Accept(head.Out, head)
+		}
+	}
+	x.rr = (x.rr + 1) % x.cfg.InPorts
+	if blocked {
+		x.BlockedCycle++
+	}
+}
+
+// SinkFunc adapts a pair of functions to the Sink interface.
+type SinkFunc struct {
+	CanAcceptF func(out int, m Message) bool
+	AcceptF    func(out int, m Message)
+}
+
+// CanAccept implements Sink.
+func (s SinkFunc) CanAccept(out int, m Message) bool {
+	if s.CanAcceptF == nil {
+		return true
+	}
+	return s.CanAcceptF(out, m)
+}
+
+// Accept implements Sink.
+func (s SinkFunc) Accept(out int, m Message) { s.AcceptF(out, m) }

@@ -1,0 +1,86 @@
+package noccost
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestOverheadsMatchPaper(t *testing.T) {
+	r := Compare(PaperShape(), Tech22())
+	// §2.1: the two-NoC SM-side organization costs ~18% area / ~21% power.
+	if got := r.SMAreaOverhead(); got < 0.15 || got > 0.21 {
+		t.Errorf("SM-side area overhead %.1f%%, paper says ~18%%", 100*got)
+	}
+	if got := r.SMPowerOverhead(); got < 0.18 || got > 0.24 {
+		t.Errorf("SM-side power overhead %.1f%%, paper says ~21%%", 100*got)
+	}
+	// §3.6: SAC's bypass costs ~1.9% area / ~1.6% power.
+	if got := r.SACAreaOverhead(); got < 0.012 || got > 0.026 {
+		t.Errorf("SAC area overhead %.2f%%, paper says ~1.9%%", 100*got)
+	}
+	if got := r.SACPowerOverhead(); got < 0.010 || got > 0.022 {
+		t.Errorf("SAC power overhead %.2f%%, paper says ~1.6%%", 100*got)
+	}
+	// Ordering: SAC is far cheaper than the two-NoC design.
+	if r.SACArea >= r.SMArea || r.SACPower >= r.SMPower {
+		t.Error("SAC should cost less than the SM-side two-NoC organization")
+	}
+}
+
+func TestModelExtrapolates(t *testing.T) {
+	// More inter-chip links must increase the memory-side NoC cost (they sit
+	// on both sides of its crossbar) more than the SM-side NoC1 (which has
+	// none).
+	base := Compare(PaperShape(), Tech22())
+	wide := PaperShape()
+	wide.Links = 12
+	grown := Compare(wide, Tech22())
+	if grown.MemArea <= base.MemArea {
+		t.Error("adding links did not grow the memory-side NoC")
+	}
+	if grown.SMAreaOverhead() >= base.SMAreaOverhead() {
+		t.Error("more links should shrink the relative two-NoC penalty")
+	}
+	// Wider flits grow everything.
+	fat := PaperShape()
+	fat.FlitBytes = 32
+	if Compare(fat, Tech22()).MemArea <= base.MemArea {
+		t.Error("wider flits did not grow the NoC")
+	}
+}
+
+func TestBypassScalesWithSlices(t *testing.T) {
+	tec := Tech22()
+	small := SACNoC(Shape{Clusters: 32, Slices: 8, Links: 6, MemCtls: 8, FlitBytes: 16}, tec)
+	big := SACNoC(PaperShape(), tec)
+	smallBypass := small.Area() - MemorySideNoC(Shape{Clusters: 32, Slices: 8, Links: 6, MemCtls: 8, FlitBytes: 16}, tec).Area()
+	bigBypass := big.Area() - MemorySideNoC(PaperShape(), tec).Area()
+	if bigBypass <= smallBypass {
+		t.Error("bypass cost should scale with slice count")
+	}
+}
+
+func TestPrint(t *testing.T) {
+	var buf bytes.Buffer
+	Compare(PaperShape(), Tech22()).Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"memory-side", "SM-side", "SAC", "paper: +18%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFixedOrgsHaveNoBypass(t *testing.T) {
+	tec := Tech22()
+	if MemorySideNoC(PaperShape(), tec).bypassArea() != 0 {
+		t.Error("memory-side has bypass cost")
+	}
+	if SMSideNoC(PaperShape(), tec).bypassArea() != 0 {
+		t.Error("SM-side has bypass cost")
+	}
+	if SACNoC(PaperShape(), tec).bypassArea() <= 0 {
+		t.Error("SAC bypass cost missing")
+	}
+}

@@ -1,0 +1,261 @@
+// Package sm models one streaming multiprocessor of the multi-chip GPU: a
+// set of warps executing deterministic access streams over a private
+// write-through L1, scheduled Greedy-Then-Oldest (GTO, Rogers et al. MICRO
+// 2012): keep issuing from the current warp until it stalls, then fall back
+// to the oldest ready warp.
+//
+// Loads that miss the L1 block their warp until the response returns;
+// same-line misses from other warps of the SM merge into the outstanding
+// entry (a per-SM MSHR). Stores are write-through and non-blocking. The
+// package is timing-free: the owning cycle loop calls Issue once per cycle
+// and Receive when responses arrive.
+package sm
+
+import (
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/memsys"
+	"repro/internal/workload"
+)
+
+// Config sizes one SM.
+type Config struct {
+	Chip    int
+	Index   int // SM index within the chip
+	L1Lines int
+	L1Ways  int
+	Geom    memsys.Geometry
+	Sectors int // effective LLC sectors (for the per-chip sector of requests)
+}
+
+// warp is one warp's execution state.
+type warp struct {
+	stream  workload.AccessStream
+	next    workload.Access
+	hasNext bool
+	readyAt int64
+	blocked bool
+	done    bool
+}
+
+func (w *warp) fetch() {
+	w.next, w.hasNext = w.stream.Next()
+	if !w.hasNext {
+		w.done = true
+	}
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	cfg    Config
+	l1     *cache.Cache
+	warps  []warp
+	greedy int
+
+	// Outstanding L1 load misses: line -> blocked warp indexes.
+	pending map[uint64][]int
+
+	doneWarps  int
+	sleepUntil int64 // no warp can issue before this cycle (scheduler skip hint)
+}
+
+// New builds an SM.
+func New(cfg Config) *SM {
+	if cfg.L1Lines <= 0 || cfg.L1Ways <= 0 || cfg.L1Lines%cfg.L1Ways != 0 {
+		panic("sm: invalid L1 geometry")
+	}
+	return &SM{
+		cfg: cfg,
+		l1: cache.New(cache.Config{
+			Sets:      cfg.L1Lines / cfg.L1Ways,
+			Ways:      cfg.L1Ways,
+			LineBytes: cfg.Geom.LineBytes,
+			// Write-through: WriteBack stays false.
+		}),
+		pending: make(map[uint64][]int),
+	}
+}
+
+// Chip returns the SM's chip index.
+func (s *SM) Chip() int { return s.cfg.Chip }
+
+// Index returns the SM's index within its chip.
+func (s *SM) Index() int { return s.cfg.Index }
+
+// LoadStreams installs one access stream per warp for a kernel invocation.
+func (s *SM) LoadStreams(streams []workload.AccessStream) {
+	s.warps = make([]warp, len(streams))
+	s.doneWarps = 0
+	for i, st := range streams {
+		s.warps[i] = warp{stream: st}
+		s.warps[i].fetch()
+		if s.warps[i].done {
+			s.doneWarps++
+		}
+	}
+	s.greedy = 0
+	s.sleepUntil = 0
+	s.pending = make(map[uint64][]int)
+}
+
+// KernelDone reports whether every warp retired and no loads are in flight.
+func (s *SM) KernelDone() bool { return s.doneWarps == len(s.warps) && len(s.pending) == 0 }
+
+// Outstanding returns the number of distinct outstanding load lines.
+func (s *SM) Outstanding() int { return len(s.pending) }
+
+// SleepUntil returns the earliest cycle any warp may issue (a scheduling
+// hint; the cycle loop may skip the SM before it).
+func (s *SM) SleepUntil() int64 { return s.sleepUntil }
+
+// FlushL1 invalidates the L1 (software coherence at kernel boundaries).
+func (s *SM) FlushL1() { s.l1.FlushAll() }
+
+// L1 exposes the private cache (tests and the occupancy census).
+func (s *SM) L1() *cache.Cache { return s.l1 }
+
+// L1Stats returns the L1 hit/miss counters.
+func (s *SM) L1Stats() (hits, misses int64) { return s.l1.Hits, s.l1.Misses }
+
+// pickWarp applies GTO: the current warp while it can issue, else the
+// oldest (lowest index) ready warp.
+func (s *SM) pickWarp(now int64) int {
+	if len(s.warps) == 0 {
+		return -1
+	}
+	g := &s.warps[s.greedy]
+	if !g.done && !g.blocked && g.readyAt <= now {
+		return s.greedy
+	}
+	for i := range s.warps {
+		w := &s.warps[i]
+		if !w.done && !w.blocked && w.readyAt <= now {
+			s.greedy = i
+			return i
+		}
+	}
+	return -1
+}
+
+// IssueResult describes what the SM did in one cycle.
+type IssueResult struct {
+	Req     *memsys.Request // non-nil when a request must enter the NoC
+	L1Hit   bool
+	IsWrite bool
+	Issued  bool
+	Warp    int
+	Merged  bool // load miss merged into an outstanding same-SM miss
+}
+
+// Issue attempts to issue one memory access at cycle now. canInject reports
+// whether the SM's NoC port accepts a new request this cycle; accesses that
+// need the NoC retry next cycle when it is full. nextID supplies request
+// IDs.
+func (s *SM) Issue(now int64, canInject bool, nextID *uint64) IssueResult {
+	if now < s.sleepUntil {
+		return IssueResult{}
+	}
+	wi := s.pickWarp(now)
+	if wi < 0 {
+		// Record when the next unblocked warp becomes ready so the cycle
+		// loop can skip this SM until then (Receive clears the hint).
+		wake := int64(1) << 62
+		for i := range s.warps {
+			w := &s.warps[i]
+			if !w.done && !w.blocked && w.readyAt < wake {
+				wake = w.readyAt
+			}
+		}
+		s.sleepUntil = wake
+		return IssueResult{}
+	}
+	w := &s.warps[wi]
+	acc := w.next
+
+	advance := func() {
+		w.fetch()
+		if w.done {
+			s.doneWarps++
+		}
+	}
+
+	if acc.Kind == memsys.Read {
+		if s.l1.Lookup(acc.Line, 0) {
+			w.readyAt = now + int64(acc.Gap) + 1
+			advance()
+			return IssueResult{Issued: true, L1Hit: true, Warp: wi}
+		}
+		if waiters, ok := s.pending[acc.Line]; ok {
+			s.pending[acc.Line] = append(waiters, wi)
+			w.blocked = true
+			advance()
+			return IssueResult{Issued: true, Warp: wi, Merged: true}
+		}
+		if !canInject {
+			return IssueResult{}
+		}
+		*nextID++
+		req := s.newRequest(*nextID, memsys.Read, acc.Line, now, wi)
+		s.pending[acc.Line] = []int{wi}
+		w.blocked = true
+		advance()
+		return IssueResult{Req: req, Issued: true, Warp: wi}
+	}
+
+	// Write-through, no-allocate, non-blocking store.
+	if !canInject {
+		return IssueResult{}
+	}
+	*nextID++
+	req := s.newRequest(*nextID, memsys.Write, acc.Line, now, wi)
+	w.readyAt = now + int64(acc.Gap) + 1
+	advance()
+	return IssueResult{Req: req, Issued: true, IsWrite: true, Warp: wi}
+}
+
+func (s *SM) newRequest(id uint64, kind memsys.AccessKind, line uint64, now int64, wi int) *memsys.Request {
+	return &memsys.Request{
+		ID:         id,
+		Kind:       kind,
+		Addr:       line * uint64(s.cfg.Geom.LineBytes),
+		Line:       line,
+		Sector:     ChipSector(line, s.cfg.Chip, s.cfg.Sectors),
+		SrcChip:    s.cfg.Chip,
+		SrcSM:      s.cfg.Index,
+		Warp:       wi,
+		IssueCycle: now,
+	}
+}
+
+// Receive delivers a load response: fill the L1, unblock every warp that
+// merged on the line. Each unblocked warp waits out the compute gap of its
+// next access before issuing again.
+func (s *SM) Receive(now int64, req *memsys.Request) (unblocked int) {
+	s.l1.Fill(req.Line, 0, cache.PartAll, req.SrcChip != req.HomeChip)
+	waiters := s.pending[req.Line]
+	delete(s.pending, req.Line)
+	for _, wi := range waiters {
+		w := &s.warps[wi]
+		w.blocked = false
+		w.readyAt = now + 1
+		if w.hasNext {
+			w.readyAt += int64(w.next.Gap)
+		}
+		if w.readyAt < s.sleepUntil {
+			s.sleepUntil = w.readyAt
+		}
+		unblocked++
+	}
+	return unblocked
+}
+
+// ChipSector returns the sector of a line that a given chip touches. Under
+// sectored caches different chips touch different sectors of a shared line,
+// which converts line-granular true sharing into sector-granular false
+// sharing — the effect the paper's sectored-cache sensitivity measures.
+func ChipSector(line uint64, chip, sectors int) int {
+	if sectors <= 1 {
+		return 0
+	}
+	return int(addr.Mix64(line^uint64(chip)*0x9e37) % uint64(sectors))
+}

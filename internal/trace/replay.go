@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Replay adapts a loaded Trace to the simulator's Workload interface: the
+// gpu package runs it exactly like a synthetic benchmark.
+type Replay struct {
+	t *Trace
+}
+
+// NewReplay wraps a trace for execution.
+func NewReplay(t *Trace) *Replay { return &Replay{t: t} }
+
+// SourceName implements gpu.Workload.
+func (r *Replay) SourceName() string { return r.t.Header.Name + "(trace)" }
+
+// KernelCount implements gpu.Workload.
+func (r *Replay) KernelCount() int { return int(r.t.Header.Kernels) }
+
+// KernelName implements gpu.Workload.
+func (r *Replay) KernelName(i int) string { return fmt.Sprintf("k%d", i) }
+
+// CheckMachine verifies a configuration's machine shape matches the shape
+// the trace was captured for (streams are per-warp, so they only replay on
+// an identical topology).
+func (r *Replay) CheckMachine(m workload.Machine) error {
+	h := r.t.Header
+	if m.Chips != int(h.Chips) || m.SMsPerChip != int(h.SMsPerChip) ||
+		m.WarpsPerSM != int(h.WarpsPerSM) || m.Geom.LineBytes != int(h.LineBytes) ||
+		m.Geom.PageBytes != int(h.PageBytes) {
+		return fmt.Errorf("trace: machine %dx%dx%d/%dB does not match capture %dx%dx%d/%dB",
+			m.Chips, m.SMsPerChip, m.WarpsPerSM, m.Geom.LineBytes,
+			h.Chips, h.SMsPerChip, h.WarpsPerSM, h.LineBytes)
+	}
+	return nil
+}
+
+// Stream implements gpu.Workload. It panics on a machine-shape mismatch;
+// call CheckMachine before running.
+func (r *Replay) Stream(m workload.Machine, ki, chip, sm, warp int) workload.AccessStream {
+	if err := r.CheckMachine(m); err != nil {
+		panic(err)
+	}
+	return &sliceStream{accs: r.t.Accesses(ki, chip, sm, warp)}
+}
+
+// sliceStream replays a recorded access slice.
+type sliceStream struct {
+	accs []Access
+	pos  int
+}
+
+// Next implements workload.AccessStream.
+func (s *sliceStream) Next() (Access, bool) {
+	if s.pos >= len(s.accs) {
+		return Access{}, false
+	}
+	a := s.accs[s.pos]
+	s.pos++
+	return a, true
+}
+
+// Len implements workload.AccessStream.
+func (s *sliceStream) Len() int64 { return int64(len(s.accs)) }

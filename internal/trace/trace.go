@@ -1,0 +1,316 @@
+// Package trace provides capture and replay of memory-access traces.
+//
+// The synthetic Table-4 workloads (internal/workload) are the default way
+// to drive the simulator, but a downstream user reproducing the paper on
+// their own kernels will have real traces — from a binary instrumentation
+// tool, an architectural simulator, or a previous run of this simulator.
+// This package defines a compact binary format for per-warp access streams
+// and adapters in both directions:
+//
+//   - Capture: serialize any workload.Spec's generated streams to a file.
+//   - Replay: load a trace file as a workload.Spec-compatible source that
+//     the gpu package runs exactly like a synthetic workload.
+//
+// Format (little-endian): a header (magic, version, machine shape, kernel
+// count), then per kernel, per warp: a varint access count followed by
+// delta-encoded accesses. Line numbers are encoded as zig-zag deltas from
+// the previous line, which compresses the blocked sequential walks real
+// streams are full of.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/memsys"
+	"repro/internal/workload"
+)
+
+// Magic identifies a trace stream.
+const Magic = 0x53414354 // "SACT"
+
+// Version of the format.
+const Version = 2
+
+// Access is one replayed memory operation.
+type Access = workload.Access
+
+// Header describes the machine shape a trace was captured for. Replay
+// requires an identical shape (streams are per-warp).
+type Header struct {
+	Chips      int32
+	SMsPerChip int32
+	WarpsPerSM int32
+	LineBytes  int32
+	PageBytes  int32
+	Scale      int32
+	Kernels    int32
+	Name       string
+}
+
+// Writer serializes streams.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter starts a trace on w with the given header.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	tw := &Writer{w: bw}
+	tw.u32(Magic)
+	tw.u32(Version)
+	tw.u32(uint32(h.Chips))
+	tw.u32(uint32(h.SMsPerChip))
+	tw.u32(uint32(h.WarpsPerSM))
+	tw.u32(uint32(h.LineBytes))
+	tw.u32(uint32(h.PageBytes))
+	tw.u32(uint32(h.Scale))
+	tw.u32(uint32(h.Kernels))
+	tw.str(h.Name)
+	return tw, tw.err
+}
+
+func (t *Writer) u32(v uint32) {
+	if t.err != nil {
+		return
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	_, t.err = t.w.Write(buf[:])
+}
+
+func (t *Writer) uvarint(v uint64) {
+	if t.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, t.err = t.w.Write(buf[:n])
+}
+
+func (t *Writer) str(s string) {
+	t.uvarint(uint64(len(s)))
+	if t.err == nil {
+		_, t.err = t.w.WriteString(s)
+	}
+}
+
+// zigzag encodes a signed delta as unsigned.
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+func unzigzag(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }
+
+// WarpStream writes one warp's complete stream: the access count followed
+// by (lineDelta, kind|gap) pairs. Streams must be written in warp order:
+// for each kernel, for each chip, SM, warp.
+func (t *Writer) WarpStream(accs []Access) error {
+	t.uvarint(uint64(len(accs)))
+	prev := int64(0)
+	for _, a := range accs {
+		t.uvarint(zigzag(int64(a.Line) - prev))
+		prev = int64(a.Line)
+		meta := uint64(a.Gap) << 1
+		if a.Kind == memsys.Write {
+			meta |= 1
+		}
+		t.uvarint(meta)
+	}
+	return t.err
+}
+
+// Flush completes the trace.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Capture serializes every warp stream of spec (for machine m) to w.
+func Capture(w io.Writer, spec workload.Spec, m workload.Machine) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	h := Header{
+		Chips:      int32(m.Chips),
+		SMsPerChip: int32(m.SMsPerChip),
+		WarpsPerSM: int32(m.WarpsPerSM),
+		LineBytes:  int32(m.Geom.LineBytes),
+		PageBytes:  int32(m.Geom.PageBytes),
+		Scale:      int32(m.Scale),
+		Kernels:    int32(spec.KernelCount()),
+		Name:       spec.Name,
+	}
+	tw, err := NewWriter(w, h)
+	if err != nil {
+		return err
+	}
+	var buf []Access
+	for ki := 0; ki < spec.KernelCount(); ki++ {
+		for chip := 0; chip < m.Chips; chip++ {
+			for sm := 0; sm < m.SMsPerChip; sm++ {
+				for warp := 0; warp < m.WarpsPerSM; warp++ {
+					st := spec.NewStream(m, ki, chip, sm, warp)
+					buf = buf[:0]
+					for {
+						a, ok := st.Next()
+						if !ok {
+							break
+						}
+						buf = append(buf, a)
+					}
+					if err := tw.WarpStream(buf); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// Trace is a fully loaded trace: per kernel, per warp access streams.
+type Trace struct {
+	Header  Header
+	streams [][][]Access // [kernel][warpIndex][access]
+}
+
+// Read loads a complete trace.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	rd := &reader{r: br}
+	if m := rd.u32(); m != Magic {
+		return nil, fmt.Errorf("trace: bad magic %#x", m)
+	}
+	if v := rd.u32(); v != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", v, Version)
+	}
+	h := Header{
+		Chips:      int32(rd.u32()),
+		SMsPerChip: int32(rd.u32()),
+		WarpsPerSM: int32(rd.u32()),
+		LineBytes:  int32(rd.u32()),
+		PageBytes:  int32(rd.u32()),
+		Scale:      int32(rd.u32()),
+		Kernels:    int32(rd.u32()),
+	}
+	h.Name = rd.str()
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if h.Chips <= 0 || h.SMsPerChip <= 0 || h.WarpsPerSM <= 0 || h.Kernels <= 0 {
+		return nil, fmt.Errorf("trace: corrupt header %+v", h)
+	}
+	warps := int(h.Chips) * int(h.SMsPerChip) * int(h.WarpsPerSM)
+	tr := &Trace{Header: h, streams: make([][][]Access, h.Kernels)}
+	for ki := range tr.streams {
+		tr.streams[ki] = make([][]Access, warps)
+		for w := 0; w < warps; w++ {
+			n := rd.uvarint()
+			if rd.err != nil {
+				return nil, fmt.Errorf("trace: truncated at kernel %d warp %d: %w", ki, w, rd.err)
+			}
+			const sanity = 1 << 28
+			if n > sanity {
+				return nil, fmt.Errorf("trace: implausible stream length %d", n)
+			}
+			accs := make([]Access, n)
+			prev := int64(0)
+			for i := range accs {
+				prev += unzigzag(rd.uvarint())
+				meta := rd.uvarint()
+				accs[i].Line = uint64(prev)
+				accs[i].Gap = int(meta >> 1)
+				if meta&1 != 0 {
+					accs[i].Kind = memsys.Write
+				}
+			}
+			if rd.err != nil {
+				return nil, fmt.Errorf("trace: truncated stream at kernel %d warp %d: %w", ki, w, rd.err)
+			}
+			tr.streams[ki][w] = accs
+		}
+	}
+	return tr, nil
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	var buf [4]byte
+	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+		r.err = err
+		return 0
+	}
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = err
+	}
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil || n > 1<<16 {
+		if r.err == nil {
+			r.err = fmt.Errorf("trace: implausible string length %d", n)
+		}
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		r.err = err
+		return ""
+	}
+	return string(buf)
+}
+
+// Machine reconstructs the machine shape the trace was captured for.
+func (t *Trace) Machine() workload.Machine {
+	return workload.Machine{
+		Chips:      int(t.Header.Chips),
+		SMsPerChip: int(t.Header.SMsPerChip),
+		WarpsPerSM: int(t.Header.WarpsPerSM),
+		Geom: memsys.Geometry{
+			LineBytes: int(t.Header.LineBytes),
+			PageBytes: int(t.Header.PageBytes),
+			Sectors:   4,
+		},
+		Scale: int(t.Header.Scale),
+	}
+}
+
+// Accesses returns one warp's stream of one kernel (shared slice: callers
+// must not mutate).
+func (t *Trace) Accesses(kernel, chip, sm, warp int) []Access {
+	warps := int(t.Header.SMsPerChip) * int(t.Header.WarpsPerSM)
+	idx := chip*warps + sm*int(t.Header.WarpsPerSM) + warp
+	return t.streams[kernel][idx]
+}
+
+// TotalAccesses counts every access in the trace.
+func (t *Trace) TotalAccesses() int64 {
+	var n int64
+	for _, k := range t.streams {
+		for _, w := range k {
+			n += int64(len(w))
+		}
+	}
+	return n
+}

@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsys"
+	"repro/internal/workload"
+)
+
+var m = workload.Machine{
+	Chips:      2,
+	SMsPerChip: 2,
+	WarpsPerSM: 2,
+	Geom:       memsys.Geometry{LineBytes: 128, PageBytes: 4096, Sectors: 4},
+	Scale:      256,
+}
+
+func spec() workload.Spec {
+	return workload.Spec{
+		Name: "t", CTAs: 8, Repeats: 2,
+		Kernels: []workload.Kernel{{
+			Name: "k", PrivateMB: 4, FalseMB: 2, TrueMB: 2,
+			BlockLines: 8, ReusePriv: 2, ReuseTrue: 2, SharersTrue: 2,
+			PassesFalse: 2, TrueWindowMB: 0.5,
+			WriteFrac: 0.2, ComputeGap: 2,
+		}},
+	}
+}
+
+func capture(t *testing.T) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Capture(&buf, spec(), m); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRoundTripIdentical(t *testing.T) {
+	tr := capture(t)
+	if tr.Header.Name != "t" || tr.Header.Kernels != 2 {
+		t.Fatalf("header %+v", tr.Header)
+	}
+	// Every replayed stream must match the synthetic stream exactly.
+	s := spec()
+	for ki := 0; ki < s.KernelCount(); ki++ {
+		for chip := 0; chip < m.Chips; chip++ {
+			for smi := 0; smi < m.SMsPerChip; smi++ {
+				for w := 0; w < m.WarpsPerSM; w++ {
+					want := s.NewStream(m, ki, chip, smi, w)
+					got := tr.Accesses(ki, chip, smi, w)
+					i := 0
+					for {
+						a, ok := want.Next()
+						if !ok {
+							break
+						}
+						if i >= len(got) {
+							t.Fatalf("k%d c%d s%d w%d: replay too short (%d)", ki, chip, smi, w, len(got))
+						}
+						if got[i] != a {
+							t.Fatalf("k%d c%d s%d w%d access %d: %+v != %+v", ki, chip, smi, w, i, got[i], a)
+						}
+						i++
+					}
+					if i != len(got) {
+						t.Fatalf("replay too long: %d vs %d", len(got), i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReplayMachineAndCounts(t *testing.T) {
+	tr := capture(t)
+	rm := tr.Machine()
+	if rm.Chips != m.Chips || rm.SMsPerChip != m.SMsPerChip || rm.Scale != m.Scale {
+		t.Fatalf("machine %+v", rm)
+	}
+	if tr.TotalAccesses() == 0 {
+		t.Fatal("empty trace")
+	}
+	rep := NewReplay(tr)
+	if rep.KernelCount() != 2 || rep.SourceName() != "t(trace)" {
+		t.Fatalf("replay meta %q %d", rep.SourceName(), rep.KernelCount())
+	}
+	if err := rep.CheckMachine(m); err != nil {
+		t.Fatal(err)
+	}
+	bad := m
+	bad.Chips = 4
+	if err := rep.CheckMachine(bad); err == nil {
+		t.Fatal("mismatched machine accepted")
+	}
+	st := rep.Stream(m, 0, 0, 0, 0)
+	n := int64(0)
+	for {
+		_, ok := st.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != st.Len() {
+		t.Fatalf("stream emitted %d, Len %d", n, st.Len())
+	}
+}
+
+func TestReadRejectsCorruptInput(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("garbage!"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	if err := Capture(&buf, spec(), m); err != nil {
+		t.Fatal(err)
+	}
+	// Truncation at any point must error, not panic.
+	full := buf.Bytes()
+	for _, cut := range []int{4, 10, len(full) / 2, len(full) - 3} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Bad version.
+	bad := append([]byte(nil), full...)
+	bad[4] = 99
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestZigzagProperty(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterStreamEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{
+		Chips: 1, SMsPerChip: 1, WarpsPerSM: 1,
+		LineBytes: 128, PageBytes: 4096, Scale: 1, Kernels: 1, Name: "x",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := []Access{
+		{Line: 100, Kind: memsys.Read, Gap: 3},
+		{Line: 101, Kind: memsys.Write, Gap: 0},
+		{Line: 50, Kind: memsys.Read, Gap: 7}, // negative delta
+	}
+	if err := w.WarpStream(accs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Accesses(0, 0, 0, 0)
+	if len(got) != 3 {
+		t.Fatalf("got %d accesses", len(got))
+	}
+	for i := range accs {
+		if got[i] != accs[i] {
+			t.Fatalf("access %d: %+v != %+v", i, got[i], accs[i])
+		}
+	}
+}
+
+// Property: any access sequence round-trips through the wire format.
+func TestWarpStreamRoundTripProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		accs := make([]Access, len(raw))
+		for i, v := range raw {
+			accs[i].Line = uint64(v >> 3)
+			accs[i].Gap = int(v & 3)
+			if v&4 != 0 {
+				accs[i].Kind = memsys.Write
+			}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, Header{
+			Chips: 1, SMsPerChip: 1, WarpsPerSM: 1,
+			LineBytes: 128, PageBytes: 4096, Scale: 1, Kernels: 1, Name: "p",
+		})
+		if err != nil {
+			return false
+		}
+		if w.WarpStream(accs) != nil || w.Flush() != nil {
+			return false
+		}
+		tr, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		got := tr.Accesses(0, 0, 0, 0)
+		if len(got) != len(accs) {
+			return false
+		}
+		for i := range accs {
+			if got[i] != accs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package xchip models the inter-chip interconnect of the multi-chip GPU:
+// a bidirectional ring (the paper's baseline: 4 chips, 3 NVLink-style links
+// per neighbour pair, 96 GB/s per direction per pair at full scale).
+// Messages hop neighbour to neighbour; each hop is gated by the directional
+// link's bandwidth and charged a fixed link latency. Non-adjacent chips
+// (distance 2 on a 4-ring) route via the shorter side, with ties broken by a
+// deterministic hash of the line address so that opposite-chip traffic uses
+// both directions evenly.
+package xchip
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/bwsim"
+	"repro/internal/memsys"
+)
+
+// Direction of travel around the ring.
+type Direction uint8
+
+const (
+	// CW moves from chip i to chip (i+1) mod N.
+	CW Direction = iota
+	// CCW moves from chip i to chip (i-1) mod N.
+	CCW
+)
+
+// Message is a unit in flight on the ring.
+type Message struct {
+	Req   *memsys.Request
+	Src   int
+	Dst   int
+	Bytes int
+	dir   Direction
+}
+
+// Sink receives messages that arrived at their destination chip.
+type Sink interface {
+	// CanAccept lets the destination chip back-pressure arrivals.
+	CanAccept(chip int, m Message) bool
+	// Accept delivers an arrived message.
+	Accept(chip int, m Message)
+}
+
+// Config sizes the ring.
+type Config struct {
+	Chips      int
+	LinkBW     float64 // bytes/cycle per neighbour pair per direction
+	HopLatency int64   // cycles per hop (serialization + wire)
+	QueueBound int     // per-link egress queue back-pressure threshold
+}
+
+// Ring is the inter-chip network.
+type Ring struct {
+	cfg Config
+	// egress[chip][dir]: messages waiting to enter the link leaving chip in dir.
+	egress [][2]*bwsim.Queue[Message]
+	bkt    [][2]*bwsim.TokenBucket
+	// inFlight[chip][dir]: messages on the wire leaving chip in dir.
+	inFlight [][2]*bwsim.DelayLine[Message]
+
+	pending int   // messages queued or on the wire
+	lastRef int64 // cycle of the last bucket refill
+
+	// Stats.
+	BytesMoved int64 // bytes that entered any link
+	MsgsMoved  int64 // link traversals (a 2-hop message counts twice)
+	Arrivals   int64
+}
+
+// New returns an idle ring.
+func New(cfg Config) *Ring {
+	if cfg.Chips < 2 || cfg.LinkBW <= 0 {
+		panic(fmt.Sprintf("xchip: invalid config %+v", cfg))
+	}
+	if cfg.HopLatency < 1 {
+		cfg.HopLatency = 1
+	}
+	r := &Ring{
+		cfg:      cfg,
+		egress:   make([][2]*bwsim.Queue[Message], cfg.Chips),
+		bkt:      make([][2]*bwsim.TokenBucket, cfg.Chips),
+		inFlight: make([][2]*bwsim.DelayLine[Message], cfg.Chips),
+	}
+	for c := 0; c < cfg.Chips; c++ {
+		for d := 0; d < 2; d++ {
+			r.egress[c][d] = bwsim.NewQueue[Message](cfg.QueueBound)
+			r.bkt[c][d] = bwsim.NewBucket(cfg.LinkBW)
+			r.inFlight[c][d] = bwsim.NewDelayLine[Message]()
+		}
+	}
+	return r
+}
+
+// Cfg returns the ring's configuration.
+func (r *Ring) Cfg() Config { return r.cfg }
+
+// SetLinkBW reconfigures the per-direction link bandwidth (sensitivity sweeps).
+func (r *Ring) SetLinkBW(bw float64) {
+	r.cfg.LinkBW = bw
+	for c := range r.bkt {
+		for d := 0; d < 2; d++ {
+			r.bkt[c][d].SetRate(bw)
+		}
+	}
+}
+
+// route picks the travel direction from src to dst: shortest path, hash tie-break.
+func (r *Ring) route(src, dst int, line uint64) Direction {
+	n := r.cfg.Chips
+	cw := (dst - src + n) % n
+	ccw := (src - dst + n) % n
+	switch {
+	case cw < ccw:
+		return CW
+	case ccw < cw:
+		return CCW
+	default: // equidistant (opposite chip on an even ring)
+		if addr.Mix64(line)&1 == 0 {
+			return CW
+		}
+		return CCW
+	}
+}
+
+// Hops returns the number of link traversals between two chips.
+func (r *Ring) Hops(src, dst int) int {
+	n := r.cfg.Chips
+	cw := (dst - src + n) % n
+	ccw := (src - dst + n) % n
+	return min(cw, ccw)
+}
+
+// CanInject reports whether chip src has egress queue space toward dst.
+func (r *Ring) CanInject(src, dst int, line uint64) bool {
+	return !r.egress[src][r.route(src, dst, line)].Full()
+}
+
+// Inject places a message on the ring at its source chip.
+func (r *Ring) Inject(m Message) {
+	if m.Src == m.Dst {
+		panic("xchip: message injected with src == dst")
+	}
+	m.dir = r.route(m.Src, m.Dst, m.Req.Line)
+	m.Req.CrossedRing = true
+	r.egress[m.Src][m.dir].Push(m)
+	r.pending++
+}
+
+// Pending returns all messages queued or on the wire.
+func (r *Ring) Pending() int { return r.pending }
+
+func (r *Ring) next(chip int, d Direction) int {
+	if d == CW {
+		return (chip + 1) % r.cfg.Chips
+	}
+	return (chip - 1 + r.cfg.Chips) % r.cfg.Chips
+}
+
+// Tick advances the ring one cycle. now is the global cycle counter.
+// An idle ring returns immediately; link credit catches up lazily.
+func (r *Ring) Tick(now int64, sink Sink) {
+	if r.pending == 0 {
+		r.lastRef = now
+		return
+	}
+	// Landing phase: messages whose hop latency elapsed arrive at the next
+	// chip — either delivered, or queued for the next hop.
+	for c := 0; c < r.cfg.Chips; c++ {
+		for d := 0; d < 2; d++ {
+			dir := Direction(d)
+			for {
+				m, ok := r.inFlight[c][d].PopDue(now)
+				if !ok {
+					break
+				}
+				at := r.next(c, dir)
+				if at == m.Dst {
+					if sink.CanAccept(at, m) {
+						sink.Accept(at, m)
+						r.Arrivals++
+						r.pending--
+					} else {
+						// Destination busy: retry next cycle from a zero-
+						// latency in-flight slot (models an arrival buffer).
+						r.inFlight[c][d].Insert(now, 1, m)
+						break
+					}
+				} else {
+					r.egress[at][d].Push(m)
+				}
+			}
+		}
+	}
+	// Launch phase: move queued messages onto links, bandwidth permitting.
+	dt := now - r.lastRef
+	r.lastRef = now
+	for c := 0; c < r.cfg.Chips; c++ {
+		for d := 0; d < 2; d++ {
+			bkt := r.bkt[c][d]
+			bkt.Advance(dt)
+			q := r.egress[c][d]
+			for !q.Empty() && bkt.CanTake() {
+				m, _ := q.Pop()
+				bkt.Take(m.Bytes)
+				r.BytesMoved += int64(m.Bytes)
+				r.MsgsMoved++
+				r.inFlight[c][d].Insert(now, r.cfg.HopLatency, m)
+			}
+		}
+	}
+}

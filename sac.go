@@ -1,0 +1,188 @@
+// Package sac is a from-scratch reproduction of "SAC: Sharing-Aware Caching
+// in Multi-Chip GPUs" (Zhang, Naderan-Tahan, Jahre, Eeckhout — ISCA 2023).
+//
+// It bundles a cycle-driven multi-chip GPU memory-system simulator (SMs with
+// private L1s, per-chip crossbar NoCs, LLC slices with MSHRs, an inter-chip
+// ring, DRAM partitions, first-touch page placement and PAE address
+// mapping), the five LLC organizations the paper compares (memory-side,
+// SM-side, the Static L1.5, Dynamic way-partitioning, and SAC itself), the
+// EAB analytical model with its CRD-based profiling counters, the 16
+// Table-4 workloads as deterministic synthetic address streams, and a
+// harness that regenerates every table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	cfg := sac.ScaledConfig()                  // laptop-scale Table 3
+//	spec, _ := sac.Benchmark("RN")             // a Table 4 workload
+//	mem, _ := sac.Run(cfg.WithOrg(sac.MemorySide), spec)
+//	dyn, _ := sac.Run(cfg.WithOrg(sac.SAC), spec)
+//	fmt.Printf("SAC speedup: %.2fx\n", sac.Speedup(dyn, mem))
+//
+// Experiments:
+//
+//	r := sac.NewRunner()
+//	fig8, _ := r.Fig8()
+//	fig8.Print(os.Stdout)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every experiment.
+package sac
+
+import (
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/gpu"
+	"repro/internal/llc"
+	"repro/internal/noccost"
+	"repro/internal/profile"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config describes a simulated multi-chip GPU (the paper's Table 3).
+type Config = gpu.Config
+
+// PaperConfig returns the paper's full-scale Table 3 baseline.
+func PaperConfig() Config { return gpu.PaperConfig() }
+
+// ScaledConfig returns the laptop-scale preset with all of the paper's
+// bandwidth and capacity ratios preserved (DESIGN.md §7).
+func ScaledConfig() Config { return gpu.ScaledConfig() }
+
+// MCMConfig returns the interposer-class multi-chip-module variant (high
+// inter-chip bandwidth; the paper's intro taxonomy).
+func MCMConfig() Config { return gpu.MCMConfig() }
+
+// MultiSocketConfig returns the PCB-level multi-socket variant (PCIe-class
+// inter-chip links).
+func MultiSocketConfig() Config { return gpu.MultiSocketConfig() }
+
+// Org selects a last-level-cache organization.
+type Org = llc.Org
+
+// The five organizations of the paper's comparison (§5).
+const (
+	MemorySide = llc.MemorySide
+	SMSide     = llc.SMSide
+	Static     = llc.Static
+	Dynamic    = llc.Dynamic
+	SAC        = llc.SAC
+)
+
+// Orgs lists all organizations in comparison order.
+func Orgs() []Org { return llc.Orgs() }
+
+// Spec is a benchmark workload (a sequence of kernel invocations).
+type Spec = workload.Spec
+
+// Kernel parameterizes one kernel invocation's address stream.
+type Kernel = workload.Kernel
+
+// Benchmarks returns the 16 Table-4 workloads in paper order.
+func Benchmarks() []Spec { return workload.Catalog() }
+
+// Benchmark returns one Table-4 workload by name (e.g. "BFS").
+func Benchmark(name string) (Spec, error) { return workload.ByName(name) }
+
+// BenchmarkNames returns the catalog names in paper order.
+func BenchmarkNames() []string { return workload.Names() }
+
+// Stats holds the measurements of one simulation (IPC, LLC hit rates,
+// response-origin breakdown, occupancy census, per-kernel records, ...).
+type Stats = stats.Run
+
+// Run executes spec on cfg and returns the run statistics.
+func Run(cfg Config, spec Spec) (*Stats, error) { return gpu.Run(cfg, spec) }
+
+// Workload is any source of per-warp access streams: the built-in synthetic
+// Specs and trace replays (package repro/internal/trace) both implement it.
+type Workload = gpu.Workload
+
+// RunWorkload executes an arbitrary workload source (e.g. a trace replay).
+func RunWorkload(cfg Config, w Workload) (*Stats, error) { return gpu.Run(cfg, w) }
+
+// System is a constructed simulator instance; use it instead of Run to
+// inspect state (mode, SAC decisions) after execution.
+type System = gpu.System
+
+// NewSystem builds a simulator without running it.
+func NewSystem(cfg Config, spec Spec) (*System, error) { return gpu.New(cfg, spec) }
+
+// Speedup returns a's performance relative to b (ratio of IPC).
+func Speedup(a, b *Stats) float64 { return stats.Speedup(a, b) }
+
+// HarmonicMean aggregates speedups the way the paper reports averages.
+func HarmonicMean(speedups []float64) float64 { return stats.HarmonicMeanSpeedup(speedups) }
+
+// Runner executes the paper's experiments (one method per table/figure).
+type Runner = eval.Runner
+
+// NewRunner returns a Runner over ScaledConfig and all 16 benchmarks.
+func NewRunner() *Runner { return eval.NewRunner() }
+
+// FastSet is a representative 6-benchmark subset for expensive sweeps.
+func FastSet() []string { return eval.FastSet() }
+
+// Axis identifies a Figure 14 design-space dimension.
+type Axis = eval.Axis
+
+// The Figure 14 sweep axes.
+const (
+	AxisInterChipBW = eval.AxisInterChipBW
+	AxisLLCCapacity = eval.AxisLLCCapacity
+	AxisMemory      = eval.AxisMemory
+	AxisCoherence   = eval.AxisCoherence
+	AxisGPUCount    = eval.AxisGPUCount
+	AxisSectored    = eval.AxisSectored
+	AxisPageSize    = eval.AxisPageSize
+)
+
+// EAB model surface — the paper's analytical contribution (§3.3), usable
+// standalone: compute effective available bandwidth for both organizations
+// from architecture parameters and profiled workload inputs.
+
+// ArchParams are the architecture-only EAB inputs (Table 2).
+type ArchParams = core.ArchParams
+
+// WorkloadInputs are the profiled workload-dependent EAB inputs.
+type WorkloadInputs = core.WorkloadInputs
+
+// EABDecision is the outcome of comparing both organizations' EABs.
+type EABDecision = core.Decision
+
+// DecideEAB evaluates the EAB model with threshold theta (the paper's
+// default is 0.05) and returns which organization it selects.
+func DecideEAB(a ArchParams, w WorkloadInputs, theta float64) EABDecision {
+	return core.Decide(a, w, theta)
+}
+
+// LSU computes the LLC slice uniformity metric from per-slice request
+// counters (§3.3).
+func LSU(requests []int64) float64 { return core.LSU(requests) }
+
+// HardwareBudget reports SAC's per-chip counter hardware cost (§3.6); with
+// the paper's parameters it returns 620 bytes (conventional caches) or 812
+// bytes (sectored).
+func HardwareBudget(sectored bool) core.Budget {
+	sectors := 1
+	if sectored {
+		sectors = 4
+	}
+	return core.HardwareBudget(8, 16, 30, 4, sectors, 16)
+}
+
+// NoCCost compares the NoC area/power of the three implementable
+// organizations (the paper's DSENT/CACTI numbers, §2.1 and §3.6).
+func NoCCost() noccost.Report {
+	return noccost.Compare(noccost.PaperShape(), noccost.Tech22())
+}
+
+// WorkingSets runs the Figure 11 working-set analysis for one workload:
+// unique bytes touched per window, classified truly/falsely/non-shared.
+func WorkingSets(cfg Config, spec Spec, windows []int64) (profile.Result, error) {
+	an, err := profile.New(cfg.Machine(), windows, 32)
+	if err != nil {
+		return profile.Result{}, err
+	}
+	return an.Analyze(spec)
+}

@@ -1,0 +1,128 @@
+package sac_test
+
+import (
+	"testing"
+
+	sac "repro"
+)
+
+// fastConfig shrinks the scaled preset for test speed while keeping all
+// bandwidth and capacity ratios.
+func fastConfig() sac.Config {
+	cfg := sac.ScaledConfig()
+	cfg.SMsPerChip = 4
+	cfg.WarpsPerSM = 4
+	cfg.SlicesPerChip = 2
+	cfg.LLCBytesPerChip = 64 << 10
+	cfg.L1BytesPerSM = 4 << 10
+	cfg.ChannelsPerChip = 2
+	cfg.ChannelBW = 32
+	cfg.RingLinkBW = 12
+	cfg.WorkloadScale = 512
+	cfg.SACOpts.WindowCycles = 1500
+	return cfg
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	spec, err := sac.Benchmark("RN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	mem, err := sac.Run(cfg.WithOrg(sac.MemorySide), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := sac.Run(cfg.WithOrg(sac.SAC), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := sac.Speedup(dyn, mem); s <= 0 {
+		t.Fatalf("speedup %v", s)
+	}
+}
+
+func TestBenchmarkCatalog(t *testing.T) {
+	if got := len(sac.Benchmarks()); got != 16 {
+		t.Fatalf("catalog size %d", got)
+	}
+	if got := len(sac.BenchmarkNames()); got != 16 {
+		t.Fatalf("names %d", got)
+	}
+	if _, err := sac.Benchmark("NOPE"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if len(sac.Orgs()) != 5 {
+		t.Fatal("org list wrong")
+	}
+	for _, n := range sac.FastSet() {
+		if _, err := sac.Benchmark(n); err != nil {
+			t.Fatalf("FastSet name %q invalid", n)
+		}
+	}
+}
+
+func TestEABModelSurface(t *testing.T) {
+	arch := sac.PaperConfig().ArchParams()
+	w := sac.WorkloadInputs{RLocal: 0.3}
+	w.MemSide.LLCHit, w.MemSide.LSU = 0.8, 0.5
+	w.SMSide.LLCHit, w.SMSide.LSU = 0.7, 0.95
+	d := sac.DecideEAB(arch, w, 0.05)
+	if !d.PickSM {
+		t.Fatalf("SP-shaped inputs stayed memory-side: %+v", d)
+	}
+	if got := sac.LSU([]int64{10, 10}); got != 1 {
+		t.Fatalf("LSU = %v", got)
+	}
+}
+
+func TestHardwareBudgetSurface(t *testing.T) {
+	if b := sac.HardwareBudget(false); b.TotalBytes != 620 {
+		t.Fatalf("conventional budget %d, want 620", b.TotalBytes)
+	}
+	if b := sac.HardwareBudget(true); b.TotalBytes != 812 {
+		t.Fatalf("sectored budget %d, want 812", b.TotalBytes)
+	}
+}
+
+func TestWorkingSetsSurface(t *testing.T) {
+	spec, _ := sac.Benchmark("RN")
+	res, err := sac.WorkingSets(fastConfig(), spec, []int64{1000, 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 2 || res.FootprintMB <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestNewSystemExposesMode(t *testing.T) {
+	spec, _ := sac.Benchmark("BP")
+	sys, err := sac.NewSystem(fastConfig().WithOrg(sac.MemorySide), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Mode().String() != "memory-side" {
+		t.Fatalf("mode %v", sys.Mode())
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnerSurface(t *testing.T) {
+	r := &sac.Runner{Base: fastConfig(), Benchmarks: []string{"RN"}}
+	f, err := r.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.KernelNames) == 0 {
+		t.Fatal("no kernels")
+	}
+}
+
+func TestHarmonicMeanSurface(t *testing.T) {
+	if hm := sac.HarmonicMean([]float64{1, 1}); hm != 1 {
+		t.Fatalf("HM = %v", hm)
+	}
+}
