@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test vet race check bench fig8 fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race run doubles as the parallel-engine exercise: the eval tests drive
+# the singleflight cache and worker pool from many goroutines.
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: static analysis plus the full suite under the race
+# detector.
+check: vet race
+
+# bench regenerates every table/figure as Go benchmarks with allocation
+# stats. REPRO_SET=fast shrinks the benchmark sets for a quick pass.
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' -timeout 120m
+
+fig8:
+	$(GO) run ./cmd/sacsweep -exp fig8
+
+fmt:
+	gofmt -l -w .

@@ -6,9 +6,10 @@
 // benchmark metrics.
 //
 // Set selection: the matrix experiments (Fig 1/8/9/10, Table 4, Fig 11/12,
-// headline) run over all 16 workloads; the sweep experiments (Fig 13/14,
-// ablations) default to the representative FastSet. Set REPRO_SET=fast to
-// shrink everything, or REPRO_SET=all to run even the sweeps in full.
+// Fig 13, headline) run over all 16 workloads; the remaining sweep
+// experiments (Fig 14, ablations) default to the representative FastSet.
+// Set REPRO_SET=fast to shrink everything, or REPRO_SET=all to run even the
+// sweeps in full.
 package sac_test
 
 import (
@@ -57,6 +58,15 @@ func sweepSet() []string {
 	return sac.FastSet()
 }
 
+// reportThroughput attaches the experiment engine's simulated-cycles-per-
+// wall-second rate to a heavy benchmark (cycles executed by this process's
+// shared runners; memoized recalls add nothing).
+func reportThroughput(b *testing.B, r *sac.Runner, before int64) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(r.SimCycles()-before)/s, "sim-cycles/s")
+	}
+}
+
 // printOnce emits an experiment's table a single time per process.
 func printOnce(id string, print func()) {
 	runnersMu.Lock()
@@ -95,6 +105,7 @@ func BenchmarkFig1_Performance(b *testing.B) {
 
 func BenchmarkFig8_Speedup(b *testing.B) {
 	r := sharedRunner(matrixSet())
+	before := r.SimCycles()
 	for i := 0; i < b.N; i++ {
 		res, err := r.Fig8()
 		if err != nil {
@@ -104,6 +115,7 @@ func BenchmarkFig8_Speedup(b *testing.B) {
 		b.ReportMetric(res.HM["ALL"][sac.SAC], "sac-vs-mem")
 		b.ReportMetric(res.HM["ALL"][sac.SAC]/res.HM["ALL"][sac.SMSide], "sac-vs-smside")
 	}
+	reportThroughput(b, r, before)
 }
 
 func BenchmarkFig9_Occupancy(b *testing.B) {
@@ -156,7 +168,8 @@ func BenchmarkFig12_TimeVarying(b *testing.B) {
 }
 
 func BenchmarkFig13_InputSets(b *testing.B) {
-	r := sharedRunner(sweepSet())
+	r := sharedRunner(matrixSet())
+	before := r.SimCycles()
 	for i := 0; i < b.N; i++ {
 		res, err := r.Fig13(nil, nil)
 		if err != nil {
@@ -164,10 +177,12 @@ func BenchmarkFig13_InputSets(b *testing.B) {
 		}
 		printOnce("fig13", func() { res.Print(os.Stdout) })
 	}
+	reportThroughput(b, r, before)
 }
 
 func BenchmarkFig14_Sensitivity(b *testing.B) {
 	r := sharedRunner(sweepSet())
+	before := r.SimCycles()
 	for i := 0; i < b.N; i++ {
 		res, err := r.Fig14(nil)
 		if err != nil {
@@ -175,6 +190,7 @@ func BenchmarkFig14_Sensitivity(b *testing.B) {
 		}
 		printOnce("fig14", func() { res.Print(os.Stdout) })
 	}
+	reportThroughput(b, r, before)
 }
 
 func BenchmarkHeadline(b *testing.B) {

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	sacsim -bench RN -org SAC
+//	sacsim -bench RN -org memory-side,SM-side,SAC    # side-by-side comparison
 //	sacsim -bench BFS -org memory-side -scale full
 //	sacsim -print-config
 package main
@@ -12,19 +13,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	sac "repro"
 	"repro/internal/coherence"
 	"repro/internal/llc"
 	"repro/internal/memsys"
 	"repro/internal/noccost"
+	"repro/internal/stats"
 )
 
 func main() {
 	var (
 		bench       = flag.String("bench", "RN", "benchmark name (see sacworkloads)")
-		orgName     = flag.String("org", "SAC", "LLC organization: memory-side | SM-side | static | dynamic | SAC")
+		orgName     = flag.String("org", "SAC", "LLC organization (or comma list for a comparison): memory-side | SM-side | static | dynamic | SAC")
 		scale       = flag.String("scale", "scaled", "machine scale: scaled | full")
+		parallel    = flag.Int("parallel", 0, "max simulations in flight for -org lists (0 = all cores)")
 		sectored    = flag.Bool("sectored", false, "use a sectored LLC (4 sectors/line)")
 		hardware    = flag.Bool("hw-coherence", false, "use hardware (directory) coherence")
 		inputFactor = flag.Float64("input", 1, "input-set scale factor (Fig 13 axis)")
@@ -36,16 +40,11 @@ func main() {
 	if *scale == "full" {
 		cfg = sac.PaperConfig()
 	}
-	org, err := llc.ParseOrg(*orgName)
-	if err != nil {
-		// Accept the convenient upper-case spelling too.
-		if *orgName == "SAC" {
-			org = llc.SAC
-		} else {
-			fatal(err)
-		}
+	var orgs []llc.Org
+	for _, name := range strings.Split(*orgName, ",") {
+		orgs = append(orgs, parseOrg(strings.TrimSpace(name)))
 	}
-	cfg.Org = org
+	cfg.Org = orgs[0]
 	cfg.Sectored = *sectored
 	if *hardware {
 		cfg.Coherence = coherence.Hardware
@@ -62,6 +61,11 @@ func main() {
 	}
 	if *inputFactor != 1 {
 		spec = spec.ScaleInput(*inputFactor)
+	}
+
+	if len(orgs) > 1 {
+		compareOrgs(cfg, spec, orgs, *parallel, *scale)
+		return
 	}
 
 	fmt.Printf("running %s under %s (%s scale)...\n", spec.Name, cfg.Org, *scale)
@@ -95,6 +99,59 @@ func main() {
 		fmt.Printf("  #%-3d %-10s %-12s %10d cycles %10d ops\n",
 			k.Index, k.Name, k.Org, k.Cycles, k.MemOps)
 	}
+}
+
+// parseOrg resolves an organization name, accepting the upper-case "SAC"
+// spelling alongside llc.ParseOrg's canonical forms.
+func parseOrg(name string) llc.Org {
+	org, err := llc.ParseOrg(name)
+	if err != nil {
+		if name == "SAC" {
+			return llc.SAC
+		}
+		fatal(err)
+	}
+	return org
+}
+
+// compareOrgs runs one benchmark under several organizations through the
+// parallel experiment engine and prints them side by side.
+func compareOrgs(cfg sac.Config, spec sac.Spec, orgs []llc.Org, parallel int, scale string) {
+	r := sac.NewRunner()
+	r.Parallelism = parallel
+	reqs := make([]sac.RunRequest, len(orgs))
+	for i, org := range orgs {
+		c := cfg
+		c.Org = org
+		reqs[i] = sac.RunRequest{Cfg: c, Spec: spec}
+	}
+	fmt.Printf("running %s under %d organizations (%s scale)...\n", spec.Name, len(orgs), scale)
+	runs, err := r.RunAll(reqs)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\n%-18s", "")
+	for _, org := range orgs {
+		fmt.Printf("%14s", org)
+	}
+	fmt.Println()
+	row := func(label string, f func(run *sac.Stats) string) {
+		fmt.Printf("%-18s", label)
+		for _, run := range runs {
+			fmt.Printf("%14s", f(run))
+		}
+		fmt.Println()
+	}
+	row("cycles", func(run *sac.Stats) string { return fmt.Sprintf("%d", run.Cycles) })
+	row("IPC", func(run *sac.Stats) string { return fmt.Sprintf("%.4f", run.IPC()) })
+	row("speedup", func(run *sac.Stats) string { return fmt.Sprintf("%.3fx", stats.Speedup(run, runs[0])) })
+	row("LLC hit rate", func(run *sac.Stats) string { return fmt.Sprintf("%.4f", run.LLCHitRate()) })
+	row("eff. LLC BW", func(run *sac.Stats) string { return fmt.Sprintf("%.2f B/c", run.EffectiveLLCBandwidth()) })
+	row("read latency", func(run *sac.Stats) string { return fmt.Sprintf("%.1f", run.AvgReadLatency()) })
+	row("ring bytes", func(run *sac.Stats) string { return fmt.Sprintf("%d", run.RingBytes) })
+	row("DRAM bytes", func(run *sac.Stats) string { return fmt.Sprintf("%d", run.DRAMBytes) })
+	row("reconfigs", func(run *sac.Stats) string { return fmt.Sprintf("%d", run.Reconfigs) })
 }
 
 func hitRate(h, m int64) float64 {

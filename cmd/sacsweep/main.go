@@ -25,14 +25,16 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "fig8", "experiment id (or comma list; 'all' for everything)")
-		set     = flag.String("set", "all", "benchmark set: all | fast | comma-separated names")
-		verbose = flag.Bool("v", false, "log each completed simulation")
-		jsonOut = flag.Bool("json", false, "emit results as JSON instead of tables")
+		exp      = flag.String("exp", "fig8", "experiment id (or comma list; 'all' for everything)")
+		set      = flag.String("set", "all", "benchmark set: all | fast | comma-separated names")
+		parallel = flag.Int("parallel", 0, "max simulations in flight (0 = all cores, 1 = serial)")
+		verbose  = flag.Bool("v", false, "log each completed simulation")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of tables")
 	)
 	flag.Parse()
 
 	r := sac.NewRunner()
+	r.Parallelism = *parallel
 	r.Verbose = *verbose
 	r.Log = os.Stderr
 	switch *set {

@@ -184,6 +184,14 @@ func (d *DelayLine[T]) Insert(now int64, delay int64, v T) {
 	d.entries.Push(delayEntry[T]{due: now + delay, v: v})
 }
 
+// NextDue returns the due cycle of the oldest in-flight item; ok is false
+// when the line is empty. Cycle loops use it to find the next cycle any
+// progress is possible (idle-cycle fast-forward).
+func (d *DelayLine[T]) NextDue() (due int64, ok bool) {
+	e, ok := d.entries.Peek()
+	return e.due, ok
+}
+
 // PopDue removes and returns the oldest item whose due cycle has arrived.
 func (d *DelayLine[T]) PopDue(now int64) (v T, ok bool) {
 	e, ok := d.entries.Peek()

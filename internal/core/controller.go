@@ -220,6 +220,20 @@ func (c *Controller) Rearm(now int64) {
 	c.prof.Reset()
 }
 
+// NextTimedEvent returns the next cycle at which one of the controller's
+// time-based triggers (WindowElapsed, ReprofileDue) can first fire, or -1
+// when no timed trigger is pending. Cycle loops use it to bound idle-cycle
+// fast-forwarding so a skip never jumps over a trigger boundary.
+func (c *Controller) NextTimedEvent() int64 {
+	if !c.decided {
+		return c.kernelStart + c.opts.WindowCycles
+	}
+	if c.opts.ReprofileEvery > 0 {
+		return c.kernelStart + c.opts.ReprofileEvery
+	}
+	return -1
+}
+
 // WindowElapsed reports whether the profiling window has ended without a
 // decision having been taken yet.
 func (c *Controller) WindowElapsed(now int64) bool {

@@ -158,6 +158,26 @@ func (p *Partition) Tick(now int64, lineBytes int, done func(*memsys.Request)) {
 	}
 }
 
+// NextEvent returns the earliest future cycle at which the partition can
+// make progress: now+1 while any channel has queued requests (issue is
+// bandwidth-gated per cycle), else the earliest in-flight completion, or -1
+// when the partition is fully idle.
+func (p *Partition) NextEvent(now int64) int64 {
+	if p.pending == 0 {
+		return -1
+	}
+	next := int64(-1)
+	for c := 0; c < p.cfg.Channels; c++ {
+		if !p.queues[c].Empty() {
+			return now + 1
+		}
+		if due, ok := p.inFlight[c].NextDue(); ok && (next < 0 || due < next) {
+			next = due
+		}
+	}
+	return next
+}
+
 // RowBufferStats aggregates bank statistics over the partition's channels
 // (zeros when bank timing is disabled).
 func (p *Partition) RowBufferStats() (hits, misses, conflicts int64) {

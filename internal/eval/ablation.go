@@ -37,6 +37,20 @@ func (r *Runner) ablate(axis string, variants []struct {
 	if err != nil {
 		return nil, err
 	}
+	// Submit every variant's SAC runs plus the shared pure-organization
+	// baselines to the worker pool before scoring any variant.
+	var reqs []RunRequest
+	for _, spec := range specs {
+		reqs = append(reqs,
+			RunRequest{Cfg: r.Base.WithOrg(llc.MemorySide), Spec: spec},
+			RunRequest{Cfg: r.Base.WithOrg(llc.SMSide), Spec: spec})
+		for _, v := range variants {
+			cfg := r.Base
+			v.mutate(&cfg)
+			reqs = append(reqs, RunRequest{Cfg: cfg.WithOrg(llc.SAC), Spec: spec})
+		}
+	}
+	r.Prefetch(reqs)
 	res := &AblationResult{Axis: axis}
 	for _, v := range variants {
 		cfg := r.Base

@@ -21,21 +21,30 @@ func (b BenchRuns) Speedup(org llc.Org) float64 {
 	return stats.Speedup(b.ByOrg[org], b.ByOrg[llc.MemorySide])
 }
 
-// matrix runs every selected benchmark under every organization.
+// matrix runs every selected benchmark under every organization. The whole
+// benchmark × organization grid is submitted to the worker pool up front, so
+// Fig 1/8/9/10 and Headline share one fan-out.
 func (r *Runner) matrix() ([]BenchRuns, error) {
 	specs, err := r.specs()
 	if err != nil {
 		return nil, err
 	}
-	out := make([]BenchRuns, 0, len(specs))
+	orgs := orderedOrgs()
+	reqs := make([]RunRequest, 0, len(specs)*len(orgs))
 	for _, spec := range specs {
+		for _, org := range orgs {
+			reqs = append(reqs, RunRequest{Cfg: r.Base.WithOrg(org), Spec: spec})
+		}
+	}
+	runs, err := r.RunAll(reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BenchRuns, 0, len(specs))
+	for i, spec := range specs {
 		br := BenchRuns{Spec: spec, ByOrg: make(map[llc.Org]*stats.Run)}
-		for _, org := range orderedOrgs() {
-			run, err := r.runOrg(org, spec)
-			if err != nil {
-				return nil, err
-			}
-			br.ByOrg[org] = run
+		for j, org := range orgs {
+			br.ByOrg[org] = runs[i*len(orgs)+j]
 		}
 		out = append(out, br)
 	}

@@ -8,6 +8,9 @@ package eval
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/gpu"
 	"repro/internal/llc"
@@ -16,6 +19,13 @@ import (
 )
 
 // Runner executes experiments against one baseline configuration.
+//
+// Simulations are memoized and deduplicated singleflight-style: the first
+// submission of a (config, workload) key executes it, concurrent duplicates
+// join the in-flight run, and later submissions recall the completed result
+// — all experiments therefore share one run cache. Up to Parallelism
+// simulations execute concurrently; each simulation is single-threaded and
+// seed-deterministic, so results are bit-identical at any Parallelism.
 type Runner struct {
 	// Base is the baseline system configuration; its Org field is ignored
 	// (experiments pick organizations explicitly).
@@ -23,24 +33,60 @@ type Runner struct {
 	// Benchmarks restricts the benchmark set (names from workload.Names);
 	// nil means all 16.
 	Benchmarks []string
+	// Parallelism bounds how many simulations run concurrently. 0 means
+	// GOMAXPROCS; 1 recovers the fully serial engine. It must be set before
+	// the first run; later changes have no effect.
+	Parallelism int
 	// Verbose, when set, streams one line per completed run to Log.
 	Verbose bool
 	Log     io.Writer
 
-	memo map[runKey]*stats.Run
+	mu   sync.Mutex
+	memo map[runKey]*runEntry
+	sem  chan struct{}
+
+	execs     atomic.Int64 // completed simulations (not recalls/joins)
+	simCycles atomic.Int64 // total simulated cycles across executions
 }
 
+// runKey identifies one simulation: the full configuration plus the workload
+// name. ScaleInput variants encode their factor in the name, so distinct
+// inputs never collide.
+//
+// The key is used as a map key, which requires every field of gpu.Config to
+// be comparable. The compile-time assertion below enforces this: adding a
+// slice, map, or function field to Config will fail to build here rather
+// than silently panic (or stop deduplicating) at run time.
 type runKey struct {
 	cfg  gpu.Config
 	name string
+}
+
+// mustBeComparable exists only to be instantiated with runKey below.
+func mustBeComparable[T comparable]() {}
+
+// Compile-time guard: runKey (and therefore gpu.Config) must stay comparable.
+var _ = mustBeComparable[runKey]
+
+// runEntry is one memoized (possibly in-flight) simulation.
+type runEntry struct {
+	done chan struct{} // closed once res/err are valid
+	res  *stats.Run
+	err  error
+}
+
+// RunRequest names one simulation for Prefetch/RunAll.
+type RunRequest struct {
+	Cfg  gpu.Config
+	Spec workload.Spec
 }
 
 // NewRunner returns a Runner over the scaled baseline configuration.
 func NewRunner() *Runner { return &Runner{Base: gpu.ScaledConfig()} }
 
 // FastSet is a representative benchmark subset (3 SP + 3 MP spanning the
-// strong and atypical cases of each group) used by the expensive sweep
-// experiments to keep single-core wall time manageable. Pass
+// strong and atypical cases of each group) used by the most expensive sweep
+// experiments to keep serial wall time manageable. Pass
 // Benchmarks = workload.Names() for full-fidelity sweeps.
 func FastSet() []string { return []string{"RN", "SN", "BS", "GEMM", "BP", "DWT"} }
 
@@ -61,25 +107,96 @@ func (r *Runner) specs() ([]workload.Spec, error) {
 	return out, nil
 }
 
-// run executes (or recalls) one simulation.
-func (r *Runner) run(cfg gpu.Config, spec workload.Spec) (*stats.Run, error) {
+// workers returns the worker-pool semaphore, sizing it on first use.
+func (r *Runner) workers() chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sem == nil {
+		n := r.Parallelism
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		r.sem = make(chan struct{}, n)
+	}
+	return r.sem
+}
+
+// lookup finds or creates the entry for key. The second result reports
+// whether the caller became the leader and must execute the simulation;
+// followers wait on the entry's done channel instead.
+func (r *Runner) lookup(key runKey) (*runEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.memo == nil {
-		r.memo = make(map[runKey]*stats.Run)
+		r.memo = make(map[runKey]*runEntry)
 	}
-	key := runKey{cfg, spec.Name}
-	if got, ok := r.memo[key]; ok {
-		return got, nil
+	if e, ok := r.memo[key]; ok {
+		return e, false
 	}
+	e := &runEntry{done: make(chan struct{})}
+	r.memo[key] = e
+	return e, true
+}
+
+// execute runs one simulation on behalf of entry e, bounded by the worker
+// pool, and publishes the result to all waiters.
+func (r *Runner) execute(e *runEntry, cfg gpu.Config, spec workload.Spec) {
+	defer close(e.done)
+	sem := r.workers()
+	sem <- struct{}{}
+	defer func() { <-sem }()
 	res, err := gpu.Run(cfg, spec)
 	if err != nil {
-		return nil, fmt.Errorf("eval: %s under %s: %w", spec.Name, cfg.Org, err)
+		e.err = fmt.Errorf("eval: %s under %s: %w", spec.Name, cfg.Org, err)
+		return
 	}
-	r.memo[key] = res
+	e.res = res
+	r.execs.Add(1)
+	r.simCycles.Add(res.Cycles)
 	if r.Verbose && r.Log != nil {
+		r.mu.Lock()
 		fmt.Fprintf(r.Log, "# run %-10s %-12s cycles=%-10d ipc=%.4f\n",
 			spec.Name, cfg.Org, res.Cycles, res.IPC())
+		r.mu.Unlock()
 	}
-	return res, nil
+}
+
+// run executes (or recalls, or joins in-flight) one simulation.
+func (r *Runner) run(cfg gpu.Config, spec workload.Spec) (*stats.Run, error) {
+	e, lead := r.lookup(runKey{cfg, spec.Name})
+	if lead {
+		r.execute(e, cfg, spec)
+	} else {
+		<-e.done
+	}
+	return e.res, e.err
+}
+
+// Prefetch submits a run-set to the worker pool without waiting. Keys
+// already cached or in flight are not resubmitted. Collect results with run
+// or RunAll, which join the in-flight executions.
+func (r *Runner) Prefetch(reqs []RunRequest) {
+	for _, q := range reqs {
+		if e, lead := r.lookup(runKey{q.Cfg, q.Spec.Name}); lead {
+			go r.execute(e, q.Cfg, q.Spec)
+		}
+	}
+}
+
+// RunAll executes a run-set through the worker pool and returns results in
+// request order. Duplicate keys within the set (or against earlier runs)
+// execute once and share the same *stats.Run.
+func (r *Runner) RunAll(reqs []RunRequest) ([]*stats.Run, error) {
+	r.Prefetch(reqs)
+	out := make([]*stats.Run, len(reqs))
+	for i, q := range reqs {
+		res, err := r.run(q.Cfg, q.Spec)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
 }
 
 // runOrg is run with an organization override.
@@ -88,7 +205,11 @@ func (r *Runner) runOrg(org llc.Org, spec workload.Spec) (*stats.Run, error) {
 }
 
 // Runs returns the number of distinct simulations executed so far.
-func (r *Runner) Runs() int { return len(r.memo) }
+func (r *Runner) Runs() int { return int(r.execs.Load()) }
+
+// SimCycles returns the total simulated cycles across all executed runs,
+// for throughput (cycles/s) reporting.
+func (r *Runner) SimCycles() int64 { return r.simCycles.Load() }
 
 // orderedOrgs is the paper's comparison order.
 func orderedOrgs() []llc.Org { return llc.Orgs() }

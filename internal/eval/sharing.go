@@ -134,6 +134,11 @@ func (r *Runner) Fig12() (*Fig12Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.Prefetch([]RunRequest{
+		{Cfg: r.Base.WithOrg(llc.MemorySide), Spec: spec},
+		{Cfg: r.Base.WithOrg(llc.SMSide), Spec: spec},
+		{Cfg: r.Base.WithOrg(llc.SAC), Spec: spec},
+	})
 	mem, err := r.runOrg(llc.MemorySide, spec)
 	if err != nil {
 		return nil, err

@@ -52,6 +52,22 @@ func (r *Runner) Fig13(spFactors, mpFactors []float64) (*Fig13Result, error) {
 		return nil, err
 	}
 	res := &Fig13Result{SPFactors: spFactors, MPFactors: mpFactors}
+	// Submit the full sweep up front so the worker pool sees every point at
+	// once, then collect per point.
+	var reqs []RunRequest
+	for _, spec := range specs {
+		factors := mpFactors
+		if spec.SMSide {
+			factors = spFactors
+		}
+		for _, f := range factors {
+			cfg, sw, _ := r.fig13Case(spec, f)
+			for _, org := range []llc.Org{llc.MemorySide, llc.SMSide, llc.SAC} {
+				reqs = append(reqs, RunRequest{Cfg: cfg.WithOrg(org), Spec: sw})
+			}
+		}
+	}
+	r.Prefetch(reqs)
 	for _, spec := range specs {
 		factors := mpFactors
 		if spec.SMSide {
@@ -68,18 +84,23 @@ func (r *Runner) Fig13(spFactors, mpFactors []float64) (*Fig13Result, error) {
 	return res, nil
 }
 
-func (r *Runner) fig13Point(spec workload.Spec, factor float64) (Fig13Point, error) {
+// fig13Case derives the configuration and workload for one sweep point: the
+// fixed-input benchmarks scale LLC capacity by 1/factor, everything else
+// scales the input itself.
+func (r *Runner) fig13Case(spec workload.Spec, factor float64) (gpu.Config, workload.Spec, bool) {
 	cfg := r.Base
-	sw := spec
-	pt := Fig13Point{Benchmark: spec.Name, Factor: factor}
 	if fixedInputBenchmarks[spec.Name] && factor != 1 {
 		// Scale the LLC instead of the input: input ×k ≈ LLC ÷k.
-		pt.LLCScaled = true
 		cap := int(float64(cfg.LLCBytesPerChip) / factor)
 		cfg.LLCBytesPerChip = roundCap(cap, cfg)
-	} else {
-		sw = spec.ScaleInput(factor)
+		return cfg, spec, true
 	}
+	return cfg, spec.ScaleInput(factor), false
+}
+
+func (r *Runner) fig13Point(spec workload.Spec, factor float64) (Fig13Point, error) {
+	cfg, sw, llcScaled := r.fig13Case(spec, factor)
+	pt := Fig13Point{Benchmark: spec.Name, Factor: factor, LLCScaled: llcScaled}
 	mem, err := r.run(cfg.WithOrg(llc.MemorySide), sw)
 	if err != nil {
 		return pt, err
@@ -245,6 +266,19 @@ func (r *Runner) sweepAxis(axis Axis) ([]Fig14Point, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Fan the whole axis (variants × benchmarks × 3 orgs) out to the worker
+	// pool before collecting any point.
+	var reqs []RunRequest
+	for _, v := range variants {
+		cfg := r.Base
+		v.mutate(&cfg)
+		for _, spec := range specs {
+			for _, org := range []llc.Org{llc.MemorySide, llc.SMSide, llc.SAC} {
+				reqs = append(reqs, RunRequest{Cfg: cfg.WithOrg(org), Spec: spec})
+			}
+		}
+	}
+	r.Prefetch(reqs)
 	var out []Fig14Point
 	for _, v := range variants {
 		cfg := r.Base

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"repro/internal/gpu"
 	"repro/internal/llc"
+	"repro/internal/workload"
 )
 
 // EABValRow records, for one benchmark, what the EAB model predicted from
@@ -54,7 +56,35 @@ func (r *Runner) ValidateEAB() (*EABValidation, error) {
 	res := &EABValidation{}
 	var predRatio, measRatio, speedups, latRatio []float64
 	correct := 0
+	// The pure-organization ground-truth runs go through the shared cache;
+	// the SAC runs need a System handle (to read the model's decision), so
+	// they bypass the cache but still fan out on the same worker pool.
+	var reqs []RunRequest
 	for _, spec := range specs {
+		reqs = append(reqs,
+			RunRequest{Cfg: r.Base.WithOrg(llc.MemorySide), Spec: spec},
+			RunRequest{Cfg: r.Base.WithOrg(llc.SMSide), Spec: spec})
+	}
+	r.Prefetch(reqs)
+	sacSys := make([]*gpu.System, len(specs))
+	sacErr := make([]error, len(specs))
+	sem := r.workers()
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec workload.Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sys, err := gpu.New(r.Base.WithOrg(llc.SAC), spec)
+			if err == nil {
+				_, err = sys.Run()
+			}
+			sacSys[i], sacErr[i] = sys, err
+		}(i, spec)
+	}
+	wg.Wait()
+	for i, spec := range specs {
 		mem, err := r.runOrg(llc.MemorySide, spec)
 		if err != nil {
 			return nil, err
@@ -63,16 +93,10 @@ func (r *Runner) ValidateEAB() (*EABValidation, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Run SAC through a System handle to read the decision the model
-		// took at the first kernel's profiling window.
-		sys, err := gpu.New(r.Base.WithOrg(llc.SAC), spec)
-		if err != nil {
-			return nil, err
+		if sacErr[i] != nil {
+			return nil, fmt.Errorf("eval: %s under %s: %w", spec.Name, llc.SAC, sacErr[i])
 		}
-		if _, err := sys.Run(); err != nil {
-			return nil, err
-		}
-		d := sys.SAC().LastDecision()
+		d := sacSys[i].SAC().LastDecision()
 		row := EABValRow{
 			Benchmark:       spec.Name,
 			PredictedMemEAB: d.MemSide.Total,

@@ -21,6 +21,7 @@ type llcSlice struct {
 	mshr     *cache.MSHR
 	lookupQ  *bwsim.Queue[*memsys.Request]
 	bkt      *bwsim.TokenBucket
+	lastRef  int64 // cycle of the last lookup-bucket refill (lazy catch-up)
 	hitDelay *bwsim.DelayLine[*memsys.Request]
 }
 
@@ -54,7 +55,7 @@ func (c *chip) ringOutReqPort(cfg *Config) int  { return cfg.SlicesPerChip }
 func (c *chip) ringInRespPort(cfg *Config) int  { return cfg.SlicesPerChip }
 func (c *chip) ringOutRespPort(cfg *Config) int { return cfg.ClustersPerChip() }
 
-func newChip(cfg *Config, idx int) *chip {
+func newChip(cfg *Config, idx int, pool *memsys.Pool) *chip {
 	clusters := cfg.ClustersPerChip()
 	c := &chip{idx: idx}
 
@@ -67,6 +68,7 @@ func newChip(cfg *Config, idx int) *chip {
 			L1Ways:  cfg.L1Ways,
 			Geom:    cfg.Geom,
 			Sectors: cfg.SectorCount(),
+			Pool:    pool,
 		})
 	}
 

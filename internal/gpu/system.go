@@ -56,6 +56,15 @@ type System struct {
 
 	reqSinks  []noc.Sink
 	respSinks []noc.Sink
+	// Preallocated per-tick sinks: building these inside step would allocate
+	// a closure (dramSinks) or an interface box (ringDeliver) every cycle.
+	dramSinks   []func(*memsys.Request)
+	ringDeliver xchip.Sink
+
+	// pool recycles Request objects; requests are retired back to it at
+	// their death points (response delivery, write absorption, writeback
+	// and invalidation completion).
+	pool memsys.Pool
 
 	run    *stats.Run
 	now    int64
@@ -89,13 +98,16 @@ func New(cfg Config, spec Workload) (*System, error) {
 	}
 	s.chips = make([]*chip, cfg.Chips)
 	for i := range s.chips {
-		s.chips[i] = newChip(&cfg, i)
+		s.chips[i] = newChip(&cfg, i, &s.pool)
 	}
 	s.hwCoh = cfg.Coherence == coherence.Hardware
 	for _, c := range s.chips {
+		ch := c
 		s.reqSinks = append(s.reqSinks, s.reqSink(c))
 		s.respSinks = append(s.respSinks, s.respSink(c))
+		s.dramSinks = append(s.dramSinks, func(req *memsys.Request) { s.dramDone(ch, req) })
 	}
+	s.ringDeliver = ringSink{s}
 	s.ring = xchip.New(xchip.Config{
 		Chips:      cfg.Chips,
 		LinkBW:     cfg.RingLinkBW,
@@ -175,6 +187,7 @@ func (s *System) runKernel() error {
 		if s.step() {
 			break
 		}
+		s.fastForward()
 	}
 
 	s.run.Kernels = append(s.run.Kernels, stats.KernelRec{
@@ -194,9 +207,8 @@ func (s *System) step() bool {
 	now := s.now
 
 	// 1. DRAM completions and issue.
-	for _, c := range s.chips {
-		ch := c
-		c.mem.Tick(now, s.cfg.Geom.LineBytes, func(req *memsys.Request) { s.dramDone(ch, req) })
+	for i, c := range s.chips {
+		c.mem.Tick(now, s.cfg.Geom.LineBytes, s.dramSinks[i])
 	}
 	// 2. LLC hit-latency pipelines drain into the response network.
 	for _, c := range s.chips {
@@ -212,10 +224,10 @@ func (s *System) step() bool {
 	}
 	// 3. Response networks deliver to SMs / ring.
 	for i, c := range s.chips {
-		c.respNet.Tick(s.respSinks[i])
+		c.respNet.Tick(now, s.respSinks[i])
 	}
 	// 4. Ring moves inter-chip traffic.
-	s.ring.Tick(now, ringSink{s})
+	s.ring.Tick(now, s.ringDeliver)
 	// 5. LLC slices perform lookups.
 	for _, c := range s.chips {
 		for si := range c.slices {
@@ -224,7 +236,7 @@ func (s *System) step() bool {
 	}
 	// 6. Request networks deliver to slices / ring.
 	for i, c := range s.chips {
-		c.reqNet.Tick(s.reqSinks[i])
+		c.reqNet.Tick(now, s.reqSinks[i])
 	}
 	// 7. SMs issue new accesses (unless draining).
 	if s.state == stRun {
@@ -234,6 +246,103 @@ func (s *System) step() bool {
 	s.controlPhase()
 
 	return s.boundaryPhase()
+}
+
+// fastForward advances the clock over idle spans: cycles in which no queue,
+// pipeline, DRAM bank, ring link or warp can make progress. It runs between
+// steps and moves s.now to one cycle before the earliest future event, so
+// the next step executes exactly that event's cycle. Skipping is restricted
+// to stRun (drain states bill DrainCycles per cycle) and is bounded by every
+// timed trigger — the occupancy census, SAC's profiling window and the
+// Dynamic controller's epoch — so no control decision shifts. Skipped spans
+// are counted in stats.Run.Skipped and remain part of Cycles.
+//
+// The body is deliberately closure-free: it runs after every step, and a
+// closure capturing the minimum would allocate on each call.
+func (s *System) fastForward() {
+	if s.state != stRun {
+		return
+	}
+	// Work that progresses every cycle forbids skipping outright.
+	for _, c := range s.chips {
+		if c.reqNet.Pending() > 0 || c.respNet.Pending() > 0 {
+			return
+		}
+		for _, sl := range c.slices {
+			if !sl.lookupQ.Empty() {
+				return
+			}
+		}
+	}
+	const horizon = int64(1) << 62
+	next := horizon
+	for _, c := range s.chips {
+		if t := c.mem.NextEvent(s.now); t >= 0 {
+			if t <= s.now+1 {
+				return
+			}
+			if t < next {
+				next = t
+			}
+		}
+		for _, sl := range c.slices {
+			if due, ok := sl.hitDelay.NextDue(); ok {
+				if due <= s.now+1 {
+					return
+				}
+				if due < next {
+					next = due
+				}
+			}
+		}
+		for _, smu := range c.sms {
+			if smu.KernelDone() {
+				continue
+			}
+			w := smu.SleepUntil()
+			if w <= s.now+1 {
+				return
+			}
+			if w < next {
+				next = w
+			}
+		}
+	}
+	if t := s.ring.NextEvent(s.now); t >= 0 {
+		if t <= s.now+1 {
+			return
+		}
+		if t < next {
+			next = t
+		}
+	}
+	if next == horizon {
+		// Nothing can ever wake the system again; skipping would spin the
+		// MaxCycles watchdog instantly instead of letting it count real
+		// stalled cycles, so step normally and let it fire with context.
+		return
+	}
+	// Timed triggers cap the skip so their boundary cycle executes.
+	if census := (s.now/512 + 1) * 512; census < next {
+		next = census
+	}
+	if s.sac != nil {
+		if t := s.sac.NextTimedEvent(); t > s.now && t < next {
+			next = t
+		}
+	}
+	if s.cfg.Org == llc.Dynamic {
+		for _, c := range s.chips {
+			if t := c.dyn.NextAdjust(); t > s.now && t < next {
+				next = t
+			}
+		}
+	}
+	if next <= s.now+1 {
+		return
+	}
+	s.run.Skipped += next - 1 - s.now
+	s.now = next - 1
 }
 
 // issuePhase lets every SM issue at most one access.
@@ -359,6 +468,7 @@ func (s *System) deliverToSM(c *chip, req *memsys.Request) {
 	s.run.AddResponse(req.Origin, req.RespBytes(s.cfg.Geom.LineBytes))
 	s.run.ReadLatencySum += s.now - req.IssueCycle
 	s.run.ReadLatencyN++
+	s.pool.Put(req) // reads die at delivery
 }
 
 // ringSink adapts the system to the ring's delivery interface.
@@ -389,6 +499,7 @@ func (rs ringSink) Accept(chipIdx int, m xchip.Message) {
 		// Hardware-coherence invalidation arriving at a sharer.
 		c.slices[req.Slice].arr.Invalidate(req.Line)
 		s.run.InvalMessages++
+		s.pool.Put(req) // invalidations are absorbed here
 	case req.Stage == memsys.StageRingResp:
 		s.ringResponseArrived(c, req)
 	case req.Bypass || req.WB:
@@ -454,6 +565,13 @@ func (s *System) fillSlice(c *chip, si int, req *memsys.Request, part cache.Part
 			sl.arr.MarkDirty(w.Line)
 		}
 		s.respondAfterFill(c, si, w)
+		if w.Kind == memsys.Write {
+			s.pool.Put(w) // write-through stores are absorbed at the fill
+		}
+	}
+	// Retire a write primary only after the loop: waiters copy its Origin.
+	if req.Kind == memsys.Write {
+		s.pool.Put(req)
 	}
 }
 
@@ -501,15 +619,19 @@ func (s *System) evict(c *chip, v cache.Victim) {
 // writeback issues a dirty-line writeback from chip c to the line's home.
 func (s *System) writeback(c *chip, line uint64, home int) {
 	s.nextID++
-	wb := &memsys.Request{
-		ID: s.nextID, Kind: memsys.Write, Line: line,
-		Addr:    line * uint64(s.cfg.Geom.LineBytes),
-		SrcChip: c.idx, HomeChip: home, ServeChip: home,
-		Slice:   s.pae.Slice(line),
-		Channel: s.pae.Channel(line),
-		WB:      true, Bypass: true,
-		Stage: memsys.StageDRAM,
-	}
+	wb := s.pool.Get()
+	wb.ID = s.nextID
+	wb.Kind = memsys.Write
+	wb.Line = line
+	wb.Addr = line * uint64(s.cfg.Geom.LineBytes)
+	wb.SrcChip = c.idx
+	wb.HomeChip = home
+	wb.ServeChip = home
+	wb.Slice = s.pae.Slice(line)
+	wb.Channel = s.pae.Channel(line)
+	wb.WB = true
+	wb.Bypass = true
+	wb.Stage = memsys.StageDRAM
 	if home == c.idx {
 		c.mem.Enqueue(wb)
 		return
@@ -521,26 +643,35 @@ func (s *System) writeback(c *chip, line uint64, home int) {
 	})
 }
 
-// tickSlice performs bandwidth-gated lookups at one slice.
+// tickSlice performs bandwidth-gated lookups at one slice. The lookup
+// bucket refills lazily against the global clock so fast-forwarded idle
+// spans credit it exactly as per-cycle refills would (the burst cap makes
+// the two identical).
 func (s *System) tickSlice(c *chip, si int) {
 	sl := c.slices[si]
-	sl.bkt.Refill()
+	sl.bkt.Advance(s.now - sl.lastRef)
+	sl.lastRef = s.now
 	for !sl.lookupQ.Empty() && sl.bkt.CanTake() {
 		req, _ := sl.lookupQ.Peek()
-		done, cost := s.lookup(c, si, req)
+		done, dead, cost := s.lookup(c, si, req)
 		if !done {
 			sl.mshr.NoteStall()
 			return // head-of-line blocked: resources full downstream
 		}
 		sl.lookupQ.Pop()
 		sl.bkt.Take(cost)
+		if dead {
+			s.pool.Put(req) // write hit: absorbed at the slice, no response
+		}
 	}
 }
 
 // lookup processes one request at a slice. It returns done=false when the
-// request cannot proceed this cycle (MSHR, DRAM queue or ring full) and the
-// bandwidth cost of the lookup otherwise.
-func (s *System) lookup(c *chip, si int, req *memsys.Request) (done bool, cost int) {
+// request cannot proceed this cycle (MSHR, DRAM queue or ring full); dead
+// marks a request whose life ends at this lookup (write hits — absorbed,
+// no response), which the caller retires after popping it; cost is the
+// bandwidth cost of the lookup.
+func (s *System) lookup(c *chip, si int, req *memsys.Request) (done, dead bool, cost int) {
 	sl := c.slices[si]
 	lineBytes := s.cfg.Geom.LineBytes
 	atHome := c.idx == req.HomeChip
@@ -551,7 +682,7 @@ func (s *System) lookup(c *chip, si int, req *memsys.Request) (done bool, cost i
 	// every retry cycle.
 	hit := sl.arr.Probe(req.Line, req.Sector)
 	if !hit && !s.missResourcesAvailable(c, sl, req, secondLookup) {
-		return false, 0
+		return false, false, 0
 	}
 	sl.arr.Lookup(req.Line, req.Sector) // commit counters and recency
 
@@ -571,10 +702,10 @@ func (s *System) lookup(c *chip, si int, req *memsys.Request) (done bool, cost i
 		if req.Kind == memsys.Write {
 			sl.arr.MarkDirty(req.Line)
 			s.writeInvalidate(c, req)
-			return true, lineBytes // stores deposit a line of data
+			return true, true, lineBytes // stores deposit a line of data and die here
 		}
 		sl.hitDelay.Insert(s.now, s.cfg.LLCLatency, req)
-		return true, lineBytes
+		return true, false, lineBytes
 	}
 
 	// Miss paths. Resources were checked by missResourcesAvailable.
@@ -583,12 +714,12 @@ func (s *System) lookup(c *chip, si int, req *memsys.Request) (done bool, cost i
 		// MSHR here (the requester chip holds the MSHR entry for reads).
 		req.Stage = memsys.StageDRAM
 		c.mem.Enqueue(req)
-		return true, memsys.CtrlBytes
+		return true, false, memsys.CtrlBytes
 	}
 
 	if sl.mshr.Lookup(req.Line) {
 		sl.mshr.Allocate(req) // secondary miss: merge
-		return true, memsys.CtrlBytes
+		return true, false, memsys.CtrlBytes
 	}
 
 	switch {
@@ -622,7 +753,7 @@ func (s *System) lookup(c *chip, si int, req *memsys.Request) (done bool, cost i
 			Bytes: req.ReqBytes(lineBytes),
 		})
 	}
-	return true, memsys.CtrlBytes
+	return true, false, memsys.CtrlBytes
 }
 
 // missResourcesAvailable reports whether a missing request can take its
@@ -662,15 +793,16 @@ func (s *System) writeInvalidate(c *chip, req *memsys.Request) {
 			continue
 		}
 		s.nextID++
-		inv := &memsys.Request{
-			ID: s.nextID, Kind: memsys.Write, Line: req.Line,
-			SrcChip: c.idx, HomeChip: req.HomeChip,
-			ServeChip: sharer, Slice: s.pae.Slice(req.Line),
-			Inval: true, Stage: memsys.StageRingReq,
-		}
-		if sharer == c.idx {
-			continue
-		}
+		inv := s.pool.Get()
+		inv.ID = s.nextID
+		inv.Kind = memsys.Write
+		inv.Line = req.Line
+		inv.SrcChip = c.idx
+		inv.HomeChip = req.HomeChip
+		inv.ServeChip = sharer
+		inv.Slice = s.pae.Slice(req.Line)
+		inv.Inval = true
+		inv.Stage = memsys.StageRingReq
 		s.ring.Inject(xchip.Message{
 			Req: inv, Src: c.idx, Dst: sharer, Bytes: memsys.CtrlBytes,
 		})
@@ -693,7 +825,8 @@ func (s *System) respondFromSlice(c *chip, si int, req *memsys.Request) {
 // dramDone handles a completed memory access at chip c (the home chip).
 func (s *System) dramDone(c *chip, req *memsys.Request) {
 	if req.WB {
-		return // writeback retired
+		s.pool.Put(req) // writeback retired
+		return
 	}
 	if req.Origin == memsys.OriginNone {
 		if req.SrcChip == c.idx {
@@ -737,6 +870,13 @@ func (s *System) dramDone(c *chip, req *memsys.Request) {
 			sl.arr.MarkDirty(w.Line)
 		}
 		s.respondMemFill(c, w)
+		if w.Kind == memsys.Write {
+			s.pool.Put(w) // write-through stores are absorbed at the fill
+		}
+	}
+	// Retire a write primary only after the loop: waiters copy its Origin.
+	if req.Kind == memsys.Write {
+		s.pool.Put(req)
 	}
 }
 

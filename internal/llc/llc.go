@@ -201,6 +201,11 @@ func NewDynamicController(ways int, epoch int64, ringCap, dramCap float64) *Dyna
 // LocalWays returns the current ways reserved for local data.
 func (d *DynamicController) LocalWays() int { return d.localWays }
 
+// NextAdjust returns the next epoch-boundary cycle at which Tick can
+// rebalance; cycle loops must not fast-forward past it (skipping the
+// boundary would shift every subsequent epoch).
+func (d *DynamicController) NextAdjust() int64 { return d.lastAdj + d.epoch }
+
 // Observe accumulates one cycle's traffic for this chip.
 func (d *DynamicController) Observe(ringBytes, dramBytes int64) {
 	d.ringBytes += ringBytes

@@ -187,6 +187,52 @@ type Request struct {
 	// Timing.
 	IssueCycle int64 // cycle the SM injected the request
 	DoneCycle  int64 // cycle the response reached the SM
+
+	// pooled marks a request currently held by a Pool freelist; it guards
+	// against retiring the same request twice while a stale reference is
+	// still in some queue.
+	pooled bool
+}
+
+// Pool recycles Request objects across a simulation's cycle loop, so steady
+// state allocates no new requests. It is not safe for concurrent use: each
+// simulated system owns one Pool, matching the one-goroutine-per-simulation
+// execution model.
+//
+// A request must be retired (Put) exactly once, at the point the last
+// component drops its reference: response delivery for reads, ack/absorb
+// points for writes, writebacks and invalidations.
+type Pool struct {
+	free []*Request
+
+	// Allocs counts fresh heap allocations; Reuses counts recycled
+	// requests (diagnostics and tests).
+	Allocs int64
+	Reuses int64
+}
+
+// Get returns a zeroed request, recycling a retired one when available.
+func (p *Pool) Get() *Request {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		*r = Request{}
+		p.Reuses++
+		return r
+	}
+	p.Allocs++
+	return &Request{}
+}
+
+// Put retires a request. The caller must hold the last live reference;
+// retiring twice panics rather than corrupting the freelist.
+func (p *Pool) Put(r *Request) {
+	if r.pooled {
+		panic("memsys: request retired twice")
+	}
+	r.pooled = true
+	p.free = append(p.free, r)
 }
 
 // IsLocal reports whether the request targets the issuing chip's own memory

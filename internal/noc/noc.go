@@ -51,7 +51,6 @@ type Crossbar struct {
 	outBkt  []*bwsim.TokenBucket
 	rr      int   // round-robin pointer over input ports
 	pending int   // queued messages across all input ports
-	cycle   int64 // Tick count, for lazy bucket refill
 	lastRef int64 // cycle of the last bucket refill
 
 	// Stats.
@@ -100,15 +99,16 @@ func (x *Crossbar) Inject(m Message) {
 // Pending returns the number of queued messages across all input ports.
 func (x *Crossbar) Pending() int { return x.pending }
 
-// Tick moves messages for one cycle, delivering to sink. Idle crossbars
-// return immediately; bucket credit catches up lazily when traffic resumes.
-func (x *Crossbar) Tick(sink Sink) {
-	x.cycle++
+// Tick moves messages for one cycle, delivering to sink. now is the global
+// cycle counter; cycle loops that fast-forward idle spans may call Tick with
+// gaps in now. Idle crossbars return immediately; bucket credit catches up
+// lazily when traffic resumes.
+func (x *Crossbar) Tick(now int64, sink Sink) {
 	if x.pending == 0 {
 		return
 	}
-	dt := x.cycle - x.lastRef
-	x.lastRef = x.cycle
+	dt := now - x.lastRef
+	x.lastRef = now
 	for _, b := range x.inBkt {
 		b.Advance(dt)
 	}

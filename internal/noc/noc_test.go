@@ -31,7 +31,7 @@ func TestCrossbarDelivers(t *testing.T) {
 	sink := newCollector(2)
 	x.Inject(msg(0, 1, 32))
 	x.Inject(msg(1, 0, 32))
-	x.Tick(sink)
+	x.Tick(1, sink)
 	if len(sink.got[0]) != 1 || len(sink.got[1]) != 1 {
 		t.Fatalf("delivered %d,%d; want 1,1", len(sink.got[0]), len(sink.got[1]))
 	}
@@ -48,7 +48,7 @@ func TestCrossbarOutputBandwidthLimit(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		x.Inject(msg(0, 0, 32))
 		x.Inject(msg(1, 0, 32))
-		x.Tick(sink)
+		x.Tick(int64(i+1), sink)
 	}
 	if sink.accepts < 95 || sink.accepts > 110 {
 		t.Fatalf("delivered %d msgs in 100 cycles at 1 msg/cycle output", sink.accepts)
@@ -64,7 +64,7 @@ func TestCrossbarInputBandwidthLimit(t *testing.T) {
 	sink := newCollector(2)
 	for i := 0; i < 100; i++ {
 		x.Inject(msg(0, i%2, 32))
-		x.Tick(sink)
+		x.Tick(int64(i+1), sink)
 	}
 	if sink.accepts < 95 || sink.accepts > 110 {
 		t.Fatalf("delivered %d msgs in 100 cycles at 1 msg/cycle input", sink.accepts)
@@ -82,7 +82,7 @@ func TestCrossbarFairness(t *testing.T) {
 				x.Inject(msg(in, 0, 32))
 			}
 		}
-		x.Tick(sink)
+		x.Tick(int64(i+1), sink)
 	}
 	for _, m := range sink.got[0] {
 		per[m.In]++
@@ -97,7 +97,7 @@ func TestCrossbarSinkBackPressure(t *testing.T) {
 	sink := newCollector(1)
 	sink.refuse[0] = true
 	x.Inject(msg(0, 0, 32))
-	x.Tick(sink)
+	x.Tick(1, sink)
 	if sink.accepts != 0 {
 		t.Fatal("delivered despite refusing sink")
 	}
@@ -105,7 +105,7 @@ func TestCrossbarSinkBackPressure(t *testing.T) {
 		t.Fatalf("Pending = %d, want 1", x.Pending())
 	}
 	sink.refuse[0] = false
-	x.Tick(sink)
+	x.Tick(2, sink)
 	if sink.accepts != 1 || x.Pending() != 0 {
 		t.Fatal("message lost after back-pressure released")
 	}
@@ -128,7 +128,7 @@ func TestCrossbarLargeMessageSerialization(t *testing.T) {
 		x.Inject(msg(0, 0, 160))
 	}
 	for i := 0; i < 100; i++ {
-		x.Tick(sink)
+		x.Tick(int64(i+1), sink)
 	}
 	if sink.accepts < 18 || sink.accepts > 22 {
 		t.Fatalf("moved %d large messages in 100 cycles, want ~20", sink.accepts)
@@ -179,7 +179,7 @@ func TestCrossbarConservationProperty(t *testing.T) {
 		injected++
 	}
 	for i := 0; i < 2000 && x.Pending() > 0; i++ {
-		x.Tick(sink)
+		x.Tick(int64(i+1), sink)
 	}
 	if x.Pending() != 0 {
 		t.Fatalf("%d messages stuck", x.Pending())
@@ -201,7 +201,7 @@ func TestCrossbarConservationProperty(t *testing.T) {
 		ordered.Inject(m)
 	}
 	for i := 0; i < 200 && ordered.Pending() > 0; i++ {
-		ordered.Tick(recorder)
+		ordered.Tick(int64(i+1), recorder)
 	}
 	last := map[int]uint64{}
 	for _, m := range seq {

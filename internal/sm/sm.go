@@ -26,6 +26,9 @@ type Config struct {
 	L1Ways  int
 	Geom    memsys.Geometry
 	Sectors int // effective LLC sectors (for the per-chip sector of requests)
+	// Pool, when non-nil, supplies recycled Request objects; the owning
+	// cycle loop retires them back at response delivery.
+	Pool *memsys.Pool
 }
 
 // warp is one warp's execution state.
@@ -54,6 +57,8 @@ type SM struct {
 
 	// Outstanding L1 load misses: line -> blocked warp indexes.
 	pending map[uint64][]int
+	// freeWaiters recycles the per-line waiter slices of pending.
+	freeWaiters [][]int
 
 	doneWarps  int
 	sleepUntil int64 // no warp can issue before this cycle (scheduler skip hint)
@@ -95,7 +100,7 @@ func (s *SM) LoadStreams(streams []workload.AccessStream) {
 	}
 	s.greedy = 0
 	s.sleepUntil = 0
-	s.pending = make(map[uint64][]int)
+	clear(s.pending)
 }
 
 // KernelDone reports whether every warp retired and no loads are in flight.
@@ -196,7 +201,7 @@ func (s *SM) Issue(now int64, canInject bool, nextID *uint64) IssueResult {
 		}
 		*nextID++
 		req := s.newRequest(*nextID, memsys.Read, acc.Line, now, wi)
-		s.pending[acc.Line] = []int{wi}
+		s.pending[acc.Line] = append(s.takeWaiters(), wi)
 		w.blocked = true
 		advance()
 		return IssueResult{Req: req, Issued: true, Warp: wi}
@@ -214,17 +219,32 @@ func (s *SM) Issue(now int64, canInject bool, nextID *uint64) IssueResult {
 }
 
 func (s *SM) newRequest(id uint64, kind memsys.AccessKind, line uint64, now int64, wi int) *memsys.Request {
-	return &memsys.Request{
-		ID:         id,
-		Kind:       kind,
-		Addr:       line * uint64(s.cfg.Geom.LineBytes),
-		Line:       line,
-		Sector:     ChipSector(line, s.cfg.Chip, s.cfg.Sectors),
-		SrcChip:    s.cfg.Chip,
-		SrcSM:      s.cfg.Index,
-		Warp:       wi,
-		IssueCycle: now,
+	var req *memsys.Request
+	if s.cfg.Pool != nil {
+		req = s.cfg.Pool.Get()
+	} else {
+		req = &memsys.Request{}
 	}
+	req.ID = id
+	req.Kind = kind
+	req.Addr = line * uint64(s.cfg.Geom.LineBytes)
+	req.Line = line
+	req.Sector = ChipSector(line, s.cfg.Chip, s.cfg.Sectors)
+	req.SrcChip = s.cfg.Chip
+	req.SrcSM = s.cfg.Index
+	req.Warp = wi
+	req.IssueCycle = now
+	return req
+}
+
+// takeWaiters returns an empty waiter slice, recycling retired ones.
+func (s *SM) takeWaiters() []int {
+	if n := len(s.freeWaiters); n > 0 {
+		w := s.freeWaiters[n-1]
+		s.freeWaiters = s.freeWaiters[:n-1]
+		return w
+	}
+	return make([]int, 0, 4)
 }
 
 // Receive delivers a load response: fill the L1, unblock every warp that
@@ -245,6 +265,9 @@ func (s *SM) Receive(now int64, req *memsys.Request) (unblocked int) {
 			s.sleepUntil = w.readyAt
 		}
 		unblocked++
+	}
+	if waiters != nil {
+		s.freeWaiters = append(s.freeWaiters, waiters[:0])
 	}
 	return unblocked
 }

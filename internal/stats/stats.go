@@ -11,10 +11,11 @@ type Run struct {
 	Benchmark string
 	Org       string
 
-	Cycles int64
-	MemOps int64 // completed memory instructions (loads + stores)
-	Reads  int64
-	Writes int64
+	Cycles  int64
+	MemOps  int64 // completed memory instructions (loads + stores)
+	Reads   int64
+	Writes  int64
+	Skipped int64 // idle cycles fast-forwarded rather than stepped (included in Cycles)
 
 	// L1 aggregate.
 	L1Hits   int64

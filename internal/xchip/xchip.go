@@ -151,6 +151,28 @@ func (r *Ring) Inject(m Message) {
 // Pending returns all messages queued or on the wire.
 func (r *Ring) Pending() int { return r.pending }
 
+// NextEvent returns the earliest future cycle at which the ring can make
+// progress: now+1 while any egress queue holds a message (launch is
+// bandwidth-gated per cycle), else the earliest in-flight landing, or -1
+// when the ring is fully idle.
+func (r *Ring) NextEvent(now int64) int64 {
+	if r.pending == 0 {
+		return -1
+	}
+	next := int64(-1)
+	for c := 0; c < r.cfg.Chips; c++ {
+		for d := 0; d < 2; d++ {
+			if !r.egress[c][d].Empty() {
+				return now + 1
+			}
+			if due, ok := r.inFlight[c][d].NextDue(); ok && (next < 0 || due < next) {
+				next = due
+			}
+		}
+	}
+	return next
+}
+
 func (r *Ring) next(chip int, d Direction) int {
 	if d == CW {
 		return (chip + 1) % r.cfg.Chips

@@ -115,7 +115,14 @@ func Speedup(a, b *Stats) float64 { return stats.Speedup(a, b) }
 func HarmonicMean(speedups []float64) float64 { return stats.HarmonicMeanSpeedup(speedups) }
 
 // Runner executes the paper's experiments (one method per table/figure).
+// Simulations are memoized across experiments and run concurrently up to
+// Runner.Parallelism (0 = all cores); each simulation is single-threaded
+// and deterministic, so results are bit-identical at any parallelism.
 type Runner = eval.Runner
+
+// RunRequest names one (configuration, workload) simulation for
+// Runner.Prefetch / Runner.RunAll.
+type RunRequest = eval.RunRequest
 
 // NewRunner returns a Runner over ScaledConfig and all 16 benchmarks.
 func NewRunner() *Runner { return eval.NewRunner() }
