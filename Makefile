@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench fig8 fmt
+.PHONY: build test vet race fuzz vuln check bench fig8 fmt
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,24 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: static analysis plus the full suite under the race
-# detector.
-check: vet race
+# fuzz is a short smoke of the untrusted-input parsers (the trace reader).
+# An exec-count budget keeps the wall time stable on single-core CI runners;
+# long campaigns run the same target with a time budget instead.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzTraceRead -fuzztime 20000x ./internal/trace
+
+# vuln scans dependencies with govulncheck when it is installed; the gate is
+# advisory so offline checkouts (no way to install the tool) still pass.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+# check is the CI gate: static analysis, the full suite under the race
+# detector, a fuzz smoke of the parsers, and an advisory vulnerability scan.
+check: vet race fuzz vuln
 
 # bench regenerates every table/figure as Go benchmarks with allocation
 # stats. REPRO_SET=fast shrinks the benchmark sets for a quick pass.

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	sac "repro"
 	"repro/internal/coherence"
+	"repro/internal/fault"
 	"repro/internal/llc"
 	"repro/internal/memsys"
 	"repro/internal/noccost"
@@ -32,9 +34,14 @@ func main() {
 		sectored    = flag.Bool("sectored", false, "use a sectored LLC (4 sectors/line)")
 		hardware    = flag.Bool("hw-coherence", false, "use hardware (directory) coherence")
 		inputFactor = flag.Float64("input", 1, "input-set scale factor (Fig 13 axis)")
+		faults      = flag.String("faults", "", "fault plan: a JSON file path or an inline DSL string (e.g. 'xchip:0.cw@2000-30000*0.5')")
+		maxCycles   = flag.Int64("max-cycles", 0, "override the per-kernel cycle limit (0 = preset default)")
+		watchdog    = flag.Int64("watchdog", -1, "abort when no request retires for this many cycles (0 = off, -1 = preset default)")
+		timeout     = flag.Duration("timeout", 0, "wall-clock limit for the whole invocation (0 = none)")
 		printConfig = flag.Bool("print-config", false, "print the configuration (Table 3) and exit")
 	)
 	flag.Parse()
+	armTimeout("sacsim", *timeout)
 
 	cfg := sac.ScaledConfig()
 	if *scale == "full" {
@@ -48,6 +55,22 @@ func main() {
 	cfg.Sectored = *sectored
 	if *hardware {
 		cfg.Coherence = coherence.Hardware
+	}
+	if *maxCycles > 0 {
+		cfg.MaxCycles = *maxCycles
+	}
+	if *watchdog >= 0 {
+		cfg.WatchdogCycles = *watchdog
+	}
+	var plan *sac.FaultPlan
+	if *faults != "" {
+		var err error
+		if plan, err = fault.ParseOrLoad(*faults); err != nil {
+			fatal(err)
+		}
+		if err := plan.Validate(cfg.FaultShape()); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *printConfig {
@@ -64,12 +87,12 @@ func main() {
 	}
 
 	if len(orgs) > 1 {
-		compareOrgs(cfg, spec, orgs, *parallel, *scale)
+		compareOrgs(cfg, spec, orgs, plan, *parallel, *scale)
 		return
 	}
 
 	fmt.Printf("running %s under %s (%s scale)...\n", spec.Name, cfg.Org, *scale)
-	run, err := sac.Run(cfg, spec)
+	run, err := sac.RunWithFaults(cfg, spec, plan)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,6 +110,9 @@ func main() {
 	if run.Reconfigs > 0 || cfg.Org == llc.SAC {
 		fmt.Printf("reconfigurations  %12d (flushed %d dirty lines, %d drain cycles)\n",
 			run.Reconfigs, run.DirtyFlushed, run.DrainCycles)
+	}
+	if plan != nil {
+		fmt.Printf("fault events      %12d (plan %s)\n", run.FaultEvents, plan.Key())
 	}
 	fmt.Println("\nresponse origin breakdown (bytes/cycle):")
 	bd := run.RespBreakdown()
@@ -116,9 +142,10 @@ func parseOrg(name string) llc.Org {
 
 // compareOrgs runs one benchmark under several organizations through the
 // parallel experiment engine and prints them side by side.
-func compareOrgs(cfg sac.Config, spec sac.Spec, orgs []llc.Org, parallel int, scale string) {
+func compareOrgs(cfg sac.Config, spec sac.Spec, orgs []llc.Org, plan *sac.FaultPlan, parallel int, scale string) {
 	r := sac.NewRunner()
 	r.Parallelism = parallel
+	r.Faults = plan
 	reqs := make([]sac.RunRequest, len(orgs))
 	for i, org := range orgs {
 		c := cfg
@@ -187,6 +214,19 @@ func printTable3(cfg sac.Config) {
 	fmt.Printf("  SAC counter budget     %d bytes per chip (CRD %d + LSU %d + scalars %d)\n",
 		b.TotalBytes, b.CRDBytes, b.LSUBytes, b.ScalarBytes)
 	noccost.Compare(noccost.PaperShape(), noccost.Tech22()).Print(os.Stdout)
+}
+
+// armTimeout aborts the process if it outlives d, so a wedged simulation in
+// a scripted pipeline fails loudly instead of hanging the pipeline. Exit
+// code 3 distinguishes the supervisor kill from simulation errors (1).
+func armTimeout(cmd string, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.AfterFunc(d, func() {
+		fmt.Fprintf(os.Stderr, "%s: wall-clock timeout after %v\n", cmd, d)
+		os.Exit(3)
+	})
 }
 
 func fatal(err error) {

@@ -20,23 +20,52 @@ import (
 	"time"
 
 	sac "repro"
+	"repro/internal/fault"
 	"repro/internal/noccost"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig8", "experiment id (or comma list; 'all' for everything)")
-		set      = flag.String("set", "all", "benchmark set: all | fast | comma-separated names")
-		parallel = flag.Int("parallel", 0, "max simulations in flight (0 = all cores, 1 = serial)")
-		verbose  = flag.Bool("v", false, "log each completed simulation")
-		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of tables")
+		exp       = flag.String("exp", "fig8", "experiment id (or comma list; 'all' for everything)")
+		set       = flag.String("set", "all", "benchmark set: all | fast | comma-separated names")
+		parallel  = flag.Int("parallel", 0, "max simulations in flight (0 = all cores, 1 = serial)")
+		verbose   = flag.Bool("v", false, "log each completed simulation")
+		jsonOut   = flag.Bool("json", false, "emit results as JSON instead of tables")
+		faults    = flag.String("faults", "", "fault plan injected into every simulation: JSON file path or inline DSL")
+		maxCycles = flag.Int64("max-cycles", 0, "override the per-kernel cycle limit (0 = preset default)")
+		watchdog  = flag.Int64("watchdog", -1, "abort a run when no request retires for this many cycles (0 = off, -1 = preset default)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole invocation (0 = none)")
 	)
 	flag.Parse()
+	if *timeout > 0 {
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "sacsweep: wall-clock timeout after %v\n", *timeout)
+			os.Exit(3)
+		})
+	}
 
 	r := sac.NewRunner()
 	r.Parallelism = *parallel
 	r.Verbose = *verbose
 	r.Log = os.Stderr
+	if *maxCycles > 0 {
+		r.Base.MaxCycles = *maxCycles
+	}
+	if *watchdog >= 0 {
+		r.Base.WatchdogCycles = *watchdog
+	}
+	if *faults != "" {
+		plan, err := fault.ParseOrLoad(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sacsweep:", err)
+			os.Exit(1)
+		}
+		if err := plan.Validate(r.Base.FaultShape()); err != nil {
+			fmt.Fprintln(os.Stderr, "sacsweep:", err)
+			os.Exit(1)
+		}
+		r.Faults = plan
+	}
 	switch *set {
 	case "all":
 		// all 16
@@ -51,15 +80,23 @@ func main() {
 		ids = []string{"table4", "fig1", "fig8", "fig9", "fig10", "fig11",
 			"fig12", "fig13", "fig14", "headline", "ablation", "noccost", "eabval"}
 	}
+	// One failing experiment does not abort the sweep: report it, keep
+	// going, and exit non-zero at the end if anything failed.
+	failed := 0
 	for _, id := range ids {
 		t0 := time.Now()
 		if err := runExperiment(r, strings.TrimSpace(id), *jsonOut); err != nil {
-			fmt.Fprintln(os.Stderr, "sacsweep:", err)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "sacsweep: %s failed: %v\n", id, err)
+			failed++
+			continue
 		}
 		if !*jsonOut {
 			fmt.Printf("\n# %s done in %.1fs (%d simulations cached)\n", id, time.Since(t0).Seconds(), r.Runs())
 		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "sacsweep: %d of %d experiments failed\n", failed, len(ids))
+		os.Exit(1)
 	}
 }
 

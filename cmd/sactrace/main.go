@@ -15,8 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	sac "repro"
+	"repro/internal/fault"
 	"repro/internal/llc"
 	"repro/internal/trace"
 )
@@ -105,11 +107,21 @@ func info(args []string) {
 func runTrace(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	orgName := fs.String("org", "SAC", "LLC organization")
+	faults := fs.String("faults", "", "fault plan: JSON file path or inline DSL")
+	maxCycles := fs.Int64("max-cycles", 0, "override the per-kernel cycle limit (0 = preset default)")
+	watchdog := fs.Int64("watchdog", -1, "abort when no request retires for this many cycles (0 = off, -1 = preset default)")
+	timeout := fs.Duration("timeout", 0, "wall-clock limit (0 = none)")
 	if len(args) < 1 {
 		usage()
 	}
 	path := args[0]
 	fs.Parse(args[1:])
+	if *timeout > 0 {
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "sactrace: wall-clock timeout after %v\n", *timeout)
+			os.Exit(3)
+		})
+	}
 
 	org, err := llc.ParseOrg(*orgName)
 	if err != nil {
@@ -118,10 +130,25 @@ func runTrace(args []string) {
 	tr := loadTrace(path)
 	rep := trace.NewReplay(tr)
 	cfg := sac.ScaledConfig().WithOrg(org)
+	if *maxCycles > 0 {
+		cfg.MaxCycles = *maxCycles
+	}
+	if *watchdog >= 0 {
+		cfg.WatchdogCycles = *watchdog
+	}
 	if err := rep.CheckMachine(cfg.Machine()); err != nil {
 		fatal(err)
 	}
-	run, err := sac.RunWorkload(cfg, rep)
+	var plan *sac.FaultPlan
+	if *faults != "" {
+		if plan, err = fault.ParseOrLoad(*faults); err != nil {
+			fatal(err)
+		}
+		if err := plan.Validate(cfg.FaultShape()); err != nil {
+			fatal(err)
+		}
+	}
+	run, err := sac.RunWithFaults(cfg, rep, plan)
 	if err != nil {
 		fatal(err)
 	}

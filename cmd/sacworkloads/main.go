@@ -15,6 +15,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	sac "repro"
 )
@@ -24,8 +25,15 @@ func main() {
 		measure = flag.Bool("measure", false, "replay streams and measure footprints")
 		bench   = flag.String("bench", "", "restrict to one benchmark")
 		windows = flag.String("windows", "", "comma-separated window sizes in cycles for the Fig 11 analysis")
+		timeout = flag.Duration("timeout", 0, "wall-clock limit (0 = none)")
 	)
 	flag.Parse()
+	if *timeout > 0 {
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "sacworkloads: wall-clock timeout after %v\n", *timeout)
+			os.Exit(3)
+		})
+	}
 
 	specs := sac.Benchmarks()
 	if *bench != "" {

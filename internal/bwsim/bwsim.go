@@ -33,11 +33,14 @@ func NewBucket(bytesPerCycle float64) *TokenBucket {
 // Rate returns the sustained bytes/cycle of the bucket.
 func (b *TokenBucket) Rate() float64 { return b.bytesPerCycle }
 
-// SetRate changes the sustained rate (used by sensitivity sweeps that
-// reconfigure link bandwidth between runs).
+// SetRate changes the sustained rate (sensitivity sweeps reconfigure link
+// bandwidth between runs; fault injection degrades it mid-run). A rate of
+// exactly 0 disables the resource: credit is clamped to zero and never
+// refills, so CanTake stays false until a later SetRate restores bandwidth.
+// Accumulated debt (negative credit) survives rate changes.
 func (b *TokenBucket) SetRate(bytesPerCycle float64) {
-	if bytesPerCycle <= 0 {
-		panic(fmt.Sprintf("bwsim: non-positive bandwidth %v", bytesPerCycle))
+	if bytesPerCycle < 0 {
+		panic(fmt.Sprintf("bwsim: negative bandwidth %v", bytesPerCycle))
 	}
 	b.bytesPerCycle = bytesPerCycle
 	b.burst = 2 * bytesPerCycle

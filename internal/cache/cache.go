@@ -57,6 +57,7 @@ type Cache struct {
 	tick       int64
 	localWays  int // ways reserved for PartLocal; rest are PartRemote
 	partActive bool
+	usableWays int // ways not disabled by fault injection (Ways when healthy)
 
 	// Counters (reset by ResetStats).
 	Hits        int64
@@ -84,7 +85,7 @@ func New(cfg Config) *Cache {
 	for i := range sets {
 		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
 	}
-	return &Cache{cfg: cfg, sets: sets, localWays: cfg.Ways}
+	return &Cache{cfg: cfg, sets: sets, localWays: cfg.Ways, usableWays: cfg.Ways}
 }
 
 // Cfg returns the cache's configuration.
@@ -117,14 +118,65 @@ func (c *Cache) setIndex(line uint64) int {
 }
 
 func (c *Cache) wayRange(p Partition) (lo, hi int) {
-	if !c.partActive || p == PartAll {
-		return 0, c.cfg.Ways
+	lo, hi = 0, c.cfg.Ways
+	if c.partActive && p != PartAll {
+		if p == PartLocal {
+			hi = c.localWays
+		} else {
+			lo = c.localWays
+		}
 	}
-	if p == PartLocal {
-		return 0, c.localWays
+	// Disabled ways (fault injection) are clipped off the top of every
+	// range; a range that vanishes entirely makes Fill a no-op.
+	if hi > c.usableWays {
+		hi = c.usableWays
 	}
-	return c.localWays, c.cfg.Ways
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
 }
+
+// LimitWays restricts allocation to the first usable ways of every set —
+// the capacity-remapping model of a partially (or fully) disabled LLC
+// slice. Lines resident in the disabled ways are invalidated; dirty ones
+// are reported through onDirty so the caller can issue their writebacks.
+// usable 0 kills the slice: every lookup misses and fills install nothing,
+// so the slice's traffic falls through to memory. A later call with
+// usable = Ways re-enables the hardware (its contents start cold).
+func (c *Cache) LimitWays(usable int, onDirty func(line uint64, remote bool)) (dropped int) {
+	if usable < 0 {
+		usable = 0
+	}
+	if usable > c.cfg.Ways {
+		usable = c.cfg.Ways
+	}
+	if usable < c.usableWays {
+		for s := range c.sets {
+			for i := usable; i < c.usableWays; i++ {
+				w := &c.sets[s][i]
+				if !w.valid {
+					continue
+				}
+				if w.dirty && c.cfg.WriteBack {
+					c.Writebacks++
+					if onDirty != nil {
+						onDirty(w.tag, w.remote)
+					}
+				}
+				w.valid = false
+				w.dirty = false
+				c.Invalidates++
+				dropped++
+			}
+		}
+	}
+	c.usableWays = usable
+	return dropped
+}
+
+// UsableWays returns the ways not disabled by LimitWays (Ways when healthy).
+func (c *Cache) UsableWays() int { return c.usableWays }
 
 func sectorBit(sector int) uint8 { return 1 << uint(sector) }
 
@@ -187,6 +239,11 @@ func (c *Cache) Fill(line uint64, sector int, p Partition, remote bool) (victim 
 		}
 	}
 	lo, hi := c.wayRange(p)
+	if lo >= hi {
+		// No allocatable ways (slice disabled by fault injection): the line
+		// is served but not retained.
+		return Victim{}, false
+	}
 	// Free way in range?
 	for i := lo; i < hi; i++ {
 		if !set[i].valid {

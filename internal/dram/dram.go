@@ -48,6 +48,7 @@ type Partition struct {
 	cfg      Config
 	queues   []*bwsim.Queue[*memsys.Request]
 	buckets  []*bwsim.TokenBucket
+	scales   []float64 // per-channel residual health (1 = full bandwidth)
 	inFlight []*bwsim.DelayLine[*memsys.Request]
 	banks    []*banks // nil entries when bank timing is disabled
 	pending  int
@@ -74,12 +75,14 @@ func New(cfg Config) *Partition {
 		cfg:      cfg,
 		queues:   make([]*bwsim.Queue[*memsys.Request], cfg.Channels),
 		buckets:  make([]*bwsim.TokenBucket, cfg.Channels),
+		scales:   make([]float64, cfg.Channels),
 		inFlight: make([]*bwsim.DelayLine[*memsys.Request], cfg.Channels),
 		banks:    make([]*banks, cfg.Channels),
 	}
 	for c := 0; c < cfg.Channels; c++ {
 		p.queues[c] = bwsim.NewQueue[*memsys.Request](cfg.QueueBound)
 		p.buckets[c] = bwsim.NewBucket(cfg.ChannelBW)
+		p.scales[c] = 1
 		p.inFlight[c] = bwsim.NewDelayLine[*memsys.Request]()
 		if cfg.BanksPerChannel > 0 {
 			p.banks[c] = newBanks(cfg.BanksPerChannel, cfg.Timing)
@@ -90,6 +93,27 @@ func New(cfg Config) *Partition {
 
 // Cfg returns the partition's configuration.
 func (p *Partition) Cfg() Config { return p.cfg }
+
+// SetChannelScale throttles (or heals) one channel to scale of its
+// configured bandwidth. Scale 0 is a failed channel: queued requests stay
+// queued, CanAccept eventually reports false and back-pressure holds
+// upstream requests at the LLC slices or ring. Accesses already issued to
+// the channel's delay line complete normally.
+func (p *Partition) SetChannelScale(ch int, scale float64) {
+	if ch < 0 || ch >= p.cfg.Channels {
+		panic(fmt.Sprintf("dram: no channel %d", ch))
+	}
+	if scale < 0 {
+		scale = 0
+	} else if scale > 1 {
+		scale = 1
+	}
+	p.scales[ch] = scale
+	p.buckets[ch].SetRate(p.cfg.ChannelBW * scale)
+}
+
+// ChannelScale returns the current residual scale of a channel.
+func (p *Partition) ChannelScale(ch int) float64 { return p.scales[ch] }
 
 // CanAccept reports whether channel ch has queue space. This is the shared
 // memory-controller request queue of §3.1: both local LLC misses and

@@ -1,0 +1,62 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/memsys"
+)
+
+func TestChannelOutageAndHeal(t *testing.T) {
+	p := New(Config{Channels: 2, ChannelBW: 128, Latency: 10, QueueBound: 4})
+	p.SetChannelScale(0, 0)
+	if p.ChannelScale(0) != 0 {
+		t.Fatalf("ChannelScale = %v, want 0", p.ChannelScale(0))
+	}
+	var completed int
+	cb := func(*memsys.Request) { completed++ }
+	p.Enqueue(mkReq(1, 0, memsys.Read))
+	for now := int64(0); now < 100; now++ {
+		p.Tick(now, 128, cb)
+	}
+	if completed != 0 {
+		t.Fatal("request completed on a dead channel")
+	}
+	// Queue fills under the outage → back-pressure.
+	for i := 2; i <= 4; i++ {
+		p.Enqueue(mkReq(uint64(i), 0, memsys.Read))
+	}
+	if p.CanAccept(0) {
+		t.Fatal("dead channel still accepting past its queue bound")
+	}
+	if !p.CanAccept(1) {
+		t.Fatal("healthy channel back-pressured by a dead sibling")
+	}
+	// Heal: queued requests drain.
+	p.SetChannelScale(0, 1)
+	for now := int64(100); now < 200; now++ {
+		p.Tick(now, 128, cb)
+	}
+	if completed != 4 {
+		t.Fatalf("completed = %d after heal, want 4", completed)
+	}
+}
+
+func TestChannelThrottleHalvesThroughput(t *testing.T) {
+	count := func(scale float64) int {
+		p := New(Config{Channels: 1, ChannelBW: 128, Latency: 1})
+		p.SetChannelScale(0, scale)
+		var done int
+		cb := func(*memsys.Request) { done++ }
+		for i := 0; i < 300; i++ {
+			p.Enqueue(mkReq(uint64(i), 0, memsys.Read))
+		}
+		for now := int64(0); now < 202; now++ {
+			p.Tick(now, 128, cb)
+		}
+		return done
+	}
+	full, half := count(1), count(0.5)
+	if full < 190 || half < 90 || half > 110 {
+		t.Fatalf("throughput full=%d half=%d; want ~200 and ~100", full, half)
+	}
+}

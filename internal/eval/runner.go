@@ -6,12 +6,15 @@
 package eval
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/gpu"
 	"repro/internal/llc"
 	"repro/internal/stats"
@@ -37,6 +40,10 @@ type Runner struct {
 	// GOMAXPROCS; 1 recovers the fully serial engine. It must be set before
 	// the first run; later changes have no effect.
 	Parallelism int
+	// Faults, when set, injects this fault plan into every simulation
+	// (per-request plans in RunRequest override it). Plans key the memo, so
+	// faulted and healthy runs of the same cell never collide.
+	Faults *fault.Plan
 	// Verbose, when set, streams one line per completed run to Log.
 	Verbose bool
 	Log     io.Writer
@@ -47,6 +54,10 @@ type Runner struct {
 
 	execs     atomic.Int64 // completed simulations (not recalls/joins)
 	simCycles atomic.Int64 // total simulated cycles across executions
+
+	// simulate is the simulation entry point; tests swap it to model
+	// panicking or failing cells. nil selects gpu.RunWithFaults.
+	simulate func(gpu.Config, workload.Spec, *fault.Plan) (*stats.Run, error)
 }
 
 // runKey identifies one simulation: the full configuration plus the workload
@@ -58,8 +69,9 @@ type Runner struct {
 // slice, map, or function field to Config will fail to build here rather
 // than silently panic (or stop deduplicating) at run time.
 type runKey struct {
-	cfg  gpu.Config
-	name string
+	cfg    gpu.Config
+	name   string
+	faults string // canonical fault-plan fingerprint ("" = healthy)
 }
 
 // mustBeComparable exists only to be instantiated with runKey below.
@@ -79,6 +91,16 @@ type runEntry struct {
 type RunRequest struct {
 	Cfg  gpu.Config
 	Spec workload.Spec
+	// Faults overrides the Runner's fault plan for this cell; nil inherits.
+	Faults *fault.Plan
+}
+
+// plan resolves the effective fault plan of a request.
+func (r *Runner) plan(q RunRequest) *fault.Plan {
+	if q.Faults != nil {
+		return q.Faults
+	}
+	return r.Faults
 }
 
 // NewRunner returns a Runner over the scaled baseline configuration.
@@ -138,16 +160,62 @@ func (r *Runner) lookup(key runKey) (*runEntry, bool) {
 	return e, true
 }
 
+// CellError is the structured failure of one sweep cell: the simulation
+// either returned an error or panicked. The supervisor converts panics into
+// CellErrors so one broken cell cannot take down a whole sweep.
+type CellError struct {
+	Benchmark string
+	Org       string
+	Faults    string // fault-plan fingerprint ("" = healthy)
+	Err       error  // simulation error (nil when the cell panicked)
+	PanicVal  any    // recovered panic value (nil when Err is set)
+	Stack     []byte // goroutine stack at the panic site
+}
+
+func (c *CellError) Error() string {
+	cell := fmt.Sprintf("%s under %s", c.Benchmark, c.Org)
+	if c.Faults != "" {
+		cell += " with faults " + c.Faults
+	}
+	if c.PanicVal != nil {
+		return fmt.Sprintf("eval: %s panicked: %v\n%s", cell, c.PanicVal, c.Stack)
+	}
+	return fmt.Sprintf("eval: %s: %v", cell, c.Err)
+}
+
+// Unwrap exposes the simulation error to errors.Is/As chains.
+func (c *CellError) Unwrap() error { return c.Err }
+
+// sim returns the simulation entry point (gpu.RunWithFaults by default).
+func (r *Runner) sim() func(gpu.Config, workload.Spec, *fault.Plan) (*stats.Run, error) {
+	if r.simulate != nil {
+		return r.simulate
+	}
+	return func(cfg gpu.Config, spec workload.Spec, plan *fault.Plan) (*stats.Run, error) {
+		return gpu.RunWithFaults(cfg, spec, plan)
+	}
+}
+
 // execute runs one simulation on behalf of entry e, bounded by the worker
-// pool, and publishes the result to all waiters.
-func (r *Runner) execute(e *runEntry, cfg gpu.Config, spec workload.Spec) {
+// pool, and publishes the result to all waiters. A panicking simulation is
+// contained: the entry fails with a CellError and the sweep continues.
+func (r *Runner) execute(e *runEntry, cfg gpu.Config, spec workload.Spec, plan *fault.Plan) {
 	defer close(e.done)
 	sem := r.workers()
 	sem <- struct{}{}
 	defer func() { <-sem }()
-	res, err := gpu.Run(cfg, spec)
+	defer func() {
+		if v := recover(); v != nil {
+			e.res = nil
+			e.err = &CellError{
+				Benchmark: spec.Name, Org: cfg.Org.String(), Faults: plan.Key(),
+				PanicVal: v, Stack: debug.Stack(),
+			}
+		}
+	}()
+	res, err := r.sim()(cfg, spec, plan)
 	if err != nil {
-		e.err = fmt.Errorf("eval: %s under %s: %w", spec.Name, cfg.Org, err)
+		e.err = &CellError{Benchmark: spec.Name, Org: cfg.Org.String(), Faults: plan.Key(), Err: err}
 		return
 	}
 	e.res = res
@@ -161,11 +229,18 @@ func (r *Runner) execute(e *runEntry, cfg gpu.Config, spec workload.Spec) {
 	}
 }
 
-// run executes (or recalls, or joins in-flight) one simulation.
+// run executes (or recalls, or joins in-flight) one simulation under the
+// Runner's fault plan.
 func (r *Runner) run(cfg gpu.Config, spec workload.Spec) (*stats.Run, error) {
-	e, lead := r.lookup(runKey{cfg, spec.Name})
+	return r.runReq(RunRequest{Cfg: cfg, Spec: spec})
+}
+
+// runReq executes (or recalls, or joins in-flight) one request.
+func (r *Runner) runReq(q RunRequest) (*stats.Run, error) {
+	plan := r.plan(q)
+	e, lead := r.lookup(runKey{q.Cfg, q.Spec.Name, plan.Key()})
 	if lead {
-		r.execute(e, cfg, spec)
+		r.execute(e, q.Cfg, q.Spec, plan)
 	} else {
 		<-e.done
 	}
@@ -177,8 +252,9 @@ func (r *Runner) run(cfg gpu.Config, spec workload.Spec) (*stats.Run, error) {
 // or RunAll, which join the in-flight executions.
 func (r *Runner) Prefetch(reqs []RunRequest) {
 	for _, q := range reqs {
-		if e, lead := r.lookup(runKey{q.Cfg, q.Spec.Name}); lead {
-			go r.execute(e, q.Cfg, q.Spec)
+		plan := r.plan(q)
+		if e, lead := r.lookup(runKey{q.Cfg, q.Spec.Name, plan.Key()}); lead {
+			go r.execute(e, q.Cfg, q.Spec, plan)
 		}
 	}
 }
@@ -186,17 +262,29 @@ func (r *Runner) Prefetch(reqs []RunRequest) {
 // RunAll executes a run-set through the worker pool and returns results in
 // request order. Duplicate keys within the set (or against earlier runs)
 // execute once and share the same *stats.Run.
+//
+// Failed cells do not abort the sweep: every requested cell runs to
+// completion, failures come back as nil slots in the result slice, and the
+// returned error joins one CellError per distinct failed cell. Callers that
+// can tolerate holes may inspect the slice; callers that cannot should treat
+// a non-nil error as fatal as before.
 func (r *Runner) RunAll(reqs []RunRequest) ([]*stats.Run, error) {
 	r.Prefetch(reqs)
 	out := make([]*stats.Run, len(reqs))
+	var errs []error
+	seen := make(map[error]bool)
 	for i, q := range reqs {
-		res, err := r.run(q.Cfg, q.Spec)
+		res, err := r.runReq(q)
 		if err != nil {
-			return nil, err
+			if !seen[err] {
+				seen[err] = true
+				errs = append(errs, err)
+			}
+			continue
 		}
 		out[i] = res
 	}
-	return out, nil
+	return out, errors.Join(errs...)
 }
 
 // runOrg is run with an organization override.

@@ -1,0 +1,535 @@
+// Package fault defines deterministic fault-injection plans for the
+// multi-chip GPU simulator and the injector that replays them.
+//
+// A Plan is a seeded, serializable schedule of fault events against the
+// hardware health signals real multi-chip parts degrade on: inter-chip ring
+// links losing lanes or dropping out entirely, DRAM channels throttling or
+// failing, LLC slices losing ways (capacity remapping) or dying outright,
+// and NoC input ports stalling. Every event names an exact [Start, End)
+// cycle window and a residual capacity Scale, so a faulted run is a pure
+// function of (config, workload, plan): replaying the same plan — serially
+// or inside a parallel sweep — produces bit-identical statistics.
+//
+// The gpu package consumes plans through an Injector, which turns the event
+// list into a sorted edge schedule (activations and deactivations) and
+// reports, per affected unit, the composed residual scale (the product of
+// all active events on that unit). The SAC controller is notified on every
+// bandwidth-relevant change so it re-profiles against the degraded
+// topology — SAC itself becomes the graceful-degradation mechanism.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Domain names the hardware class an event degrades.
+type Domain uint8
+
+const (
+	// XChip degrades one directional inter-chip ring link (unit 0 = the
+	// clockwise link leaving the chip, 1 = counter-clockwise).
+	XChip Domain = iota
+	// DRAM degrades one DRAM channel of a chip's memory partition.
+	DRAM
+	// LLC disables ways of one LLC slice: the slice keeps
+	// round(Scale*ways) usable ways; Scale 0 kills the slice (its traffic
+	// falls through to memory).
+	LLC
+	// NoC throttles one SM-cluster input port of a chip's request crossbar
+	// (Scale 0 stalls the port for the window).
+	NoC
+
+	numDomains
+)
+
+var domainNames = [numDomains]string{"xchip", "dram", "llc", "noc"}
+
+// String returns the canonical lower-case domain name.
+func (d Domain) String() string {
+	if int(d) < len(domainNames) {
+		return domainNames[d]
+	}
+	return fmt.Sprintf("domain(%d)", int(d))
+}
+
+// ParseDomain resolves a domain name ("cache" is accepted for LLC).
+func ParseDomain(s string) (Domain, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "xchip", "link", "ring":
+		return XChip, nil
+	case "dram", "mem":
+		return DRAM, nil
+	case "llc", "cache", "slice":
+		return LLC, nil
+	case "noc", "port":
+		return NoC, nil
+	}
+	return 0, fmt.Errorf("fault: unknown domain %q (want xchip|dram|llc|noc)", s)
+}
+
+// MarshalText implements encoding.TextMarshaler so JSON plans carry names.
+func (d Domain) MarshalText() ([]byte, error) { return []byte(d.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (d *Domain) UnmarshalText(b []byte) error {
+	v, err := ParseDomain(string(b))
+	if err != nil {
+		return err
+	}
+	*d = v
+	return nil
+}
+
+// Event is one fault: unit (Domain, Chip, Unit) runs at Scale of its healthy
+// capacity during cycles [Start, End). End 0 means permanent. Overlapping
+// events on the same unit compose multiplicatively.
+type Event struct {
+	Domain Domain  `json:"domain"`
+	Chip   int     `json:"chip"`
+	Unit   int     `json:"unit"`
+	Start  int64   `json:"start"`
+	End    int64   `json:"end,omitempty"` // 0 = never heals
+	Scale  float64 `json:"scale"`         // residual fraction in [0,1]
+}
+
+// permanent reports whether the event never deactivates.
+func (e Event) permanent() bool { return e.End <= 0 }
+
+func (e Event) String() string {
+	unit := strconv.Itoa(e.Unit)
+	if e.Domain == XChip {
+		if e.Unit == 0 {
+			unit = "cw"
+		} else {
+			unit = "ccw"
+		}
+	}
+	s := fmt.Sprintf("%s:%d.%s@%d", e.Domain, e.Chip, unit, e.Start)
+	if !e.permanent() {
+		s += "-" + strconv.FormatInt(e.End, 10)
+	}
+	return s + "*" + strconv.FormatFloat(e.Scale, 'g', -1, 64)
+}
+
+// Validate checks one event's internal consistency.
+func (e Event) Validate() error {
+	switch {
+	case int(e.Domain) >= int(numDomains):
+		return fmt.Errorf("fault: bad domain in %+v", e)
+	case e.Chip < 0:
+		return fmt.Errorf("fault: negative chip in %+v", e)
+	case e.Unit < 0:
+		return fmt.Errorf("fault: negative unit in %+v", e)
+	case e.Domain == XChip && e.Unit > 1:
+		return fmt.Errorf("fault: xchip unit must be 0 (cw) or 1 (ccw), got %d", e.Unit)
+	case e.Start < 0:
+		return fmt.Errorf("fault: negative start in %+v", e)
+	case !e.permanent() && e.End <= e.Start:
+		return fmt.Errorf("fault: empty window [%d,%d)", e.Start, e.End)
+	case e.Scale < 0 || e.Scale > 1:
+		return fmt.Errorf("fault: scale %v outside [0,1]", e.Scale)
+	}
+	return nil
+}
+
+// Shape bounds a plan against a machine: unit indices must exist. The zero
+// value of a field skips that bound (for shape-agnostic plans).
+type Shape struct {
+	Chips           int
+	ChannelsPerChip int
+	SlicesPerChip   int
+	ClustersPerChip int
+}
+
+// Plan is a complete, serializable fault schedule.
+type Plan struct {
+	// Seed records how a generated plan was derived (0 for hand-written
+	// plans); it is carried through serialization for provenance.
+	Seed   int64   `json:"seed,omitempty"`
+	Events []Event `json:"events"`
+}
+
+// Validate checks every event, bounded by shape where its fields are set.
+func (p *Plan) Validate(shape Shape) error {
+	for i, e := range p.Events {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+		if shape.Chips > 0 && e.Chip >= shape.Chips {
+			return fmt.Errorf("event %d: chip %d outside %d chips", i, e.Chip, shape.Chips)
+		}
+		max := 0
+		switch e.Domain {
+		case XChip:
+			max = 2
+		case DRAM:
+			max = shape.ChannelsPerChip
+		case LLC:
+			max = shape.SlicesPerChip
+		case NoC:
+			max = shape.ClustersPerChip
+		}
+		if max > 0 && e.Unit >= max {
+			return fmt.Errorf("event %d: %s unit %d outside %d units", i, e.Domain, e.Unit, max)
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the plan schedules no events.
+func (p *Plan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// Key returns a canonical fingerprint of the plan, suitable as part of a
+// memoization key: two plans with the same events produce the same key.
+func (p *Plan) Key() string {
+	if p.Empty() {
+		return ""
+	}
+	parts := make([]string, len(p.Events))
+	for i, e := range p.Events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// String renders the plan in the compact spec syntax Parse accepts.
+func (p *Plan) String() string { return p.Key() }
+
+// WriteJSON serializes the plan.
+func (p *Plan) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadJSON loads a plan serialized by WriteJSON.
+func ReadJSON(r io.Reader) (*Plan, error) {
+	var p Plan
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("fault: bad plan JSON: %w", err)
+	}
+	if err := p.Validate(Shape{}); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Parse reads the compact inline syntax: semicolon-separated events of the
+// form
+//
+//	domain:chip[.unit]@start[-end][*scale]
+//
+// e.g. "xchip:0.cw@1000-5000*0.5; dram:1.0@2000*0; llc:2.3@500*0.5".
+// A missing unit defaults to 0, a missing end means permanent, a missing
+// scale means 0 (outage).
+func Parse(s string) (*Plan, error) {
+	p := &Plan{}
+	for _, item := range strings.Split(s, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		e, err := parseEvent(item)
+		if err != nil {
+			return nil, err
+		}
+		p.Events = append(p.Events, e)
+	}
+	if len(p.Events) == 0 {
+		return nil, fmt.Errorf("fault: plan %q holds no events", s)
+	}
+	if err := p.Validate(Shape{}); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseEvent(item string) (Event, error) {
+	var e Event
+	bad := func(why string) (Event, error) {
+		return e, fmt.Errorf("fault: bad event %q: %s (want domain:chip[.unit]@start[-end][*scale])", item, why)
+	}
+	rest := item
+	if i := strings.LastIndex(rest, "*"); i >= 0 {
+		v, err := strconv.ParseFloat(rest[i+1:], 64)
+		if err != nil {
+			return bad("unparsable scale")
+		}
+		e.Scale = v
+		rest = rest[:i]
+	}
+	parts := strings.SplitN(rest, "@", 2)
+	if len(parts) != 2 {
+		return bad("missing @window")
+	}
+	window := parts[1]
+	if lo, hi, ranged := strings.Cut(window, "-"); ranged {
+		start, err1 := strconv.ParseInt(lo, 10, 64)
+		end, err2 := strconv.ParseInt(hi, 10, 64)
+		if err1 != nil || err2 != nil {
+			return bad("unparsable cycle window")
+		}
+		e.Start, e.End = start, end
+	} else {
+		start, err := strconv.ParseInt(window, 10, 64)
+		if err != nil {
+			return bad("unparsable start cycle")
+		}
+		e.Start = start
+	}
+	loc := parts[0]
+	domStr, chipUnit, ok := strings.Cut(loc, ":")
+	if !ok {
+		return bad("missing domain:")
+	}
+	d, err := ParseDomain(domStr)
+	if err != nil {
+		return e, err
+	}
+	e.Domain = d
+	chipStr, unitStr, hasUnit := strings.Cut(chipUnit, ".")
+	chip, err := strconv.Atoi(chipStr)
+	if err != nil {
+		return bad("unparsable chip index")
+	}
+	e.Chip = chip
+	if hasUnit {
+		switch {
+		case d == XChip && strings.EqualFold(unitStr, "cw"):
+			e.Unit = 0
+		case d == XChip && strings.EqualFold(unitStr, "ccw"):
+			e.Unit = 1
+		default:
+			u, err := strconv.Atoi(unitStr)
+			if err != nil {
+				return bad("unparsable unit index")
+			}
+			e.Unit = u
+		}
+	}
+	if err := e.Validate(); err != nil {
+		return e, err
+	}
+	return e, nil
+}
+
+// Load reads a plan from a JSON file.
+func Load(path string) (*Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// ParseOrLoad resolves a CLI argument: an existing file path loads JSON,
+// anything else parses as the inline syntax.
+func ParseOrLoad(arg string) (*Plan, error) {
+	if _, err := os.Stat(arg); err == nil {
+		return Load(arg)
+	}
+	return Parse(arg)
+}
+
+// Generate derives a deterministic random plan from a seed: n events spread
+// over [0, horizon) cycles across every domain the shape exposes, with
+// degradation scales drawn from {0, 0.25, 0.5, 0.75} and window lengths
+// between horizon/64 and horizon/4 (one in eight events is permanent).
+// The same (seed, shape, n, horizon) always yields the same plan.
+func Generate(seed int64, shape Shape, n int, horizon int64) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	if horizon < 16 {
+		horizon = 16
+	}
+	chips := shape.Chips
+	if chips < 2 {
+		chips = 2
+	}
+	p := &Plan{Seed: seed}
+	for i := 0; i < n; i++ {
+		var e Event
+		e.Domain = Domain(rng.Intn(int(numDomains)))
+		e.Chip = rng.Intn(chips)
+		switch e.Domain {
+		case XChip:
+			e.Unit = rng.Intn(2)
+		case DRAM:
+			e.Unit = rng.Intn(maxInt(shape.ChannelsPerChip, 1))
+		case LLC:
+			e.Unit = rng.Intn(maxInt(shape.SlicesPerChip, 1))
+		case NoC:
+			e.Unit = rng.Intn(maxInt(shape.ClustersPerChip, 1))
+		}
+		e.Start = rng.Int63n(horizon)
+		if rng.Intn(8) != 0 { // 7 in 8 events heal
+			span := horizon/64 + rng.Int63n(maxInt64(horizon/4, 1))
+			e.End = e.Start + maxInt64(span, 1)
+		}
+		e.Scale = float64(rng.Intn(4)) * 0.25
+		p.Events = append(p.Events, e)
+	}
+	return p
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// unitKey identifies one faultable hardware unit.
+type unitKey struct {
+	d          Domain
+	chip, unit int
+}
+
+// edge is one activation or deactivation in the replay schedule.
+type edge struct {
+	at int64
+	ev int // index into plan.Events
+	on bool
+}
+
+// Change reports one unit whose composed residual scale changed.
+type Change struct {
+	Domain Domain
+	Chip   int
+	Unit   int
+	Scale  float64 // composed residual capacity in [0,1]; 1 = healed
+}
+
+// Injector replays a plan: the owning cycle loop calls Advance once per
+// stepped cycle (and bounds idle-cycle fast-forwarding by NextEdge) and
+// applies the returned Changes to the device models.
+type Injector struct {
+	plan   *Plan
+	edges  []edge
+	next   int
+	active map[unitKey]map[int]float64 // unit -> active event index -> scale
+	scales map[unitKey]float64         // current composed scale per touched unit
+}
+
+// NewInjector compiles a plan into its edge schedule. A nil or empty plan
+// yields an injector that never fires.
+func NewInjector(p *Plan) *Injector {
+	in := &Injector{
+		plan:   p,
+		active: make(map[unitKey]map[int]float64),
+		scales: make(map[unitKey]float64),
+	}
+	if p != nil {
+		for i, e := range p.Events {
+			in.edges = append(in.edges, edge{at: e.Start, ev: i, on: true})
+			if !e.permanent() {
+				in.edges = append(in.edges, edge{at: e.End, ev: i, on: false})
+			}
+		}
+	}
+	// Deactivations before activations at the same cycle, then plan order:
+	// a window ending exactly when another begins hands over cleanly.
+	sort.SliceStable(in.edges, func(a, b int) bool {
+		ea, eb := in.edges[a], in.edges[b]
+		if ea.at != eb.at {
+			return ea.at < eb.at
+		}
+		return !ea.on && eb.on
+	})
+	return in
+}
+
+// NextEdge returns the cycle of the earliest unapplied edge after now, or -1
+// when the schedule is exhausted. Fast-forwarding loops use it so a skip
+// never jumps over a fault boundary.
+func (in *Injector) NextEdge(now int64) int64 {
+	for _, e := range in.edges[in.next:] {
+		if e.at > now {
+			return e.at
+		}
+	}
+	return -1
+}
+
+// Advance applies every edge due at or before now and returns the composed
+// per-unit scale changes in a deterministic order (sorted by domain, chip,
+// unit). It returns nil when no edge fired.
+func (in *Injector) Advance(now int64) []Change {
+	if in.next >= len(in.edges) || in.edges[in.next].at > now {
+		return nil
+	}
+	touched := make(map[unitKey]struct{})
+	for in.next < len(in.edges) && in.edges[in.next].at <= now {
+		ed := in.edges[in.next]
+		in.next++
+		e := in.plan.Events[ed.ev]
+		k := unitKey{e.Domain, e.Chip, e.Unit}
+		touched[k] = struct{}{}
+		if ed.on {
+			if in.active[k] == nil {
+				in.active[k] = make(map[int]float64)
+			}
+			in.active[k][ed.ev] = e.Scale
+		} else {
+			delete(in.active[k], ed.ev)
+		}
+	}
+	changes := make([]Change, 0, len(touched))
+	for k := range touched {
+		scale := 1.0
+		for _, s := range in.active[k] {
+			scale *= s
+		}
+		if len(in.active[k]) == 0 {
+			delete(in.scales, k)
+		} else {
+			in.scales[k] = scale
+		}
+		changes = append(changes, Change{Domain: k.d, Chip: k.chip, Unit: k.unit, Scale: scale})
+	}
+	sort.Slice(changes, func(a, b int) bool {
+		x, y := changes[a], changes[b]
+		if x.Domain != y.Domain {
+			return x.Domain < y.Domain
+		}
+		if x.Chip != y.Chip {
+			return x.Chip < y.Chip
+		}
+		return x.Unit < y.Unit
+	})
+	return changes
+}
+
+// AvgScale returns the mean residual scale across all units of a domain,
+// given the total unit count of the machine — the factor by which the
+// domain's aggregate bandwidth is currently degraded. Untouched units count
+// as healthy (scale 1).
+func (in *Injector) AvgScale(d Domain, totalUnits int) float64 {
+	if totalUnits <= 0 {
+		return 1
+	}
+	sum := float64(totalUnits)
+	for k, s := range in.scales {
+		if k.d == d {
+			sum += s - 1
+		}
+	}
+	return sum / float64(totalUnits)
+}
+
+// ActiveFaults returns the number of units currently degraded.
+func (in *Injector) ActiveFaults() int { return len(in.scales) }

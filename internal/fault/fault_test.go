@@ -1,0 +1,167 @@
+package fault
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	p, err := Parse("xchip:0.cw@1000-5000*0.5; dram:1.0@2000*0; llc:2.3@500-900*0.25; noc:0.2@100-200*0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 4 {
+		t.Fatalf("got %d events, want 4", len(p.Events))
+	}
+	want := []Event{
+		{Domain: XChip, Chip: 0, Unit: 0, Start: 1000, End: 5000, Scale: 0.5},
+		{Domain: DRAM, Chip: 1, Unit: 0, Start: 2000, Scale: 0},
+		{Domain: LLC, Chip: 2, Unit: 3, Start: 500, End: 900, Scale: 0.25},
+		{Domain: NoC, Chip: 0, Unit: 2, Start: 100, End: 200, Scale: 0},
+	}
+	if !reflect.DeepEqual(p.Events, want) {
+		t.Fatalf("parsed %+v\nwant %+v", p.Events, want)
+	}
+	// The canonical string re-parses to the same plan.
+	p2, err := Parse(p.Key())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", p.Key(), err)
+	}
+	if !reflect.DeepEqual(p.Events, p2.Events) {
+		t.Fatalf("round trip changed events: %+v vs %+v", p.Events, p2.Events)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"xchip:0.cw",           // no window
+		"warp:0@10*0.5",        // unknown domain
+		"xchip:0.up@10*0.5",    // bad unit
+		"xchip:0.cw@10*1.5",    // scale out of range
+		"xchip:0.cw@50-10*0.5", // empty window
+		"dram:-1.0@10*0.5",     // negative chip
+		"llc:a.b@10",           // unparsable indices
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p, err := Parse("xchip:1.ccw@10-20*0.5; dram:0.1@30*0.75")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Seed = 42
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, p2) {
+		t.Fatalf("JSON round trip: %+v vs %+v", p, p2)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	shape := Shape{Chips: 4, ChannelsPerChip: 2, SlicesPerChip: 4, ClustersPerChip: 8}
+	a := Generate(7, shape, 12, 100_000)
+	b := Generate(7, shape, 12, 100_000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	if err := a.Validate(shape); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	c := Generate(8, shape, 12, 100_000)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	if a.Key() != b.Key() || a.Key() == c.Key() {
+		t.Fatal("plan keys do not track plan identity")
+	}
+}
+
+func TestValidateShapeBounds(t *testing.T) {
+	shape := Shape{Chips: 2, ChannelsPerChip: 2, SlicesPerChip: 4, ClustersPerChip: 4}
+	p := &Plan{Events: []Event{{Domain: DRAM, Chip: 1, Unit: 5, Start: 0, Scale: 0.5}}}
+	if err := p.Validate(shape); err == nil {
+		t.Fatal("out-of-range channel accepted")
+	}
+	p = &Plan{Events: []Event{{Domain: LLC, Chip: 3, Unit: 0, Start: 0, Scale: 0.5}}}
+	if err := p.Validate(shape); err == nil {
+		t.Fatal("out-of-range chip accepted")
+	}
+}
+
+func TestInjectorEdgesAndComposition(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Domain: XChip, Chip: 0, Unit: 0, Start: 10, End: 30, Scale: 0.5},
+		{Domain: XChip, Chip: 0, Unit: 0, Start: 20, End: 40, Scale: 0.5},
+		{Domain: DRAM, Chip: 1, Unit: 0, Start: 20, Scale: 0}, // permanent
+	}}
+	in := NewInjector(p)
+
+	if got := in.NextEdge(0); got != 10 {
+		t.Fatalf("NextEdge(0) = %d, want 10", got)
+	}
+	if ch := in.Advance(5); ch != nil {
+		t.Fatalf("premature changes %+v", ch)
+	}
+	ch := in.Advance(10)
+	if len(ch) != 1 || ch[0].Scale != 0.5 {
+		t.Fatalf("at 10: %+v", ch)
+	}
+	ch = in.Advance(20)
+	if len(ch) != 2 {
+		t.Fatalf("at 20: %+v", ch)
+	}
+	// Sorted: xchip before dram? Domain order: XChip=0 < DRAM=1.
+	if ch[0].Domain != XChip || ch[0].Scale != 0.25 {
+		t.Fatalf("composed scale at 20: %+v", ch[0])
+	}
+	if ch[1].Domain != DRAM || ch[1].Scale != 0 {
+		t.Fatalf("dram outage at 20: %+v", ch[1])
+	}
+	ch = in.Advance(30)
+	if len(ch) != 1 || ch[0].Scale != 0.5 {
+		t.Fatalf("first event healed at 30: %+v", ch)
+	}
+	ch = in.Advance(40)
+	if len(ch) != 1 || ch[0].Scale != 1 {
+		t.Fatalf("link fully healed at 40: %+v", ch)
+	}
+	if in.NextEdge(40) != -1 {
+		t.Fatal("edges remain after 40")
+	}
+	// The permanent DRAM outage is the only active fault left.
+	if in.ActiveFaults() != 1 {
+		t.Fatalf("active faults = %d, want 1", in.ActiveFaults())
+	}
+	if got := in.AvgScale(DRAM, 4); got != 0.75 {
+		t.Fatalf("AvgScale(DRAM,4) = %v, want 0.75", got)
+	}
+	if got := in.AvgScale(XChip, 8); got != 1 {
+		t.Fatalf("AvgScale(XChip,8) = %v, want 1", got)
+	}
+}
+
+func TestInjectorEmptyPlan(t *testing.T) {
+	for _, in := range []*Injector{NewInjector(nil), NewInjector(&Plan{})} {
+		if in.NextEdge(0) != -1 || in.Advance(1<<40) != nil || in.ActiveFaults() != 0 {
+			t.Fatal("empty injector fired")
+		}
+		if in.AvgScale(LLC, 16) != 1 {
+			t.Fatal("empty injector degraded a domain")
+		}
+	}
+	if (&Plan{}).Key() != "" || (*Plan)(nil).Key() != "" {
+		t.Fatal("empty plan key not empty")
+	}
+}

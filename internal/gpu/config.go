@@ -68,6 +68,12 @@ type Config struct {
 
 	// Safety stop: a run exceeding this many cycles fails loudly.
 	MaxCycles int64
+
+	// Progress watchdog: a run in which no request retires (and no idle
+	// span can be skipped) for this many consecutive cycles aborts with a
+	// StallError carrying a queue-occupancy dump. 0 disables the watchdog;
+	// MaxCycles remains the outer safety stop.
+	WatchdogCycles int64
 }
 
 // PaperConfig returns the paper's Table 3 baseline at full scale:
@@ -106,8 +112,9 @@ func PaperConfig() Config {
 		MSHRPerSlice: 64,
 		QueueBound:   64,
 
-		WorkloadScale: 1,
-		MaxCycles:     2_000_000_000,
+		WorkloadScale:  1,
+		MaxCycles:      2_000_000_000,
+		WatchdogCycles: 2_000_000,
 	}
 }
 
@@ -140,6 +147,7 @@ func ScaledConfig() Config {
 	// sweeps this).
 	c.SACOpts.WindowCycles = 6000
 	c.MaxCycles = 50_000_000
+	c.WatchdogCycles = 1_000_000
 	return c
 }
 
@@ -189,8 +197,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("gpu: non-positive bandwidth")
 	case c.WorkloadScale < 1:
 		return fmt.Errorf("gpu: workload scale must be >= 1")
+	case c.MSHRPerSlice < 1:
+		return fmt.Errorf("gpu: MSHRPerSlice must be >= 1, got %d", c.MSHRPerSlice)
+	case c.QueueBound < 0:
+		return fmt.Errorf("gpu: negative QueueBound %d", c.QueueBound)
 	case c.MaxCycles <= 0:
 		return fmt.Errorf("gpu: MaxCycles must be positive")
+	case c.WatchdogCycles < 0:
+		return fmt.Errorf("gpu: negative WatchdogCycles %d", c.WatchdogCycles)
 	}
 	llcLines := c.LLCBytesPerChip / c.Geom.LineBytes / c.SlicesPerChip
 	if llcLines%c.LLCWays != 0 || llcLines/c.LLCWays == 0 {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/llc"
 	"repro/internal/memsys"
 	"repro/internal/noc"
@@ -71,6 +72,13 @@ type System struct {
 	nextID uint64
 	state  runState
 
+	// Fault injection (nil injector = healthy run).
+	inj            *fault.Injector
+	faultReprofile bool // SAC must re-profile against a changed topology
+
+	// Progress watchdog: cycle of the last retirement or skippable span.
+	lastProgress int64
+
 	kernelIdx        int
 	kernelStartCycle int64
 	kernelStartOps   int64
@@ -87,6 +95,13 @@ func New(cfg Config, spec Workload) (*System, error) {
 	}
 	if spec.KernelCount() == 0 {
 		return nil, fmt.Errorf("gpu: workload %q has no kernels", spec.SourceName())
+	}
+	// Shape-bound workloads (trace replays) reject mismatched machines here,
+	// as a returned error, instead of failing once streams are requested.
+	if cm, ok := spec.(interface{ CheckMachine(workload.Machine) error }); ok {
+		if err := cm.CheckMachine(cfg.Machine()); err != nil {
+			return nil, err
+		}
 	}
 	s := &System{
 		cfg:   cfg,
@@ -165,6 +180,7 @@ func (s *System) runKernel() error {
 	}
 	s.kernelStartCycle = s.now
 	s.kernelStartOps = s.run.MemOps
+	s.lastProgress = s.now
 	s.state = stRun
 	if s.cfg.Org == llc.SAC {
 		s.mode = llc.ModeMemorySide
@@ -180,8 +196,11 @@ func (s *System) runKernel() error {
 	s.kernelMode = s.mode
 
 	for {
+		if s.cfg.WatchdogCycles > 0 && s.now-s.lastProgress > s.cfg.WatchdogCycles {
+			return s.newStallError()
+		}
 		if s.now-s.kernelStartCycle > s.cfg.MaxCycles {
-			return fmt.Errorf("gpu: %s kernel %d exceeded %d cycles (org %s, state %d)",
+			return fmt.Errorf("gpu: %s kernel %d exceeded %d cycles (org %s, state %s)",
 				s.spec.SourceName(), s.kernelIdx, s.cfg.MaxCycles, s.cfg.Org, s.state)
 		}
 		if s.step() {
@@ -206,6 +225,12 @@ func (s *System) step() bool {
 	s.now++
 	now := s.now
 
+	// 0. Fault edges due this cycle change device health before any traffic
+	// moves, so the effect is identical however the previous idle span was
+	// traversed (stepped or fast-forwarded).
+	if s.inj != nil {
+		s.applyFaults()
+	}
 	// 1. DRAM completions and issue.
 	for i, c := range s.chips {
 		c.mem.Tick(now, s.cfg.Geom.LineBytes, s.dramSinks[i])
@@ -338,11 +363,26 @@ func (s *System) fastForward() {
 			}
 		}
 	}
+	if s.inj != nil {
+		if t := s.inj.NextEdge(s.now); t > s.now && t < next {
+			next = t // fault edges execute on their exact cycle
+		}
+	}
 	if next <= s.now+1 {
 		return
 	}
 	s.run.Skipped += next - 1 - s.now
 	s.now = next - 1
+	// A skip proves a scheduled future event exists, so the system is
+	// waiting, not wedged: the watchdog window restarts.
+	s.lastProgress = s.now
+}
+
+// retire returns a dead request to the pool and marks forward progress for
+// the watchdog. Every request death point goes through it.
+func (s *System) retire(req *memsys.Request) {
+	s.lastProgress = s.now
+	s.pool.Put(req)
 }
 
 // issuePhase lets every SM issue at most one access.
@@ -468,7 +508,7 @@ func (s *System) deliverToSM(c *chip, req *memsys.Request) {
 	s.run.AddResponse(req.Origin, req.RespBytes(s.cfg.Geom.LineBytes))
 	s.run.ReadLatencySum += s.now - req.IssueCycle
 	s.run.ReadLatencyN++
-	s.pool.Put(req) // reads die at delivery
+	s.retire(req) // reads die at delivery
 }
 
 // ringSink adapts the system to the ring's delivery interface.
@@ -499,7 +539,7 @@ func (rs ringSink) Accept(chipIdx int, m xchip.Message) {
 		// Hardware-coherence invalidation arriving at a sharer.
 		c.slices[req.Slice].arr.Invalidate(req.Line)
 		s.run.InvalMessages++
-		s.pool.Put(req) // invalidations are absorbed here
+		s.retire(req) // invalidations are absorbed here
 	case req.Stage == memsys.StageRingResp:
 		s.ringResponseArrived(c, req)
 	case req.Bypass || req.WB:
@@ -566,12 +606,12 @@ func (s *System) fillSlice(c *chip, si int, req *memsys.Request, part cache.Part
 		}
 		s.respondAfterFill(c, si, w)
 		if w.Kind == memsys.Write {
-			s.pool.Put(w) // write-through stores are absorbed at the fill
+			s.retire(w) // write-through stores are absorbed at the fill
 		}
 	}
 	// Retire a write primary only after the loop: waiters copy its Origin.
 	if req.Kind == memsys.Write {
-		s.pool.Put(req)
+		s.retire(req)
 	}
 }
 
@@ -661,7 +701,7 @@ func (s *System) tickSlice(c *chip, si int) {
 		sl.lookupQ.Pop()
 		sl.bkt.Take(cost)
 		if dead {
-			s.pool.Put(req) // write hit: absorbed at the slice, no response
+			s.retire(req) // write hit: absorbed at the slice, no response
 		}
 	}
 }
@@ -825,7 +865,7 @@ func (s *System) respondFromSlice(c *chip, si int, req *memsys.Request) {
 // dramDone handles a completed memory access at chip c (the home chip).
 func (s *System) dramDone(c *chip, req *memsys.Request) {
 	if req.WB {
-		s.pool.Put(req) // writeback retired
+		s.retire(req) // writeback retired
 		return
 	}
 	if req.Origin == memsys.OriginNone {
@@ -871,12 +911,12 @@ func (s *System) dramDone(c *chip, req *memsys.Request) {
 		}
 		s.respondMemFill(c, w)
 		if w.Kind == memsys.Write {
-			s.pool.Put(w) // write-through stores are absorbed at the fill
+			s.retire(w) // write-through stores are absorbed at the fill
 		}
 	}
 	// Retire a write primary only after the loop: waiters copy its Origin.
 	if req.Kind == memsys.Write {
-		s.pool.Put(req)
+		s.retire(req)
 	}
 }
 
@@ -919,6 +959,21 @@ func (s *System) controlPhase() {
 		if s.mode == llc.ModeSMSide {
 			s.state = stDrainRevert
 		} else {
+			s.sac.Rearm(s.now)
+		}
+	}
+
+	// Fault-driven re-profiling: the topology changed, so any standing
+	// decision was taken against bandwidths that no longer exist. Revert to
+	// memory-side (if needed) and open a fresh window under the degraded
+	// ArchParams. A window already in progress just continues — Decide will
+	// already see the new parameters.
+	if s.sac != nil && s.faultReprofile && s.state == stRun {
+		s.faultReprofile = false
+		switch {
+		case s.mode == llc.ModeSMSide:
+			s.state = stDrainRevert
+		case !s.sac.Profiling(s.now):
 			s.sac.Rearm(s.now)
 		}
 	}

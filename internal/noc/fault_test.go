@@ -1,0 +1,59 @@
+package noc
+
+import "testing"
+
+func TestInPortStallAndHeal(t *testing.T) {
+	x := New(Config{InPorts: 2, OutPorts: 2, InBW: 64, OutBW: 64, IngressBound: 2})
+	sink := newCollector(2)
+	x.SetInPortScale(0, 0)
+	if x.InPortScale(0) != 0 {
+		t.Fatalf("InPortScale = %v, want 0", x.InPortScale(0))
+	}
+	x.Inject(msg(0, 1, 32))
+	x.Inject(msg(0, 1, 32))
+	for now := int64(1); now <= 50; now++ {
+		x.Tick(now, sink)
+	}
+	if len(sink.got[1]) != 0 {
+		t.Fatal("messages crossed a stalled input port")
+	}
+	if x.CanInject(0) {
+		t.Fatal("stalled port's ingress bound not back-pressuring")
+	}
+	// Sibling port unaffected.
+	x.Inject(msg(1, 0, 32))
+	x.Tick(51, sink)
+	if len(sink.got[0]) != 1 {
+		t.Fatal("healthy port blocked by a stalled sibling")
+	}
+	// Heal: the queued messages drain.
+	x.SetInPortScale(0, 1)
+	for now := int64(52); now <= 60; now++ {
+		x.Tick(now, sink)
+	}
+	if len(sink.got[1]) != 2 {
+		t.Fatalf("port 1 got %d messages after heal, want 2", len(sink.got[1]))
+	}
+	if x.Pending() != 0 {
+		t.Fatalf("Pending = %d after heal", x.Pending())
+	}
+}
+
+func TestInPortThrottleHalvesThroughput(t *testing.T) {
+	count := func(scale float64) int {
+		x := New(Config{InPorts: 1, OutPorts: 1, InBW: 32, OutBW: 64})
+		x.SetInPortScale(0, scale)
+		sink := newCollector(1)
+		for i := 0; i < 200; i++ {
+			x.Inject(msg(0, 0, 32))
+		}
+		for now := int64(1); now <= 101; now++ {
+			x.Tick(now, sink)
+		}
+		return sink.accepts
+	}
+	full, half := count(1), count(0.5)
+	if full < 95 || half < 45 || half > 55 {
+		t.Fatalf("throughput full=%d half=%d; want ~100 and ~50", full, half)
+	}
+}

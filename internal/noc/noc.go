@@ -48,6 +48,7 @@ type Crossbar struct {
 	cfg     Config
 	ingress []*bwsim.Queue[Message]
 	inBkt   []*bwsim.TokenBucket
+	inScale []float64 // per-input-port residual health (1 = full bandwidth)
 	outBkt  []*bwsim.TokenBucket
 	rr      int   // round-robin pointer over input ports
 	pending int   // queued messages across all input ports
@@ -68,11 +69,13 @@ func New(cfg Config) *Crossbar {
 		cfg:     cfg,
 		ingress: make([]*bwsim.Queue[Message], cfg.InPorts),
 		inBkt:   make([]*bwsim.TokenBucket, cfg.InPorts),
+		inScale: make([]float64, cfg.InPorts),
 		outBkt:  make([]*bwsim.TokenBucket, cfg.OutPorts),
 	}
 	for i := range x.ingress {
 		x.ingress[i] = bwsim.NewQueue[Message](cfg.IngressBound)
 		x.inBkt[i] = bwsim.NewBucket(cfg.InBW)
+		x.inScale[i] = 1
 	}
 	for o := range x.outBkt {
 		x.outBkt[o] = bwsim.NewBucket(cfg.OutBW)
@@ -82,6 +85,26 @@ func New(cfg Config) *Crossbar {
 
 // Cfg returns the crossbar's configuration.
 func (x *Crossbar) Cfg() Config { return x.cfg }
+
+// SetInPortScale throttles (or heals) one input port to scale of its
+// configured bandwidth. Scale 0 stalls the port: queued messages stay
+// queued (CanInject turns false once the ingress bound fills) until a later
+// call restores bandwidth.
+func (x *Crossbar) SetInPortScale(in int, scale float64) {
+	if in < 0 || in >= x.cfg.InPorts {
+		panic(fmt.Sprintf("noc: no input port %d", in))
+	}
+	if scale < 0 {
+		scale = 0
+	} else if scale > 1 {
+		scale = 1
+	}
+	x.inScale[in] = scale
+	x.inBkt[in].SetRate(x.cfg.InBW * scale)
+}
+
+// InPortScale returns the current residual scale of an input port.
+func (x *Crossbar) InPortScale(in int) float64 { return x.inScale[in] }
 
 // CanInject reports whether input port in has queue space.
 func (x *Crossbar) CanInject(in int) bool { return !x.ingress[in].Full() }

@@ -40,6 +40,9 @@ type Run struct {
 	DrainCycles   int64 // cycles spent draining in-flight requests
 	InvalMessages int64 // hardware-coherence invalidation messages
 
+	// Fault injection.
+	FaultEvents int64 // per-unit health changes applied by the injector
+
 	// LLC occupancy census (Figure 9): sums of per-sample line counts.
 	OccLocalSum  int64
 	OccRemoteSum int64

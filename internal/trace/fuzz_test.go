@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"testing"
+)
+
+// allocBytes reads cumulative heap allocation, for the bounded-allocation test.
+func allocBytes() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}
+
+// validTraceBytes builds a small well-formed trace for corpora and mutation.
+func validTraceBytes(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Capture(&buf, spec(), m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzTraceRead is the parser robustness gate: Read must return a trace or an
+// error on arbitrary input — never panic, and never allocate unboundedly from
+// a corrupt length field.
+func FuzzTraceRead(f *testing.F) {
+	full := validTraceBytes(f)
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	f.Add(full[:12])
+	f.Add([]byte{})
+	f.Add([]byte("garbage that is not a trace"))
+	// A lying header: valid magic/version, absurd shape.
+	lying := append([]byte(nil), full[:8]...)
+	lying = binary.LittleEndian.AppendUint32(lying, 1<<30)
+	f.Add(lying)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err == nil && tr == nil {
+			t.Fatal("nil trace with nil error")
+		}
+		if tr != nil && err == nil {
+			// Accepted traces must be internally consistent.
+			if tr.Machine().Validate() != nil && tr.TotalAccesses() < 0 {
+				t.Fatalf("accepted inconsistent trace %+v", tr.Header)
+			}
+		}
+	})
+}
+
+// TestReadRejectsHostileHeaders covers the specific corruption classes the
+// header validator exists for: each would previously drive a huge upfront
+// allocation or an integer-overflowed index computation.
+func TestReadRejectsHostileHeaders(t *testing.T) {
+	full := validTraceBytes(t)
+	// Header field offsets after magic+version (4 bytes each, little-endian).
+	fields := map[string]int{
+		"chips": 8, "smsPerChip": 12, "warpsPerSM": 16,
+		"lineBytes": 20, "pageBytes": 24, "scale": 28, "kernels": 32,
+	}
+	hostile := map[string][]uint32{
+		"chips":      {0, 1 << 30, ^uint32(0)}, // negative as int32
+		"smsPerChip": {0, 1 << 30},
+		"warpsPerSM": {0, 1 << 30},
+		"lineBytes":  {0, 1 << 24},
+		"pageBytes":  {0, 1 << 28},
+		"kernels":    {0, 1 << 28},
+		"scale":      {^uint32(0)},
+	}
+	for field, vals := range hostile {
+		for _, v := range vals {
+			data := append([]byte(nil), full...)
+			binary.LittleEndian.PutUint32(data[fields[field]:], v)
+			if _, err := Read(bytes.NewReader(data)); err == nil {
+				t.Errorf("header with %s=%d accepted", field, int32(v))
+			}
+		}
+	}
+}
+
+// TestReadBoundsStreamAllocation: a tiny file claiming a near-cap stream
+// length must fail on truncation without materializing the claimed length.
+func TestReadBoundsStreamAllocation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{
+		Chips: 1, SMsPerChip: 1, WarpsPerSM: 1,
+		LineBytes: 128, PageBytes: 4096, Scale: 1, Kernels: 1, Name: "evil",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Claim 2^28-1 accesses (just under the sanity cap) but provide none.
+	var v [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(v[:], 1<<28-1)
+	buf.Write(v[:n])
+	before := allocBytes()
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("truncated giant stream accepted")
+	}
+	// The incremental reader caps speculative allocation at 4096 entries;
+	// a failed parse of a <100-byte file must not have allocated the ~6 GiB
+	// the length field claims. Allow generous slack for test-runtime noise.
+	if grew := allocBytes() - before; grew > 64<<20 {
+		t.Fatalf("parse of tiny corrupt file allocated %d bytes", grew)
+	}
+}
+
+// TestReplayStreamShapeMismatch: a wrong-shape Stream request yields an empty
+// stream (the gpu package surfaces the mismatch via CheckMachine at build
+// time), never a panic.
+func TestReplayStreamShapeMismatch(t *testing.T) {
+	rep := NewReplay(capture(t))
+	bad := m
+	bad.Chips = 4
+	st := rep.Stream(bad, 0, 0, 0, 0)
+	if st.Len() != 0 {
+		t.Fatalf("mismatched machine produced %d accesses", st.Len())
+	}
+	if _, ok := st.Next(); ok {
+		t.Fatal("mismatched stream yielded an access")
+	}
+}

@@ -39,11 +39,13 @@ func (r *Replay) CheckMachine(m workload.Machine) error {
 	return nil
 }
 
-// Stream implements gpu.Workload. It panics on a machine-shape mismatch;
-// call CheckMachine before running.
+// Stream implements gpu.Workload. A machine-shape mismatch yields an empty
+// stream rather than a panic; the gpu package calls CheckMachine when the
+// system is built, so the mismatch surfaces there as a returned error long
+// before any stream is requested.
 func (r *Replay) Stream(m workload.Machine, ki, chip, sm, warp int) workload.AccessStream {
 	if err := r.CheckMachine(m); err != nil {
-		panic(err)
+		return &sliceStream{}
 	}
 	return &sliceStream{accs: r.t.Accesses(ki, chip, sm, warp)}
 }

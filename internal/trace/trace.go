@@ -201,8 +201,8 @@ func Read(r io.Reader) (*Trace, error) {
 	if rd.err != nil {
 		return nil, rd.err
 	}
-	if h.Chips <= 0 || h.SMsPerChip <= 0 || h.WarpsPerSM <= 0 || h.Kernels <= 0 {
-		return nil, fmt.Errorf("trace: corrupt header %+v", h)
+	if err := h.validate(); err != nil {
+		return nil, err
 	}
 	warps := int(h.Chips) * int(h.SMsPerChip) * int(h.WarpsPerSM)
 	tr := &Trace{Header: h, streams: make([][][]Access, h.Kernels)}
@@ -217,24 +217,55 @@ func Read(r io.Reader) (*Trace, error) {
 			if n > sanity {
 				return nil, fmt.Errorf("trace: implausible stream length %d", n)
 			}
-			accs := make([]Access, n)
+			// Grow incrementally: a corrupt count must not allocate more
+			// than the bytes actually present in the stream can justify
+			// (every access costs at least two bytes on the wire).
+			accs := make([]Access, 0, min(n, 4096))
 			prev := int64(0)
-			for i := range accs {
+			for i := uint64(0); i < n; i++ {
 				prev += unzigzag(rd.uvarint())
 				meta := rd.uvarint()
-				accs[i].Line = uint64(prev)
-				accs[i].Gap = int(meta >> 1)
-				if meta&1 != 0 {
-					accs[i].Kind = memsys.Write
+				if rd.err != nil {
+					return nil, fmt.Errorf("trace: truncated stream at kernel %d warp %d: %w", ki, w, rd.err)
 				}
-			}
-			if rd.err != nil {
-				return nil, fmt.Errorf("trace: truncated stream at kernel %d warp %d: %w", ki, w, rd.err)
+				a := Access{Line: uint64(prev), Gap: int(meta >> 1)}
+				if meta&1 != 0 {
+					a.Kind = memsys.Write
+				}
+				accs = append(accs, a)
 			}
 			tr.streams[ki][w] = accs
 		}
 	}
 	return tr, nil
+}
+
+// validate bounds a decoded header: positive shape fields within generous
+// hardware limits, so corrupt files fail cleanly instead of driving huge
+// allocations.
+func (h Header) validate() error {
+	switch {
+	case h.Chips <= 0 || h.Chips > 64:
+		return fmt.Errorf("trace: corrupt header: chips %d", h.Chips)
+	case h.SMsPerChip <= 0 || h.SMsPerChip > 1024:
+		return fmt.Errorf("trace: corrupt header: SMs/chip %d", h.SMsPerChip)
+	case h.WarpsPerSM <= 0 || h.WarpsPerSM > 1024:
+		return fmt.Errorf("trace: corrupt header: warps/SM %d", h.WarpsPerSM)
+	case h.Kernels <= 0 || h.Kernels > 1<<12:
+		return fmt.Errorf("trace: corrupt header: kernels %d", h.Kernels)
+	case h.LineBytes <= 0 || h.LineBytes > 1<<16:
+		return fmt.Errorf("trace: corrupt header: line bytes %d", h.LineBytes)
+	case h.PageBytes <= 0 || h.PageBytes > 1<<24:
+		return fmt.Errorf("trace: corrupt header: page bytes %d", h.PageBytes)
+	case h.Scale < 0:
+		return fmt.Errorf("trace: corrupt header: scale %d", h.Scale)
+	case int64(h.Chips)*int64(h.SMsPerChip)*int64(h.WarpsPerSM) > 1<<17:
+		// 10x the paper's full-scale machine (12288 warps); together with the
+		// kernel cap this bounds Read's upfront slice-header allocation to a
+		// few MB regardless of input.
+		return fmt.Errorf("trace: corrupt header: %d warps total", int64(h.Chips)*int64(h.SMsPerChip)*int64(h.WarpsPerSM))
+	}
+	return nil
 }
 
 type reader struct {

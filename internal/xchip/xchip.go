@@ -57,6 +57,9 @@ type Ring struct {
 	// egress[chip][dir]: messages waiting to enter the link leaving chip in dir.
 	egress [][2]*bwsim.Queue[Message]
 	bkt    [][2]*bwsim.TokenBucket
+	// scale[chip][dir]: residual health of the link leaving chip in dir
+	// (1 = healthy, 0 = dead); fault injection degrades links mid-run.
+	scale [][2]float64
 	// inFlight[chip][dir]: messages on the wire leaving chip in dir.
 	inFlight [][2]*bwsim.DelayLine[Message]
 
@@ -81,12 +84,14 @@ func New(cfg Config) *Ring {
 		cfg:      cfg,
 		egress:   make([][2]*bwsim.Queue[Message], cfg.Chips),
 		bkt:      make([][2]*bwsim.TokenBucket, cfg.Chips),
+		scale:    make([][2]float64, cfg.Chips),
 		inFlight: make([][2]*bwsim.DelayLine[Message], cfg.Chips),
 	}
 	for c := 0; c < cfg.Chips; c++ {
 		for d := 0; d < 2; d++ {
 			r.egress[c][d] = bwsim.NewQueue[Message](cfg.QueueBound)
 			r.bkt[c][d] = bwsim.NewBucket(cfg.LinkBW)
+			r.scale[c][d] = 1
 			r.inFlight[c][d] = bwsim.NewDelayLine[Message]()
 		}
 	}
@@ -96,15 +101,36 @@ func New(cfg Config) *Ring {
 // Cfg returns the ring's configuration.
 func (r *Ring) Cfg() Config { return r.cfg }
 
-// SetLinkBW reconfigures the per-direction link bandwidth (sensitivity sweeps).
+// SetLinkBW reconfigures the per-direction link bandwidth (sensitivity
+// sweeps). Per-link degradation scales are preserved.
 func (r *Ring) SetLinkBW(bw float64) {
 	r.cfg.LinkBW = bw
 	for c := range r.bkt {
 		for d := 0; d < 2; d++ {
-			r.bkt[c][d].SetRate(bw)
+			r.bkt[c][d].SetRate(bw * r.scale[c][d])
 		}
 	}
 }
+
+// SetLinkScale degrades (or heals) the directional link leaving chip in
+// direction dir to scale of its configured bandwidth. Scale 0 is a full
+// outage: queued messages stay queued and back-pressure propagates to the
+// injecting chips. In-flight hops land normally (the wire is not cut).
+func (r *Ring) SetLinkScale(chip int, dir Direction, scale float64) {
+	if chip < 0 || chip >= r.cfg.Chips || dir > CCW {
+		panic(fmt.Sprintf("xchip: no link %d/%v", chip, dir))
+	}
+	if scale < 0 {
+		scale = 0
+	} else if scale > 1 {
+		scale = 1
+	}
+	r.scale[chip][dir] = scale
+	r.bkt[chip][dir].SetRate(r.cfg.LinkBW * scale)
+}
+
+// LinkScale returns the current residual scale of a link.
+func (r *Ring) LinkScale(chip int, dir Direction) float64 { return r.scale[chip][dir] }
 
 // route picks the travel direction from src to dst: shortest path, hash tie-break.
 func (r *Ring) route(src, dst int, line uint64) Direction {

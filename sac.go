@@ -29,8 +29,11 @@
 package sac
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/fault"
 	"repro/internal/gpu"
 	"repro/internal/llc"
 	"repro/internal/noccost"
@@ -91,22 +94,92 @@ func BenchmarkNames() []string { return workload.Names() }
 // response-origin breakdown, occupancy census, per-kernel records, ...).
 type Stats = stats.Run
 
-// Run executes spec on cfg and returns the run statistics.
-func Run(cfg Config, spec Spec) (*Stats, error) { return gpu.Run(cfg, spec) }
+// guard converts a panic escaping a library entry point into a returned
+// error, so a simulator bug fails the one call instead of the caller's
+// process. The full panic value is preserved in the error text.
+func guard(err *error) {
+	if v := recover(); v != nil {
+		*err = fmt.Errorf("sac: internal panic: %v", v)
+	}
+}
+
+// Run executes spec on cfg and returns the run statistics. Invalid
+// configurations and workloads come back as errors; no panic escapes to the
+// caller.
+func Run(cfg Config, spec Spec) (st *Stats, err error) {
+	defer guard(&err)
+	return gpu.Run(cfg, spec)
+}
 
 // Workload is any source of per-warp access streams: the built-in synthetic
 // Specs and trace replays (package repro/internal/trace) both implement it.
 type Workload = gpu.Workload
 
 // RunWorkload executes an arbitrary workload source (e.g. a trace replay).
-func RunWorkload(cfg Config, w Workload) (*Stats, error) { return gpu.Run(cfg, w) }
+func RunWorkload(cfg Config, w Workload) (st *Stats, err error) {
+	defer guard(&err)
+	return gpu.Run(cfg, w)
+}
 
 // System is a constructed simulator instance; use it instead of Run to
 // inspect state (mode, SAC decisions) after execution.
 type System = gpu.System
 
 // NewSystem builds a simulator without running it.
-func NewSystem(cfg Config, spec Spec) (*System, error) { return gpu.New(cfg, spec) }
+func NewSystem(cfg Config, spec Spec) (s *System, err error) {
+	defer guard(&err)
+	return gpu.New(cfg, spec)
+}
+
+// Fault injection — deterministic degradation of links, DRAM channels, LLC
+// slices, and NoC ports at exact cycles (DESIGN.md "Fault model").
+
+// FaultPlan is a seeded, serializable schedule of fault events. Plans are
+// part of the simulation key: the same (config, workload, plan) triple is
+// bit-identical at any parallelism.
+type FaultPlan = fault.Plan
+
+// FaultEvent is one scheduled degradation of one unit.
+type FaultEvent = fault.Event
+
+// FaultDomain selects which hardware domain an event degrades.
+type FaultDomain = fault.Domain
+
+// The injectable fault domains.
+const (
+	FaultXChip = fault.XChip // inter-chip ring links
+	FaultDRAM  = fault.DRAM  // DRAM channels
+	FaultLLC   = fault.LLC   // LLC slice ways
+	FaultNoC   = fault.NoC   // intra-chip NoC ingress ports
+)
+
+// ParseFaultPlan parses the compact fault DSL, e.g.
+// "xchip:0.cw@2000-30000*0.5; dram:1.0@1000*0".
+func ParseFaultPlan(s string) (*FaultPlan, error) { return fault.Parse(s) }
+
+// LoadFaultPlan reads a JSON fault plan from a file.
+func LoadFaultPlan(path string) (*FaultPlan, error) { return fault.Load(path) }
+
+// GenerateFaultPlan draws a reproducible random plan for cfg's shape: n
+// events over the first horizon cycles, fully determined by seed.
+func GenerateFaultPlan(cfg Config, seed int64, n int, horizon int64) *FaultPlan {
+	return fault.Generate(seed, cfg.FaultShape(), n, horizon)
+}
+
+// RunWithFaults executes any workload source (a Spec or a trace replay) on
+// cfg with plan injected (nil or empty plan is exactly Run).
+func RunWithFaults(cfg Config, w Workload, plan *FaultPlan) (st *Stats, err error) {
+	defer guard(&err)
+	return gpu.RunWithFaults(cfg, w, plan)
+}
+
+// StallError reports a watchdog abort: no request retired within
+// Config.WatchdogCycles. It carries a queue-occupancy dump for diagnosis.
+type StallError = gpu.StallError
+
+// CellError is the structured failure of one sweep cell (simulation error
+// or contained panic); Runner.RunAll joins one per distinct failed cell.
+type CellError = eval.CellError
 
 // Speedup returns a's performance relative to b (ratio of IPC).
 func Speedup(a, b *Stats) float64 { return stats.Speedup(a, b) }

@@ -1,9 +1,11 @@
 package sac_test
 
 import (
+	"strings"
 	"testing"
 
 	sac "repro"
+	"repro/internal/workload"
 )
 
 // fastConfig shrinks the scaled preset for test speed while keeping all
@@ -124,5 +126,78 @@ func TestRunnerSurface(t *testing.T) {
 func TestHarmonicMeanSurface(t *testing.T) {
 	if hm := sac.HarmonicMean([]float64{1, 1}); hm != 1 {
 		t.Fatalf("HM = %v", hm)
+	}
+}
+
+func TestFaultAPISurface(t *testing.T) {
+	cfg := fastConfig()
+	spec, err := sac.Benchmark("RN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sac.ParseFaultPlan("xchip:0.cw@2000-30000*0.5; dram:1.0@1000-40000*0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := sac.RunWithFaults(cfg.WithOrg(sac.SAC), spec, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.FaultEvents == 0 {
+		t.Fatal("fault plan injected no events")
+	}
+	healthy, err := sac.RunWithFaults(cfg.WithOrg(sac.SAC), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.FaultEvents != 0 {
+		t.Fatalf("nil plan injected %d events", healthy.FaultEvents)
+	}
+	gen := sac.GenerateFaultPlan(cfg, 7, 5, 50_000)
+	if len(gen.Events) != 5 {
+		t.Fatalf("generated %d events, want 5", len(gen.Events))
+	}
+	if gen.Key() != sac.GenerateFaultPlan(cfg, 7, 5, 50_000).Key() {
+		t.Fatal("generation not deterministic per seed")
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Chips = 0
+	spec, err := sac.Benchmark("RN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sac.Run(cfg, spec); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := sac.NewSystem(cfg, spec); err == nil {
+		t.Fatal("invalid config accepted by NewSystem")
+	}
+	if _, err := sac.RunWithFaults(cfg, spec, nil); err == nil {
+		t.Fatal("invalid config accepted by RunWithFaults")
+	}
+}
+
+// panicWorkload implements sac.Workload and explodes when streamed, modeling
+// a buggy user workload source: the guard must convert the panic into an
+// error instead of killing the caller.
+type panicWorkload struct{}
+
+func (panicWorkload) SourceName() string     { return "panic" }
+func (panicWorkload) KernelCount() int       { return 1 }
+func (panicWorkload) KernelName(int) string  { return "k0" }
+func (panicWorkload) Stream(m workload.Machine, ki, chip, sm, warp int) workload.AccessStream {
+	panic("boom from workload")
+}
+
+func TestRunWorkloadContainsPanic(t *testing.T) {
+	_, err := sac.RunWorkload(fastConfig(), panicWorkload{})
+	if err == nil {
+		t.Fatal("panicking workload returned nil error")
+	}
+	if !strings.Contains(err.Error(), "boom from workload") {
+		t.Fatalf("panic context lost: %v", err)
 	}
 }
