@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz vuln check bench fig8 fmt
+.PHONY: build test vet race fuzz vuln check bench benchguard fig8 fmt
 
 build:
 	$(GO) build ./...
@@ -24,16 +24,26 @@ fuzz:
 
 # vuln scans dependencies with govulncheck when it is installed; the gate is
 # advisory so offline checkouts (no way to install the tool) still pass.
+# The report lands in artifacts/govulncheck.txt either way, so CI can always
+# archive it.
 vuln:
+	@mkdir -p artifacts
 	@if command -v govulncheck >/dev/null 2>&1; then \
-		govulncheck ./...; \
+		govulncheck ./... | tee artifacts/govulncheck.txt; \
 	else \
-		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)" \
+			| tee artifacts/govulncheck.txt; \
 	fi
 
 # check is the CI gate: static analysis, the full suite under the race
 # detector, a fuzz smoke of the parsers, and an advisory vulnerability scan.
 check: vet race fuzz vuln
+
+# benchguard is the observability-layer cost gate: a full Fig 8 sweep with no
+# observer attached must stay within 1% of the allocation baseline recorded
+# in BENCH_seed.json. Takes minutes; run before merging cycle-loop changes.
+benchguard:
+	BENCH_GUARD=1 $(GO) test -run TestFig8AllocGuard -timeout 60m -v .
 
 # bench regenerates every table/figure as Go benchmarks with allocation
 # stats. REPRO_SET=fast shrinks the benchmark sets for a quick pass.

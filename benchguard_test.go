@@ -1,0 +1,56 @@
+package sac_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	sac "repro"
+)
+
+// TestFig8AllocGuard is the allocation-regression gate for the observability
+// layer: with no observer attached, a full Fig 8 sweep must not allocate more
+// than 1% over the seed baseline recorded in BENCH_seed.json. The run takes
+// minutes (it simulates all 16 workloads across the org matrix), so it only
+// executes when BENCH_GUARD=1 — `make benchguard` in CI, skipped in `go test`.
+func TestFig8AllocGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") != "1" {
+		t.Skip("set BENCH_GUARD=1 to run the allocation regression gate")
+	}
+	raw, err := os.ReadFile("BENCH_seed.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seed map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &seed); err != nil {
+		t.Fatal(err)
+	}
+	var fig8 struct {
+		AllocsPerOp int64 `json:"allocs_per_op"`
+	}
+	if err := json.Unmarshal(seed["BenchmarkFig8_Speedup"], &fig8); err != nil {
+		t.Fatal(err)
+	}
+	base := fig8.AllocsPerOp
+	if base <= 0 {
+		t.Fatalf("BENCH_seed.json has no allocs_per_op baseline for BenchmarkFig8_Speedup")
+	}
+
+	// A fresh runner per iteration so every op pays for its own simulations,
+	// matching how the seed baseline was captured (first op of a cold run).
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := sac.NewRunner()
+			if _, err := r.Fig8(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	limit := base + base/100
+	t.Logf("fig8 allocs/op: got %d, seed %d, limit %d (+1%%)", res.AllocsPerOp(), base, limit)
+	if res.AllocsPerOp() > limit {
+		t.Fatalf("allocation regression: %d allocs/op exceeds seed %d by more than 1%%",
+			res.AllocsPerOp(), base)
+	}
+}

@@ -6,15 +6,17 @@
 //	sacsim -bench RN -org SAC
 //	sacsim -bench RN -org memory-side,SM-side,SAC    # side-by-side comparison
 //	sacsim -bench BFS -org memory-side -scale full
+//	sacsim -bench SN -org SAC -metrics-addr :9090 -trace-out run.json
 //	sacsim -print-config
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
 	sac "repro"
 	"repro/internal/coherence"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/llc"
 	"repro/internal/memsys"
 	"repro/internal/noccost"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -37,11 +40,19 @@ func main() {
 		faults      = flag.String("faults", "", "fault plan: a JSON file path or an inline DSL string (e.g. 'xchip:0.cw@2000-30000*0.5')")
 		maxCycles   = flag.Int64("max-cycles", 0, "override the per-kernel cycle limit (0 = preset default)")
 		watchdog    = flag.Int64("watchdog", -1, "abort when no request retires for this many cycles (0 = off, -1 = preset default)")
-		timeout     = flag.Duration("timeout", 0, "wall-clock limit for the whole invocation (0 = none)")
+		timeout     = flag.Duration("timeout", 0, "wall-clock limit for the whole invocation (0 = none; exceeding it exits 3)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live metrics over HTTP at this address (/metrics Prometheus, /metrics.json)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON file (open in Perfetto); single-org runs only")
+		metricsWin  = flag.Int64("metrics-window", 0, "metrics sampling window in cycles (0 = default)")
 		printConfig = flag.Bool("print-config", false, "print the configuration (Table 3) and exit")
 	)
 	flag.Parse()
-	armTimeout("sacsim", *timeout)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	cfg := sac.ScaledConfig()
 	if *scale == "full" {
@@ -87,14 +98,44 @@ func main() {
 	}
 
 	if len(orgs) > 1 {
-		compareOrgs(cfg, spec, orgs, plan, *parallel, *scale)
+		if *traceOut != "" {
+			fatal(fmt.Errorf("-trace-out requires a single -org (got %d)", len(orgs)))
+		}
+		compareOrgs(ctx, cfg, spec, orgs, plan, *parallel, *scale, *metricsAddr)
 		return
 	}
 
+	// Observability: one observer feeds both the live /metrics endpoint and
+	// the trace file. Without either flag no observer is attached and the
+	// simulation runs on its allocation-free fast path.
+	var observer *sac.Observer
+	if *metricsAddr != "" || *traceOut != "" {
+		observer = sac.NewObserver(*metricsWin)
+		if *traceOut == "" {
+			observer.Trace = nil // metrics only: don't buffer events
+		}
+		if *metricsAddr != "" {
+			serveMetrics(*metricsAddr, observer.Metrics)
+		} else {
+			observer.Metrics = nil // trace only: don't register series
+		}
+	}
+
 	fmt.Printf("running %s under %s (%s scale)...\n", spec.Name, cfg.Org, *scale)
-	run, err := sac.RunWithFaults(cfg, spec, plan)
+	run, err := sac.Run(cfg, spec,
+		sac.WithFaults(plan),
+		sac.WithObserver(observer),
+		sac.WithMetricsWindow(*metricsWin),
+		sac.WithContext(ctx))
 	if err != nil {
 		fatal(err)
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, observer.Trace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d trace events to %s (open in ui.perfetto.dev)\n",
+			observer.Trace.Len(), *traceOut)
 	}
 
 	fmt.Printf("\ncycles            %12d\n", run.Cycles)
@@ -142,10 +183,16 @@ func parseOrg(name string) llc.Org {
 
 // compareOrgs runs one benchmark under several organizations through the
 // parallel experiment engine and prints them side by side.
-func compareOrgs(cfg sac.Config, spec sac.Spec, orgs []llc.Org, plan *sac.FaultPlan, parallel int, scale string) {
+func compareOrgs(ctx context.Context, cfg sac.Config, spec sac.Spec, orgs []llc.Org, plan *sac.FaultPlan, parallel int, scale string, metricsAddr string) {
 	r := sac.NewRunner()
 	r.Parallelism = parallel
 	r.Faults = plan
+	r.Ctx = ctx
+	if metricsAddr != "" {
+		r.Obs = sac.NewObserver(0)
+		r.Obs.Trace = nil
+		serveMetrics(metricsAddr, r.Obs.Metrics)
+	}
 	reqs := make([]sac.RunRequest, len(orgs))
 	for i, org := range orgs {
 		c := cfg
@@ -216,20 +263,35 @@ func printTable3(cfg sac.Config) {
 	noccost.Compare(noccost.PaperShape(), noccost.Tech22()).Print(os.Stdout)
 }
 
-// armTimeout aborts the process if it outlives d, so a wedged simulation in
-// a scripted pipeline fails loudly instead of hanging the pipeline. Exit
-// code 3 distinguishes the supervisor kill from simulation errors (1).
-func armTimeout(cmd string, d time.Duration) {
-	if d <= 0 {
-		return
+// serveMetrics exposes a registry over HTTP for the lifetime of the process.
+func serveMetrics(addr string, reg *sac.MetricsRegistry) {
+	_, bound, err := obs.Serve(addr, reg)
+	if err != nil {
+		fatal(err)
 	}
-	time.AfterFunc(d, func() {
-		fmt.Fprintf(os.Stderr, "%s: wall-clock timeout after %v\n", cmd, d)
-		os.Exit(3)
-	})
+	fmt.Printf("serving metrics at http://%s/metrics\n", bound)
 }
 
+// writeTrace dumps the tracer's events as a Perfetto-loadable JSON file.
+func writeTrace(path string, tr *sac.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// fatal reports a failure and exits. A run killed by the -timeout context
+// exits 3, distinguishing the supervisor kill from simulation errors (1) so
+// scripted pipelines can tell a wedged run from a broken one.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "sacsim:", err)
+	if errors.Is(err, context.DeadlineExceeded) {
+		os.Exit(3)
+	}
 	os.Exit(1)
 }

@@ -11,7 +11,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,32 +24,56 @@ import (
 	sac "repro"
 	"repro/internal/fault"
 	"repro/internal/noccost"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "fig8", "experiment id (or comma list; 'all' for everything)")
-		set       = flag.String("set", "all", "benchmark set: all | fast | comma-separated names")
-		parallel  = flag.Int("parallel", 0, "max simulations in flight (0 = all cores, 1 = serial)")
-		verbose   = flag.Bool("v", false, "log each completed simulation")
-		jsonOut   = flag.Bool("json", false, "emit results as JSON instead of tables")
-		faults    = flag.String("faults", "", "fault plan injected into every simulation: JSON file path or inline DSL")
-		maxCycles = flag.Int64("max-cycles", 0, "override the per-kernel cycle limit (0 = preset default)")
-		watchdog  = flag.Int64("watchdog", -1, "abort a run when no request retires for this many cycles (0 = off, -1 = preset default)")
-		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole invocation (0 = none)")
+		exp         = flag.String("exp", "fig8", "experiment id (or comma list; 'all' for everything)")
+		set         = flag.String("set", "all", "benchmark set: all | fast | comma-separated names")
+		parallel    = flag.Int("parallel", 0, "max simulations in flight (0 = all cores, 1 = serial)")
+		verbose     = flag.Bool("v", false, "log each completed simulation")
+		jsonOut     = flag.Bool("json", false, "emit results as JSON instead of tables")
+		faults      = flag.String("faults", "", "fault plan injected into every simulation: JSON file path or inline DSL")
+		maxCycles   = flag.Int64("max-cycles", 0, "override the per-kernel cycle limit (0 = preset default)")
+		watchdog    = flag.Int64("watchdog", -1, "abort a run when no request retires for this many cycles (0 = off, -1 = preset default)")
+		timeout     = flag.Duration("timeout", 0, "wall-clock limit for the whole invocation (0 = none; exceeding it exits 3)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live sweep metrics over HTTP at this address (/metrics)")
+		progress    = flag.Bool("progress", false, "print one line per completed sweep cell to stderr")
 	)
 	flag.Parse()
+	ctx := context.Background()
 	if *timeout > 0 {
-		time.AfterFunc(*timeout, func() {
-			fmt.Fprintf(os.Stderr, "sacsweep: wall-clock timeout after %v\n", *timeout)
-			os.Exit(3)
-		})
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	r := sac.NewRunner()
 	r.Parallelism = *parallel
 	r.Verbose = *verbose
 	r.Log = os.Stderr
+	r.Ctx = ctx
+	if *metricsAddr != "" {
+		r.Obs = sac.NewObserver(0)
+		r.Obs.Trace = nil
+		_, bound, err := obs.Serve(*metricsAddr, r.Obs.Metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sacsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sacsweep: serving metrics at http://%s/metrics\n", bound)
+	}
+	if *progress {
+		r.OnCellDone = func(c sac.CellResult) {
+			status := "ok"
+			if c.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "# cell %-10s %-12s %-8s cycles=%d\n",
+				c.Benchmark, c.Org, status, c.Cycles)
+		}
+	}
 	if *maxCycles > 0 {
 		r.Base.MaxCycles = *maxCycles
 	}
@@ -81,18 +107,27 @@ func main() {
 			"fig12", "fig13", "fig14", "headline", "ablation", "noccost", "eabval"}
 	}
 	// One failing experiment does not abort the sweep: report it, keep
-	// going, and exit non-zero at the end if anything failed.
-	failed := 0
+	// going, and exit non-zero at the end if anything failed. A sweep killed
+	// by the -timeout context exits 3 (the historical supervisor-kill code),
+	// distinguishing a wedged run from a broken one.
+	failed, timedOut := 0, false
 	for _, id := range ids {
 		t0 := time.Now()
 		if err := runExperiment(r, strings.TrimSpace(id), *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "sacsweep: %s failed: %v\n", id, err)
 			failed++
+			if errors.Is(err, context.DeadlineExceeded) {
+				timedOut = true
+			}
 			continue
 		}
 		if !*jsonOut {
 			fmt.Printf("\n# %s done in %.1fs (%d simulations cached)\n", id, time.Since(t0).Seconds(), r.Runs())
 		}
+	}
+	if timedOut {
+		fmt.Fprintf(os.Stderr, "sacsweep: wall-clock timeout after %v\n", *timeout)
+		os.Exit(3)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "sacsweep: %d of %d experiments failed\n", failed, len(ids))

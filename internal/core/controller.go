@@ -220,6 +220,10 @@ func (c *Controller) Profiling(now int64) bool {
 	return !c.decided && now-c.kernelStart < c.opts.WindowCycles
 }
 
+// WindowStart returns the cycle the current profiling window (or kernel)
+// was armed at; the event tracer uses it to span profile windows.
+func (c *Controller) WindowStart() int64 { return c.kernelStart }
+
 // ReprofileDue reports whether a periodic re-profiling window should start
 // (only meaningful once a decision has been taken).
 func (c *Controller) ReprofileDue(now int64) bool {

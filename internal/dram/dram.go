@@ -58,6 +58,10 @@ type Partition struct {
 	Reads      int64
 	Writes     int64
 	BytesMoved int64
+
+	// chBytes is the per-channel breakdown of BytesMoved; windowed deltas
+	// give channel occupancy (fraction of data bandwidth in use).
+	chBytes []int64
 }
 
 // New returns an idle partition.
@@ -78,6 +82,7 @@ func New(cfg Config) *Partition {
 		scales:   make([]float64, cfg.Channels),
 		inFlight: make([]*bwsim.DelayLine[*memsys.Request], cfg.Channels),
 		banks:    make([]*banks, cfg.Channels),
+		chBytes:  make([]int64, cfg.Channels),
 	}
 	for c := 0; c < cfg.Channels; c++ {
 		p.queues[c] = bwsim.NewQueue[*memsys.Request](cfg.QueueBound)
@@ -114,6 +119,14 @@ func (p *Partition) SetChannelScale(ch int, scale float64) {
 
 // ChannelScale returns the current residual scale of a channel.
 func (p *Partition) ChannelScale(ch int) float64 { return p.scales[ch] }
+
+// ChannelBytes returns the total data bytes channel ch has moved; windowed
+// deltas give the channel's occupancy.
+func (p *Partition) ChannelBytes(ch int) int64 { return p.chBytes[ch] }
+
+// ChannelQueueLen returns the instantaneous request-queue depth of one
+// channel (in-flight accesses excluded).
+func (p *Partition) ChannelQueueLen(ch int) int { return p.queues[ch].Len() }
 
 // CanAccept reports whether channel ch has queue space. This is the shared
 // memory-controller request queue of §3.1: both local LLC misses and
@@ -172,6 +185,7 @@ func (p *Partition) Tick(now int64, lineBytes int, done func(*memsys.Request)) {
 			req, _ := q.Pop()
 			bkt.Take(lineBytes)
 			p.BytesMoved += int64(lineBytes)
+			p.chBytes[c] += int64(lineBytes)
 			if req.Kind == memsys.Write {
 				p.Writes++
 			} else {
@@ -224,5 +238,6 @@ func (p *Partition) DrainWriteback(ch int, lineBytes int) {
 	}
 	p.Writes++
 	p.BytesMoved += int64(lineBytes)
+	p.chBytes[ch] += int64(lineBytes)
 	p.buckets[ch].Take(lineBytes)
 }

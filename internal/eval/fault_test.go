@@ -101,11 +101,11 @@ func TestFaultedAndHealthyRunsDoNotCollide(t *testing.T) {
 func TestSweepSurvivesPanickingCell(t *testing.T) {
 	r := testRunner("RN", "BP")
 	r.Parallelism = 4
-	r.simulate = func(cfg gpu.Config, spec workload.Spec, plan *fault.Plan) (*stats.Run, error) {
+	r.simulate = func(cfg gpu.Config, spec workload.Spec, o gpu.RunOpts) (*stats.Run, error) {
 		if spec.Name == "RN" && cfg.Org == llc.SAC {
 			panic("injected cell failure")
 		}
-		return gpu.RunWithFaults(cfg, spec, plan)
+		return gpu.RunWith(cfg, spec, o)
 	}
 	specs, err := r.specs()
 	if err != nil {
@@ -148,7 +148,7 @@ func TestSweepSurvivesPanickingCell(t *testing.T) {
 // hitting the same failed memo entry produce one joined CellError.
 func TestSweepReportsFailingCellOnce(t *testing.T) {
 	r := testRunner("BP")
-	r.simulate = func(cfg gpu.Config, spec workload.Spec, plan *fault.Plan) (*stats.Run, error) {
+	r.simulate = func(cfg gpu.Config, spec workload.Spec, o gpu.RunOpts) (*stats.Run, error) {
 		return nil, fmt.Errorf("boom")
 	}
 	spec, err := workload.ByName("BP")

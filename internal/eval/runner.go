@@ -6,6 +6,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/gpu"
 	"repro/internal/llc"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -48,6 +50,23 @@ type Runner struct {
 	Verbose bool
 	Log     io.Writer
 
+	// Ctx cancels the sweep: queued cells fail fast and in-flight
+	// simulations abort at their next context poll. Failures surface as
+	// CellErrors wrapping ctx's error. Nil means uncancellable.
+	Ctx context.Context
+
+	// Obs receives sweep-level metrics (cells completed/failed, in-flight
+	// count, simulated cycles). Per-simulation observers are deliberately
+	// not wired through the Runner: parallel cells would interleave writes
+	// into the same registry series. Attach an observer to a direct
+	// gpu.RunWith / sac.Run call to observe one simulation.
+	Obs *obs.Observer
+
+	// OnCellDone, when set, is called after every executed cell (not
+	// recalls/joins), from the executing goroutine. It must be safe for
+	// concurrent use at the Runner's parallelism.
+	OnCellDone func(CellResult)
+
 	mu   sync.Mutex
 	memo map[runKey]*runEntry
 	sem  chan struct{}
@@ -55,9 +74,43 @@ type Runner struct {
 	execs     atomic.Int64 // completed simulations (not recalls/joins)
 	simCycles atomic.Int64 // total simulated cycles across executions
 
+	obsOnce sync.Once
+	obsM    *sweepMetrics
+
 	// simulate is the simulation entry point; tests swap it to model
-	// panicking or failing cells. nil selects gpu.RunWithFaults.
-	simulate func(gpu.Config, workload.Spec, *fault.Plan) (*stats.Run, error)
+	// panicking or failing cells. nil selects gpu.RunWith.
+	simulate func(gpu.Config, workload.Spec, gpu.RunOpts) (*stats.Run, error)
+}
+
+// CellResult is the per-cell progress record passed to OnCellDone.
+type CellResult struct {
+	Benchmark string
+	Org       string
+	Faults    string // fault-plan fingerprint ("" = healthy)
+	Cycles    int64  // simulated cycles (0 on failure)
+	Err       error  // nil on success
+}
+
+// sweepMetrics are the Runner's aggregate series, registered on first use.
+type sweepMetrics struct {
+	ok, failed, inflight, cycles *obs.Metric
+}
+
+// sweep returns the sweep-metric handles, or nil without an observer.
+func (r *Runner) sweep() *sweepMetrics {
+	if r.Obs == nil || r.Obs.Metrics == nil {
+		return nil
+	}
+	r.obsOnce.Do(func() {
+		reg := r.Obs.Metrics
+		r.obsM = &sweepMetrics{
+			ok:       reg.Counter("sacsweep_cells_completed_total", "Sweep cells that finished successfully."),
+			failed:   reg.Counter("sacsweep_cells_failed_total", "Sweep cells that failed (error or contained panic)."),
+			inflight: reg.Gauge("sacsweep_cells_inflight", "Simulations currently executing."),
+			cycles:   reg.Counter("sacsweep_sim_cycles_total", "Simulated cycles across all completed cells."),
+		}
+	})
+	return r.obsM
 }
 
 // runKey identifies one simulation: the full configuration plus the workload
@@ -186,13 +239,13 @@ func (c *CellError) Error() string {
 // Unwrap exposes the simulation error to errors.Is/As chains.
 func (c *CellError) Unwrap() error { return c.Err }
 
-// sim returns the simulation entry point (gpu.RunWithFaults by default).
-func (r *Runner) sim() func(gpu.Config, workload.Spec, *fault.Plan) (*stats.Run, error) {
+// sim returns the simulation entry point (gpu.RunWith by default).
+func (r *Runner) sim() func(gpu.Config, workload.Spec, gpu.RunOpts) (*stats.Run, error) {
 	if r.simulate != nil {
 		return r.simulate
 	}
-	return func(cfg gpu.Config, spec workload.Spec, plan *fault.Plan) (*stats.Run, error) {
-		return gpu.RunWithFaults(cfg, spec, plan)
+	return func(cfg gpu.Config, spec workload.Spec, o gpu.RunOpts) (*stats.Run, error) {
+		return gpu.RunWith(cfg, spec, o)
 	}
 }
 
@@ -204,6 +257,17 @@ func (r *Runner) execute(e *runEntry, cfg gpu.Config, spec workload.Spec, plan *
 	sem := r.workers()
 	sem <- struct{}{}
 	defer func() { <-sem }()
+	// Canceled sweep: queued cells fail fast instead of simulating.
+	if r.Ctx != nil {
+		if err := r.Ctx.Err(); err != nil {
+			e.err = &CellError{Benchmark: spec.Name, Org: cfg.Org.String(), Faults: plan.Key(), Err: err}
+			r.cellDone(e, spec, cfg, plan)
+			return
+		}
+	}
+	if m := r.sweep(); m != nil {
+		m.inflight.Add(1)
+	}
 	defer func() {
 		if v := recover(); v != nil {
 			e.res = nil
@@ -212,8 +276,12 @@ func (r *Runner) execute(e *runEntry, cfg gpu.Config, spec workload.Spec, plan *
 				PanicVal: v, Stack: debug.Stack(),
 			}
 		}
+		if m := r.sweep(); m != nil {
+			m.inflight.Add(-1)
+		}
+		r.cellDone(e, spec, cfg, plan)
 	}()
-	res, err := r.sim()(cfg, spec, plan)
+	res, err := r.sim()(cfg, spec, gpu.RunOpts{Faults: plan, Ctx: r.Ctx})
 	if err != nil {
 		e.err = &CellError{Benchmark: spec.Name, Org: cfg.Org.String(), Faults: plan.Key(), Err: err}
 		return
@@ -226,6 +294,29 @@ func (r *Runner) execute(e *runEntry, cfg gpu.Config, spec workload.Spec, plan *
 		fmt.Fprintf(r.Log, "# run %-10s %-12s cycles=%-10d ipc=%.4f\n",
 			spec.Name, cfg.Org, res.Cycles, res.IPC())
 		r.mu.Unlock()
+	}
+}
+
+// cellDone publishes one finished cell to the sweep metrics and the
+// progress callback.
+func (r *Runner) cellDone(e *runEntry, spec workload.Spec, cfg gpu.Config, plan *fault.Plan) {
+	var cycles int64
+	if e.res != nil {
+		cycles = e.res.Cycles
+	}
+	if m := r.sweep(); m != nil {
+		if e.err != nil {
+			m.failed.Inc()
+		} else {
+			m.ok.Inc()
+			m.cycles.Add(float64(cycles))
+		}
+	}
+	if r.OnCellDone != nil {
+		r.OnCellDone(CellResult{
+			Benchmark: spec.Name, Org: cfg.Org.String(), Faults: plan.Key(),
+			Cycles: cycles, Err: e.err,
+		})
 	}
 }
 

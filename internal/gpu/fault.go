@@ -47,6 +47,7 @@ func (s *System) applyFaults() {
 	}
 	for _, ch := range changes {
 		s.run.FaultEvents++
+		s.traceFaultEdge(ch)
 		c := s.chips[ch.Chip]
 		switch ch.Domain {
 		case fault.XChip:
@@ -179,12 +180,5 @@ func (s *System) newStallError() *StallError {
 
 // RunWithFaults builds a system, arms it with a fault plan and runs it.
 func RunWithFaults(cfg Config, spec Workload, plan *fault.Plan) (*stats.Run, error) {
-	sys, err := New(cfg, spec)
-	if err != nil {
-		return nil, err
-	}
-	if err := sys.InjectFaults(plan); err != nil {
-		return nil, err
-	}
-	return sys.Run()
+	return RunWith(cfg, spec, RunOpts{Faults: plan})
 }

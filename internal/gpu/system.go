@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/addr"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/llc"
 	"repro/internal/memsys"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
 	"repro/internal/xchip"
@@ -78,6 +80,23 @@ type System struct {
 
 	// Progress watchdog: cycle of the last retirement or skippable span.
 	lastProgress int64
+
+	// Observability (nil observer = zero-cost run: one pointer check per
+	// guarded site). obsNext is the next metrics-sample cycle; fastForward
+	// treats it as a timed trigger so windows land on exact boundaries.
+	obs       *obs.Observer
+	obsM      *obsMetrics
+	obsWindow int64
+	obsNext   int64
+	obsLast   int64
+
+	// drainStart is the cycle the current mode-switch drain began (valid in
+	// drain states; the tracer spans reconfigurations with it).
+	drainStart int64
+
+	// Cancellation (nil = uncancellable). ctxNext throttles Err polls.
+	ctx     context.Context
+	ctxNext int64
 
 	kernelIdx        int
 	kernelStartCycle int64
@@ -191,13 +210,24 @@ func (s *System) runKernel() error {
 			// flight at kernel start, so the switch happens immediately
 			// after the (possibly empty) flush.
 			s.state = stDrainSwitch
+			s.drainStart = s.now
+			s.traceAdopt(d.PickSM)
 		}
 	}
 	s.kernelMode = s.mode
 
 	for {
+		if s.ctx != nil && s.now >= s.ctxNext {
+			s.ctxNext = s.now + ctxCheckStride
+			if err := s.ctx.Err(); err != nil {
+				return fmt.Errorf("gpu: %s kernel %d canceled at cycle %d: %w",
+					s.spec.SourceName(), s.kernelIdx, s.now, err)
+			}
+		}
 		if s.cfg.WatchdogCycles > 0 && s.now-s.lastProgress > s.cfg.WatchdogCycles {
-			return s.newStallError()
+			serr := s.newStallError()
+			s.traceStall(serr)
+			return serr
 		}
 		if s.now-s.kernelStartCycle > s.cfg.MaxCycles {
 			return fmt.Errorf("gpu: %s kernel %d exceeded %d cycles (org %s, state %s)",
@@ -216,6 +246,7 @@ func (s *System) runKernel() error {
 		Cycles: s.now - s.kernelStartCycle,
 		MemOps: s.run.MemOps - s.kernelStartOps,
 	})
+	s.traceKernel()
 	return nil
 }
 
@@ -269,6 +300,11 @@ func (s *System) step() bool {
 	}
 	// 8. Controllers, profiling, sampling, state transitions.
 	s.controlPhase()
+
+	// 9. Metrics window boundary (observer attached only).
+	if s.obs != nil && s.now >= s.obsNext {
+		s.observeSample()
+	}
 
 	return s.boundaryPhase()
 }
@@ -367,6 +403,9 @@ func (s *System) fastForward() {
 		if t := s.inj.NextEdge(s.now); t > s.now && t < next {
 			next = t // fault edges execute on their exact cycle
 		}
+	}
+	if s.obs != nil && s.obsNext > s.now && s.obsNext < next {
+		next = s.obsNext // metrics windows sample on their exact boundary
 	}
 	if next <= s.now+1 {
 		return
@@ -946,10 +985,13 @@ func (s *System) inflight() bool {
 func (s *System) controlPhase() {
 	// SAC decision at the end of the profiling window.
 	if s.sac != nil && s.state == stRun && s.sac.WindowElapsed(s.now) {
+		samples := s.sac.Profiler().Samples()
 		d := s.sac.Decide()
+		s.traceSACDecision(d.PickSM, d.Advantage, samples)
 		s.sac.StoreDecision(s.spec.KernelName(s.kernelIdx), d)
 		if d.PickSM && s.mode != llc.ModeSMSide {
 			s.state = stDrainSwitch
+			s.drainStart = s.now
 		}
 	}
 
@@ -958,6 +1000,7 @@ func (s *System) controlPhase() {
 	if s.sac != nil && s.state == stRun && s.sac.ReprofileDue(s.now) {
 		if s.mode == llc.ModeSMSide {
 			s.state = stDrainRevert
+			s.drainStart = s.now
 		} else {
 			s.sac.Rearm(s.now)
 		}
@@ -973,6 +1016,7 @@ func (s *System) controlPhase() {
 		switch {
 		case s.mode == llc.ModeSMSide:
 			s.state = stDrainRevert
+			s.drainStart = s.now
 		case !s.sac.Profiling(s.now):
 			s.sac.Rearm(s.now)
 		}
@@ -1035,6 +1079,7 @@ func (s *System) controlPhase() {
 			s.run.Reconfigs++
 			s.sac.Rearm(s.now)
 			s.state = stRun
+			s.traceReconfig(llc.ModeMemorySide)
 		}
 	}
 }
@@ -1044,6 +1089,7 @@ func (s *System) switchToSMSide() {
 	s.kernelMode = llc.ModeSMSide
 	s.run.Reconfigs++
 	s.state = stRun
+	s.traceReconfig(llc.ModeSMSide)
 }
 
 // flushLLC writes back dirty lines and invalidates LLC contents. full=false
@@ -1133,13 +1179,12 @@ func (s *System) finalize() {
 		s.run.DRAMBytes += c.mem.BytesMoved
 	}
 	s.run.RingBytes = s.ring.BytesMoved
+	if s.obs != nil {
+		s.observeSample() // close the partial final window
+	}
 }
 
 // Run is the package-level convenience: build a system and run it.
 func Run(cfg Config, spec Workload) (*stats.Run, error) {
-	sys, err := New(cfg, spec)
-	if err != nil {
-		return nil, err
-	}
-	return sys.Run()
+	return RunWith(cfg, spec, RunOpts{})
 }

@@ -122,6 +122,10 @@ func (x *Crossbar) Inject(m Message) {
 // Pending returns the number of queued messages across all input ports.
 func (x *Crossbar) Pending() int { return x.pending }
 
+// InQueueLen returns the instantaneous depth of one input port's ingress
+// queue (the observability layer samples it on its metrics window).
+func (x *Crossbar) InQueueLen(in int) int { return x.ingress[in].Len() }
+
 // Tick moves messages for one cycle, delivering to sink. now is the global
 // cycle counter; cycle loops that fast-forward idle spans may call Tick with
 // gaps in now. Idle crossbars return immediately; bucket credit catches up

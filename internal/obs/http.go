@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+)
+
+// Handler serves a registry over HTTP: GET /metrics returns the Prometheus
+// text exposition, GET /metrics.json the JSON snapshot. The registry may be
+// scraped while a simulation writes it.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	return mux
+}
+
+// Serve starts an HTTP server for the registry on addr (e.g. ":9090"). It
+// returns once the listener is bound, so scrapes succeed immediately; the
+// server then runs until the process exits or the returned server is shut
+// down. The bound address (useful with ":0") is returned.
+func Serve(addr string, r *Registry) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,42 @@
+package obs
+
+// DefaultWindow is the metrics sampling window in cycles when an Observer
+// does not choose one. It is a power of two near the occupancy-census period
+// so sampling adds at most one extra stepped cycle per window to an
+// otherwise fast-forwarded idle span.
+const DefaultWindow = 4096
+
+// Observer bundles the optional observation surfaces of one simulation run.
+// Either field may be nil: a nil Metrics skips windowed sampling into the
+// registry, a nil Trace skips event emission. The zero value observes
+// nothing; attach one anyway and the simulation pays the hook checks, so
+// prefer passing no observer at all for measurement runs.
+type Observer struct {
+	// Metrics receives windowed samples (LLC hit rate per slice, link
+	// utilization, DRAM channel occupancy, queue depths, ...) and running
+	// totals. It may be scraped concurrently while the simulation runs.
+	Metrics *Registry
+	// Trace receives discrete events: kernel boundaries, SAC transitions,
+	// fault edges and watchdog dumps, plus windowed counter tracks.
+	Trace *Tracer
+	// Window is the sampling period in cycles; <= 0 selects DefaultWindow.
+	Window int64
+}
+
+// New returns an Observer with a fresh registry and tracer.
+func New(window int64) *Observer {
+	return &Observer{Metrics: NewRegistry(), Trace: NewTracer(), Window: window}
+}
+
+// EffectiveWindow resolves the sampling period.
+func (o *Observer) EffectiveWindow() int64 {
+	if o == nil || o.Window <= 0 {
+		return DefaultWindow
+	}
+	return o.Window
+}
+
+// Enabled reports whether the observer would record anything.
+func (o *Observer) Enabled() bool {
+	return o != nil && (o.Metrics != nil || o.Trace != nil)
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Tracer records simulation events in the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// which Perfetto and chrome://tracing load directly. Timestamps are the
+// trace_event "ts" microsecond field carrying simulated cycles one-to-one,
+// so one trace millisecond is a thousand simulated cycles.
+//
+// Events arrive from the single simulation goroutine; the mutex exists so a
+// tracer can also be written from sweep workers and drained concurrently.
+type Tracer struct {
+	mu     sync.Mutex
+	events []traceEvent
+}
+
+// Reserved thread ids of the simulation "process" (pid 1). Metadata events
+// name them so Perfetto shows labelled tracks.
+const (
+	TIDKernel   = 0 // kernel execution spans
+	TIDSAC      = 1 // SAC profile/decide/reconfigure transitions
+	TIDFaults   = 2 // fault edges
+	TIDSupervis = 3 // watchdog / supervisor events
+	TIDMetrics  = 4 // windowed counter tracks
+)
+
+// traceEvent is one trace_event entry. Args is a map so encoding/json
+// renders keys sorted — deterministic output for golden tests.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// threadNames labels the reserved tids, in tid order.
+var threadNames = [...]string{"kernels", "sac", "faults", "supervisor", "metrics"}
+
+// NewTracer returns a tracer pre-seeded with the process/thread metadata
+// events that label the simulation tracks.
+func NewTracer() *Tracer {
+	t := &Tracer{}
+	t.meta("process_name", 0, map[string]any{"name": "sacsim"})
+	for tid, name := range threadNames {
+		t.meta("thread_name", tid, map[string]any{"name": name})
+	}
+	return t
+}
+
+func (t *Tracer) meta(name string, tid int, args map[string]any) {
+	t.push(traceEvent{Name: name, Phase: "M", PID: 1, TID: tid, Args: args})
+}
+
+func (t *Tracer) push(e traceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Arg is one key/value annotation on an event.
+type Arg struct {
+	Key string
+	Val any
+}
+
+// A returns an Arg (shorthand for literals at call sites).
+func A(key string, val any) Arg { return Arg{Key: key, Val: val} }
+
+func argMap(args []Arg) map[string]any {
+	if len(args) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(args))
+	for _, a := range args {
+		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// Complete records a complete ("X") event spanning [start, start+dur).
+func (t *Tracer) Complete(cat, name string, start, dur int64, tid int, args ...Arg) {
+	t.push(traceEvent{
+		Name: name, Cat: cat, Phase: "X", TS: start, Dur: dur,
+		PID: 1, TID: tid, Args: argMap(args),
+	})
+}
+
+// Instant records an instant ("i") event at ts, thread-scoped.
+func (t *Tracer) Instant(cat, name string, ts int64, tid int, args ...Arg) {
+	t.push(traceEvent{
+		Name: name, Cat: cat, Phase: "i", TS: ts,
+		PID: 1, TID: tid, Scope: "t", Args: argMap(args),
+	})
+}
+
+// Counter records a counter ("C") sample: values become a stacked counter
+// track in Perfetto.
+func (t *Tracer) Counter(name string, ts int64, values ...Arg) {
+	t.push(traceEvent{
+		Name: name, Phase: "C", TS: ts, PID: 1, TID: TIDMetrics,
+		Args: argMap(values),
+	})
+}
+
+// Len returns the number of recorded events (metadata included).
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteJSON writes the trace as a JSON object with a traceEvents array — the
+// envelope Perfetto's JSON importer expects.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	evs := make([]traceEvent, len(t.events))
+	copy(evs, t.events)
+	t.mu.Unlock()
+
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, e := range evs {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("obs: encoding trace event %d: %w", i, err)
+		}
+		sep := ",\n"
+		if i == len(evs)-1 {
+			sep = "\n"
+		}
+		if _, err := w.Write(append(b, sep...)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeTrace parses the tracer's output back into the generic envelope
+// Perfetto's JSON importer reads.
+func decodeTrace(t *testing.T, s string) []map[string]any {
+	t.Helper()
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(s), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, s)
+	}
+	if doc.TraceEvents == nil {
+		t.Fatal("missing traceEvents array")
+	}
+	return doc.TraceEvents
+}
+
+func TestTracerOutput(t *testing.T) {
+	tr := NewTracer()
+	tr.Complete("kernel", "k0", 100, 2500, TIDKernel, A("org", "SM-side"), A("memops", int64(777)))
+	tr.Instant("sac", "decide", 2100, TIDSAC, A("pick_sm", true))
+	tr.Counter("retired", 4096, A("ops_per_kcycle", 12.5))
+
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTrace(t, b.String())
+	// 6 metadata events (1 process + 5 threads) + the 3 above.
+	if len(evs) != 9 {
+		t.Fatalf("got %d events, want 9", len(evs))
+	}
+	if evs[0]["ph"] != "M" || evs[0]["name"] != "process_name" {
+		t.Errorf("first event must name the process, got %v", evs[0])
+	}
+	kernel := evs[6]
+	if kernel["ph"] != "X" || kernel["ts"] != float64(100) || kernel["dur"] != float64(2500) {
+		t.Errorf("bad complete event: %v", kernel)
+	}
+	args := kernel["args"].(map[string]any)
+	if args["org"] != "SM-side" || args["memops"] != float64(777) {
+		t.Errorf("bad args: %v", args)
+	}
+	if evs[7]["s"] != "t" {
+		t.Errorf("instant event must be thread-scoped: %v", evs[7])
+	}
+	if evs[8]["ph"] != "C" || evs[8]["tid"] != float64(TIDMetrics) {
+		t.Errorf("bad counter event: %v", evs[8])
+	}
+}
+
+func TestTracerEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := NewTracer().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if evs := decodeTrace(t, b.String()); len(evs) != 6 {
+		t.Fatalf("fresh tracer must hold exactly the metadata events, got %d", len(evs))
+	}
+}

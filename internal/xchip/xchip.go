@@ -70,6 +70,10 @@ type Ring struct {
 	BytesMoved int64 // bytes that entered any link
 	MsgsMoved  int64 // link traversals (a 2-hop message counts twice)
 	Arrivals   int64
+
+	// linkBytes[chip][dir]: bytes that entered the link leaving chip in dir
+	// (the per-link breakdown of BytesMoved; utilization metrics window it).
+	linkBytes [][2]int64
 }
 
 // New returns an idle ring.
@@ -81,11 +85,12 @@ func New(cfg Config) *Ring {
 		cfg.HopLatency = 1
 	}
 	r := &Ring{
-		cfg:      cfg,
-		egress:   make([][2]*bwsim.Queue[Message], cfg.Chips),
-		bkt:      make([][2]*bwsim.TokenBucket, cfg.Chips),
-		scale:    make([][2]float64, cfg.Chips),
-		inFlight: make([][2]*bwsim.DelayLine[Message], cfg.Chips),
+		cfg:       cfg,
+		egress:    make([][2]*bwsim.Queue[Message], cfg.Chips),
+		bkt:       make([][2]*bwsim.TokenBucket, cfg.Chips),
+		scale:     make([][2]float64, cfg.Chips),
+		inFlight:  make([][2]*bwsim.DelayLine[Message], cfg.Chips),
+		linkBytes: make([][2]int64, cfg.Chips),
 	}
 	for c := 0; c < cfg.Chips; c++ {
 		for d := 0; d < 2; d++ {
@@ -131,6 +136,13 @@ func (r *Ring) SetLinkScale(chip int, dir Direction, scale float64) {
 
 // LinkScale returns the current residual scale of a link.
 func (r *Ring) LinkScale(chip int, dir Direction) float64 { return r.scale[chip][dir] }
+
+// LinkBytes returns the total bytes that have entered the directional link
+// leaving chip in dir; windowed deltas give link utilization.
+func (r *Ring) LinkBytes(chip int, dir Direction) int64 { return r.linkBytes[chip][dir] }
+
+// LinkQueueLen returns the instantaneous egress-queue depth of a link.
+func (r *Ring) LinkQueueLen(chip int, dir Direction) int { return r.egress[chip][dir].Len() }
 
 // route picks the travel direction from src to dst: shortest path, hash tie-break.
 func (r *Ring) route(src, dst int, line uint64) Direction {
@@ -253,6 +265,7 @@ func (r *Ring) Tick(now int64, sink Sink) {
 				m, _ := q.Pop()
 				bkt.Take(m.Bytes)
 				r.BytesMoved += int64(m.Bytes)
+				r.linkBytes[c][d] += int64(m.Bytes)
 				r.MsgsMoved++
 				r.inFlight[c][d].Insert(now, r.cfg.HopLatency, m)
 			}

@@ -29,7 +29,10 @@
 package sac
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -37,6 +40,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/llc"
 	"repro/internal/noccost"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -103,22 +107,68 @@ func guard(err *error) {
 	}
 }
 
-// Run executes spec on cfg and returns the run statistics. Invalid
-// configurations and workloads come back as errors; no panic escapes to the
-// caller.
-func Run(cfg Config, spec Spec) (st *Stats, err error) {
-	defer guard(&err)
-	return gpu.Run(cfg, spec)
-}
-
 // Workload is any source of per-warp access streams: the built-in synthetic
 // Specs and trace replays (package repro/internal/trace) both implement it.
 type Workload = gpu.Workload
 
-// RunWorkload executes an arbitrary workload source (e.g. a trace replay).
-func RunWorkload(cfg Config, w Workload) (st *Stats, err error) {
+// RunOption configures one Run call. Options compose; later options win on
+// conflict. A Run with no options is a plain healthy, unobserved,
+// uncancellable simulation.
+type RunOption func(*gpu.RunOpts)
+
+// WithFaults injects a deterministic fault plan (nil or empty plan is
+// exactly a healthy run).
+func WithFaults(plan *FaultPlan) RunOption {
+	return func(o *gpu.RunOpts) { o.Faults = plan }
+}
+
+// WithObserver attaches an observability sink: its metrics registry is
+// updated on every sampling window and its tracer records kernel, SAC,
+// fault and watchdog events. A nil (or empty) observer is ignored.
+func WithObserver(ob *Observer) RunOption {
+	return func(o *gpu.RunOpts) { o.Observer = ob }
+}
+
+// WithMetricsWindow sets the metrics sampling window in cycles (only
+// meaningful together with WithObserver; 0 keeps the observer's own window,
+// then the package default of obs.DefaultWindow cycles).
+func WithMetricsWindow(n int64) RunOption {
+	return func(o *gpu.RunOpts) { o.MetricsWindow = n }
+}
+
+// WithContext makes the run cancellable: the cycle loop polls ctx on a
+// coarse stride and a canceled run returns ctx's error wrapped in a
+// *CellError naming the benchmark and organization.
+func WithContext(ctx context.Context) RunOption {
+	return func(o *gpu.RunOpts) { o.Ctx = ctx }
+}
+
+// Run executes workload w on cfg and returns the run statistics. Invalid
+// configurations and workloads come back as errors; no panic escapes to the
+// caller. Options attach fault plans, observers and cancellation:
+//
+//	st, err := sac.Run(cfg, spec,
+//	    sac.WithObserver(obs),
+//	    sac.WithContext(ctx))
+func Run(cfg Config, w Workload, opts ...RunOption) (st *Stats, err error) {
 	defer guard(&err)
-	return gpu.Run(cfg, w)
+	var o gpu.RunOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	st, err = gpu.RunWith(cfg, w, o)
+	if err != nil && o.Ctx != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		err = &CellError{Benchmark: w.SourceName(), Org: cfg.Org.String(), Err: err}
+	}
+	return st, err
+}
+
+// RunWorkload executes an arbitrary workload source (e.g. a trace replay).
+//
+// Deprecated: Run accepts any Workload directly; call Run(cfg, w) instead.
+func RunWorkload(cfg Config, w Workload) (*Stats, error) {
+	return Run(cfg, w)
 }
 
 // System is a constructed simulator instance; use it instead of Run to
@@ -168,9 +218,10 @@ func GenerateFaultPlan(cfg Config, seed int64, n int, horizon int64) *FaultPlan 
 
 // RunWithFaults executes any workload source (a Spec or a trace replay) on
 // cfg with plan injected (nil or empty plan is exactly Run).
-func RunWithFaults(cfg Config, w Workload, plan *FaultPlan) (st *Stats, err error) {
-	defer guard(&err)
-	return gpu.RunWithFaults(cfg, w, plan)
+//
+// Deprecated: call Run(cfg, w, WithFaults(plan)) instead.
+func RunWithFaults(cfg Config, w Workload, plan *FaultPlan) (*Stats, error) {
+	return Run(cfg, w, WithFaults(plan))
 }
 
 // StallError reports a watchdog abort: no request retired within
@@ -180,6 +231,33 @@ type StallError = gpu.StallError
 // CellError is the structured failure of one sweep cell (simulation error
 // or contained panic); Runner.RunAll joins one per distinct failed cell.
 type CellError = eval.CellError
+
+// Observability — a live metrics registry plus a Chrome-trace event tracer,
+// attachable to any Run via WithObserver (DESIGN.md "Observability"). With
+// no observer attached the simulator's hot path is allocation-free and pays
+// one nil check per guarded site.
+
+// Observer bundles the two observability sinks. Either field may be nil to
+// enable only the other.
+type Observer = obs.Observer
+
+// MetricsRegistry is a set of named counter/gauge series, exportable as
+// Prometheus text exposition (version 0.0.4) or JSON. Safe for concurrent
+// scraping while a simulation writes.
+type MetricsRegistry = obs.Registry
+
+// Tracer records trace events in Chrome trace_event JSON; its output opens
+// directly in Perfetto (ui.perfetto.dev) or chrome://tracing. Trace
+// timestamps are simulated cycles interpreted as microseconds.
+type Tracer = obs.Tracer
+
+// NewObserver returns an Observer with a fresh registry and tracer sampling
+// every window cycles (0 = the default window of obs.DefaultWindow cycles).
+func NewObserver(window int64) *Observer { return obs.New(window) }
+
+// MetricsHandler serves a registry over HTTP: GET /metrics (Prometheus) and
+// GET /metrics.json.
+func MetricsHandler(r *MetricsRegistry) http.Handler { return obs.Handler(r) }
 
 // Speedup returns a's performance relative to b (ratio of IPC).
 func Speedup(a, b *Stats) float64 { return stats.Speedup(a, b) }
@@ -196,6 +274,9 @@ type Runner = eval.Runner
 // RunRequest names one (configuration, workload) simulation for
 // Runner.Prefetch / Runner.RunAll.
 type RunRequest = eval.RunRequest
+
+// CellResult is the per-cell progress record passed to Runner.OnCellDone.
+type CellResult = eval.CellResult
 
 // NewRunner returns a Runner over ScaledConfig and all 16 benchmarks.
 func NewRunner() *Runner { return eval.NewRunner() }

@@ -185,9 +185,9 @@ func TestRunRejectsInvalidConfig(t *testing.T) {
 // error instead of killing the caller.
 type panicWorkload struct{}
 
-func (panicWorkload) SourceName() string     { return "panic" }
-func (panicWorkload) KernelCount() int       { return 1 }
-func (panicWorkload) KernelName(int) string  { return "k0" }
+func (panicWorkload) SourceName() string    { return "panic" }
+func (panicWorkload) KernelCount() int      { return 1 }
+func (panicWorkload) KernelName(int) string { return "k0" }
 func (panicWorkload) Stream(m workload.Machine, ki, chip, sm, warp int) workload.AccessStream {
 	panic("boom from workload")
 }
