@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz vuln check bench benchguard fig8 fmt
+.PHONY: build test vet race shuffle smoke fuzz vuln check bench benchguard fig8 fmt
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,18 @@ vet:
 # the singleflight cache and worker pool from many goroutines.
 race:
 	$(GO) test -race ./...
+
+# shuffle reruns the suite with randomized test execution order, catching
+# tests that silently depend on a sibling running first.
+shuffle:
+	$(GO) test -shuffle=on ./...
+
+# smoke is the daemon gate: build the real sacd binary, start it on an
+# ephemeral port, drive it over HTTP (concurrent dedup, byte-identity with
+# in-process sac.Run, SIGTERM drain + requeue, restart from the persistent
+# store), and require a clean exit.
+smoke:
+	$(GO) test -count=1 -run TestDaemonEndToEnd ./cmd/sacd
 
 # fuzz is a short smoke of the untrusted-input parsers (the trace reader).
 # An exec-count budget keeps the wall time stable on single-core CI runners;
@@ -36,8 +48,9 @@ vuln:
 	fi
 
 # check is the CI gate: static analysis, the full suite under the race
-# detector, a fuzz smoke of the parsers, and an advisory vulnerability scan.
-check: vet race fuzz vuln
+# detector and again in shuffled order, the sacd daemon smoke, a fuzz smoke
+# of the parsers, and an advisory vulnerability scan.
+check: vet race shuffle smoke fuzz vuln
 
 # benchguard is the observability-layer cost gate: a full Fig 8 sweep with no
 # observer attached must stay within 1% of the allocation baseline recorded

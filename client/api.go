@@ -1,0 +1,102 @@
+// Package client is the typed Go client for the sacd simulation daemon and
+// the single source of truth for its JSON wire types (internal/server
+// imports them, so daemon and client cannot drift).
+//
+// The client retries transient failures — connection errors, 429
+// backpressure, 5xx — with capped exponential backoff, propagates contexts
+// into every request, and exposes both the raw job lifecycle
+// (Submit/Status/Result) and a blocking convenience (Run) that submits,
+// polls, and fetches in one call.
+package client
+
+import (
+	"time"
+
+	sac "repro"
+)
+
+// Job states reported by the daemon.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateRequeued = "requeued" // drained to disk; resumes on daemon restart
+)
+
+// Result sources: how a finished job's result was obtained.
+const (
+	SourceSim   = "sim"   // executed a fresh simulation
+	SourceStore = "store" // served from the persistent result store
+	SourceDedup = "dedup" // joined another client's in-flight simulation
+	SourceMemo  = "memo"  // recalled a result already completed this process
+)
+
+// Priority lanes, drained in this order.
+const (
+	PriorityHigh   = "high"
+	PriorityNormal = "normal"
+	PriorityBatch  = "batch"
+)
+
+// JobRequest names one simulation cell to run.
+type JobRequest struct {
+	// Benchmark is a Table-4 workload name (sac.BenchmarkNames).
+	Benchmark string `json:"benchmark"`
+	// Org is an LLC organization name as printed by sac.Org.String
+	// ("memory-side", "SM-side", "static", "dynamic", "SAC").
+	Org string `json:"org"`
+	// Preset picks the base configuration: "scaled" (default), "paper",
+	// "mcm", or "multisocket". Ignored when Config is set.
+	Preset string `json:"preset,omitempty"`
+	// Config overrides the preset entirely with an explicit configuration
+	// (its Org field is in turn overridden by Org above).
+	Config *sac.Config `json:"config,omitempty"`
+	// Faults is a fault plan in the compact DSL ("" = healthy run).
+	Faults string `json:"faults,omitempty"`
+	// Priority selects the queue lane; "" means normal.
+	Priority string `json:"priority,omitempty"`
+}
+
+// JobStatus is the daemon's view of one job.
+type JobStatus struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Benchmark string `json:"benchmark"`
+	Org       string `json:"org"`
+	Priority  string `json:"priority"`
+	// Key is the content address of the job's cell in the result store.
+	Key string `json:"key,omitempty"`
+	// Source reports how the result was obtained (done jobs only).
+	Source string `json:"source,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// QueueAhead is the number of jobs ahead in the queue (queued only).
+	QueueAhead int `json:"queue_ahead,omitempty"`
+	// Cycles is the simulated cycle count (done jobs only).
+	Cycles int64 `json:"cycles,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// Done reports whether the job reached a terminal state.
+func (s JobStatus) Done() bool { return s.State == StateDone || s.State == StateFailed }
+
+// Health is the /v1/healthz payload.
+type Health struct {
+	Status     string `json:"status"` // "ok" or "draining"
+	Draining   bool   `json:"draining"`
+	Workers    int    `json:"workers"`
+	Inflight   int    `json:"inflight"`
+	QueueDepth int    `json:"queue_depth"`
+	Jobs       int    `json:"jobs"`
+	// Store statistics; zero values when the daemon runs without a store.
+	StoreObjects int   `json:"store_objects,omitempty"`
+	StoreBytes   int64 `json:"store_bytes,omitempty"`
+}
+
+// errorBody is the JSON error payload every non-2xx API response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}

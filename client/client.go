@@ -1,0 +1,233 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	sac "repro"
+)
+
+// APIError is a non-2xx response from the daemon.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("sacd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// Temporary reports whether retrying the request could succeed: 429 means
+// queue backpressure, 503 a draining daemon (a restart may follow), and the
+// remaining 5xx transient server trouble.
+func (e *APIError) Temporary() bool {
+	switch e.StatusCode {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Client talks to one sacd daemon.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+	maxWait time.Duration
+	poll    time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times a transient failure is retried (0
+// disables retrying; default 4).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the first retry delay and its cap; the delay doubles per
+// attempt (defaults 100ms and 2s).
+func WithBackoff(first, max time.Duration) Option {
+	return func(c *Client) {
+		c.backoff, c.maxWait = first, max
+	}
+}
+
+// WithPollInterval sets how often Wait polls job status (default 50ms).
+func WithPollInterval(d time.Duration) Option { return func(c *Client) { c.poll = d } }
+
+// New returns a client for the daemon at baseURL (e.g. "http://127.0.0.1:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      &http.Client{},
+		retries: 4,
+		backoff: 100 * time.Millisecond,
+		maxWait: 2 * time.Second,
+		poll:    50 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do performs one API call with retries, decoding a 2xx JSON body into out
+// (skipped when out is nil). The request body, if any, is re-sent verbatim
+// on every attempt.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	delay := c.backoff
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("sacd: giving up after %d attempts: %w (last error: %v)",
+					attempt, ctx.Err(), lastErr)
+			case <-time.After(delay):
+			}
+			if delay *= 2; delay > c.maxWait {
+				delay = c.maxWait
+			}
+		}
+		err := c.once(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && !apiErr.Temporary() {
+			return err // permanent: 400, 404, 409, ...
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// once performs a single HTTP round trip.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg := http.StatusText(resp.StatusCode)
+		var eb errorBody
+		if b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16)); err == nil {
+			if json.Unmarshal(b, &eb) == nil && eb.Error != "" {
+				msg = eb.Error
+			}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit enqueues one job and returns its initial status. Backpressure
+// (429) and draining (503) responses are retried with backoff.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (JobStatus, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", b, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Status fetches the current status of a job.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Result fetches the completed result of a job. A job that has not finished
+// yet comes back as a 409 *APIError; a failed job as a 500 carrying its
+// error text.
+func (c *Client) Result(ctx context.Context, id string) (*sac.Stats, error) {
+	var run sac.Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result", nil, &run); err != nil {
+		return nil, err
+	}
+	return &run, nil
+}
+
+// Wait polls until the job reaches a terminal state (done or failed) or ctx
+// expires.
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		if st.Done() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, fmt.Errorf("sacd: job %s still %s: %w", id, st.State, ctx.Err())
+		case <-time.After(c.poll):
+		}
+	}
+}
+
+// Run submits a job, waits for it, and returns the result — the remote
+// equivalent of sac.Run for one cell.
+func (c *Client) Run(ctx context.Context, req JobRequest) (*sac.Stats, error) {
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	st, err = c.Wait(ctx, st.ID)
+	if err != nil {
+		return nil, err
+	}
+	if st.State == StateFailed {
+		return nil, fmt.Errorf("sacd: job %s failed: %s", st.ID, st.Error)
+	}
+	return c.Result(ctx, st.ID)
+}
+
+// Health fetches the daemon's health summary.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h); err != nil {
+		return Health{}, err
+	}
+	return h, nil
+}

@@ -1,0 +1,124 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func stubDaemon(t *testing.T, handler http.HandlerFunc) (*Client, *httptest.Server) {
+	t.Helper()
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	return New(srv.URL, WithBackoff(time.Millisecond, 4*time.Millisecond)), srv
+}
+
+func TestRetriesBackpressureThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+			return
+		}
+		json.NewEncoder(w).Encode(JobStatus{ID: "j1", State: StateQueued})
+	})
+	st, err := c.Submit(context.Background(), JobRequest{Benchmark: "BP", Org: "SAC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j1" || calls.Load() != 3 {
+		t.Fatalf("got id=%q after %d calls, want j1 after 3", st.ID, calls.Load())
+	}
+}
+
+func TestPermanentErrorNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "unknown benchmark"})
+	})
+	_, err := c.Submit(context.Background(), JobRequest{Benchmark: "nope"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("want 400 APIError, got %v", err)
+	}
+	if apiErr.Message != "unknown benchmark" {
+		t.Fatalf("error body not surfaced: %q", apiErr.Message)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("400 retried %d times; permanent errors must not retry", calls.Load()-1)
+	}
+}
+
+func TestRetriesExhaust(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	_, err := c.Health(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("want 503 APIError, got %v", err)
+	}
+	if calls.Load() != 5 { // 1 initial + 4 retries
+		t.Fatalf("made %d calls, want 5", calls.Load())
+	}
+}
+
+func TestContextCancelStopsRetries(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := c.Health(ctx); err == nil {
+		t.Fatal("canceled context did not error")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("canceled context kept retrying")
+	}
+	if calls.Load() > 1 {
+		t.Fatalf("canceled context made %d calls", calls.Load())
+	}
+}
+
+func TestConnectionErrorRetried(t *testing.T) {
+	// A client pointed at a dead port must retry then give up with the
+	// transport error, not panic or hang.
+	c := New("http://127.0.0.1:1", WithRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Health(ctx); err == nil {
+		t.Fatal("dead endpoint returned no error")
+	}
+}
+
+func TestWaitPollsToTerminalState(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		st := JobStatus{ID: "j1", State: StateRunning}
+		if calls.Add(1) >= 3 {
+			st.State = StateDone
+			st.Source = SourceSim
+		}
+		json.NewEncoder(w).Encode(st)
+	})
+	st, err := c.Wait(context.Background(), "j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || calls.Load() < 3 {
+		t.Fatalf("state=%s after %d polls", st.State, calls.Load())
+	}
+}

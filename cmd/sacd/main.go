@@ -1,0 +1,126 @@
+// Command sacd is the simulation-as-a-service daemon: it accepts simulation
+// jobs over a JSON HTTP API, executes them through the shared parallel
+// engine with cross-client deduplication, and persists every result in a
+// content-addressed on-disk store so identical cells are never simulated
+// twice — not within one daemon life, and not across restarts.
+//
+// Usage:
+//
+//	sacd -addr :8341 -cache-dir /var/lib/sacd
+//
+// API (see the repro/client package for a typed Go client):
+//
+//	POST /v1/jobs             {"benchmark":"BP","org":"SAC"}  → 202 job status
+//	GET  /v1/jobs/{id}        job status (queued/running/done/failed)
+//	GET  /v1/jobs/{id}/result finished job's full statistics
+//	GET  /v1/healthz          daemon health and queue depth
+//	GET  /metrics             Prometheus metrics
+//
+// SIGTERM or SIGINT drains gracefully: in-flight simulations finish, queued
+// jobs are persisted to <cache-dir>/requeue.json and resume on the next
+// start, and the daemon exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8341", "HTTP listen address (use :0 for an ephemeral port)")
+		cacheDir   = flag.String("cache-dir", "", "persistent result store directory (shared with sacsweep -cache-dir); empty = in-memory only")
+		cacheMax   = flag.Int64("cache-max-bytes", 0, "evict least-recently-used store entries beyond this many bytes (0 = unbounded)")
+		workers    = flag.Int("workers", 0, "max simulations in flight (0 = all cores)")
+		queueCap   = flag.Int("queue", 256, "max queued jobs before submissions get 429")
+		drainGrace = flag.Duration("drain-grace", 10*time.Minute, "how long a shutdown signal waits for in-flight jobs")
+		quiet      = flag.Bool("q", false, "suppress per-job log lines")
+	)
+	flag.Parse()
+	if err := run(*addr, *cacheDir, *cacheMax, *workers, *queueCap, *drainGrace, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "sacd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, cacheDir string, cacheMax int64, workers, queueCap int, drainGrace time.Duration, quiet bool) error {
+	cfg := server.Config{
+		Workers:  workers,
+		QueueCap: queueCap,
+		Registry: obs.NewRegistry(),
+	}
+	if !quiet {
+		cfg.Log = os.Stderr
+	}
+	if cacheDir != "" {
+		st, err := store.Open(cacheDir, store.Options{MaxBytes: cacheMax})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		cfg.Store = st
+		cfg.RequeuePath = filepath.Join(cacheDir, "requeue.json")
+	}
+
+	s := server.New(cfg)
+	s.Start()
+	if n, err := s.LoadRequeued(); err != nil {
+		fmt.Fprintln(os.Stderr, "sacd:", err)
+	} else if n > 0 {
+		fmt.Fprintf(os.Stderr, "sacd: resumed %d jobs drained by the previous run\n", n)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	// The serving line doubles as the readiness signal: tests and scripts
+	// scrape the bound address from it (addr may be ":0").
+	fmt.Printf("sacd: serving on http://%s (%d workers)\n", ln.Addr(), s.Workers())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "sacd: %v: draining\n", sig)
+	case err := <-errc:
+		return err
+	}
+
+	// Drain order matters: stop the workers first (in-flight jobs finish,
+	// queued jobs spill to the requeue file) and only then close the HTTP
+	// server, so status polls on finishing jobs keep answering during the
+	// drain. New submissions get 503 the moment the drain starts.
+	ctx, cancel := context.WithTimeout(context.Background(), drainGrace)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		hs.Close()
+		return err
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "sacd: drained, bye")
+	return nil
+}

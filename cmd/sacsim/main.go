@@ -115,7 +115,7 @@ func main() {
 			observer.Trace = nil // metrics only: don't buffer events
 		}
 		if *metricsAddr != "" {
-			serveMetrics(*metricsAddr, observer.Metrics)
+			defer serveMetrics(*metricsAddr, observer.Metrics).Close()
 		} else {
 			observer.Metrics = nil // trace only: don't register series
 		}
@@ -191,7 +191,7 @@ func compareOrgs(ctx context.Context, cfg sac.Config, spec sac.Spec, orgs []llc.
 	if metricsAddr != "" {
 		r.Obs = sac.NewObserver(0)
 		r.Obs.Trace = nil
-		serveMetrics(metricsAddr, r.Obs.Metrics)
+		defer serveMetrics(metricsAddr, r.Obs.Metrics).Close()
 	}
 	reqs := make([]sac.RunRequest, len(orgs))
 	for i, org := range orgs {
@@ -263,13 +263,15 @@ func printTable3(cfg sac.Config) {
 	noccost.Compare(noccost.PaperShape(), noccost.Tech22()).Print(os.Stdout)
 }
 
-// serveMetrics exposes a registry over HTTP for the lifetime of the process.
-func serveMetrics(addr string, reg *sac.MetricsRegistry) {
-	_, bound, err := obs.Serve(addr, reg)
+// serveMetrics exposes a registry over HTTP; the returned server is closed
+// on exit so the listener shuts down cooperatively.
+func serveMetrics(addr string, reg *sac.MetricsRegistry) *obs.MetricsServer {
+	ms, err := obs.Serve(addr, reg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("serving metrics at http://%s/metrics\n", bound)
+	fmt.Printf("serving metrics at http://%s/metrics\n", ms.Addr())
+	return ms
 }
 
 // writeTrace dumps the tracer's events as a Perfetto-loadable JSON file.

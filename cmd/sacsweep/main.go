@@ -25,6 +25,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/noccost"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 func main() {
@@ -40,6 +41,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "wall-clock limit for the whole invocation (0 = none; exceeding it exits 3)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live sweep metrics over HTTP at this address (/metrics)")
 		progress    = flag.Bool("progress", false, "print one line per completed sweep cell to stderr")
+		cacheDir    = flag.String("cache-dir", "", "persistent result cache directory (shared with sacd); warm entries skip simulation")
+		cacheMax    = flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this many bytes (0 = unbounded)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -57,12 +60,29 @@ func main() {
 	if *metricsAddr != "" {
 		r.Obs = sac.NewObserver(0)
 		r.Obs.Trace = nil
-		_, bound, err := obs.Serve(*metricsAddr, r.Obs.Metrics)
+		ms, err := obs.Serve(*metricsAddr, r.Obs.Metrics)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sacsweep:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "sacsweep: serving metrics at http://%s/metrics\n", bound)
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "sacsweep: serving metrics at http://%s/metrics\n", ms.Addr())
+	}
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir, store.Options{MaxBytes: *cacheMax})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sacsweep:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		r.Store = st
+		if *progress {
+			// Report the warm/cold split once the sweep is done.
+			defer func() {
+				fmt.Fprintf(os.Stderr, "# cache %s: %d hits, %d misses (%d objects, %d bytes)\n",
+					*cacheDir, r.StoreHits(), r.StoreMisses(), st.Len(), st.SizeBytes())
+			}()
+		}
 	}
 	if *progress {
 		r.OnCellDone = func(c sac.CellResult) {

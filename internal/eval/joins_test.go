@@ -1,0 +1,158 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/llc"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// failingRunner returns a parallel Runner whose simulate stub fails (or
+// panics) for the named benchmarks and succeeds for everything else.
+func failingRunner(t *testing.T, fail map[string]string) *Runner {
+	t.Helper()
+	r := testRunner()
+	r.Parallelism = 4
+	r.simulate = func(cfg gpu.Config, spec workload.Spec, o gpu.RunOpts) (*stats.Run, error) {
+		switch fail[spec.Name] {
+		case "error":
+			return nil, fmt.Errorf("synthetic failure in %s", spec.Name)
+		case "panic":
+			panic("synthetic panic in " + spec.Name)
+		}
+		return &stats.Run{Benchmark: spec.Name, Org: cfg.Org.String(), Cycles: 1000, MemOps: 100}, nil
+	}
+	return r
+}
+
+func joinReqs(t *testing.T, r *Runner) []RunRequest {
+	t.Helper()
+	var reqs []RunRequest
+	for _, name := range []string{"RN", "BP", "SN", "GEMM"} {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, org := range []llc.Org{llc.MemorySide, llc.SMSide} {
+			reqs = append(reqs, RunRequest{Cfg: r.Base.WithOrg(org), Spec: spec})
+		}
+		// Duplicate every memory-side cell: joins must not duplicate errors.
+		reqs = append(reqs, RunRequest{Cfg: r.Base.WithOrg(llc.MemorySide), Spec: spec})
+	}
+	return reqs
+}
+
+// TestRunAllErrorOrderDeterministic pins the CellError aggregation contract:
+// RunAll joins one error per distinct failed cell, in request order,
+// regardless of the (parallel, nondeterministic) completion order.
+func TestRunAllErrorOrderDeterministic(t *testing.T) {
+	fail := map[string]string{"BP": "error", "SN": "panic", "GEMM": "error"}
+	var want []string
+	for trial := 0; trial < 6; trial++ {
+		r := failingRunner(t, fail)
+		reqs := joinReqs(t, r)
+		runs, err := r.RunAll(reqs)
+		if err == nil {
+			t.Fatal("RunAll returned nil error with failing cells")
+		}
+		joined, ok := err.(interface{ Unwrap() []error })
+		if !ok {
+			t.Fatalf("RunAll error is not an errors.Join result: %T", err)
+		}
+		// One error per distinct failed cell: BP, SN, GEMM under two orgs
+		// each (duplicates collapse onto the same CellError). The aggregation
+		// order is the cells' first-encounter order in the request slice, not
+		// the (nondeterministic) parallel completion order.
+		errs := joined.Unwrap()
+		if len(errs) != 6 {
+			t.Fatalf("joined %d errors, want 6: %v", len(errs), err)
+		}
+		got := make([]string, len(errs))
+		for i, e := range errs {
+			var cell *CellError
+			if !errors.As(e, &cell) {
+				t.Fatalf("joined error is not a *CellError: %T (%v)", e, e)
+			}
+			got[i] = cell.Benchmark + "/" + cell.Org
+		}
+		// Expected order derives from the request slice itself.
+		var expect []string
+		seen := map[string]bool{}
+		for _, q := range reqs {
+			id := q.Spec.Name + "/" + q.Cfg.Org.String()
+			if fail[q.Spec.Name] != "" && !seen[id] {
+				seen[id] = true
+				expect = append(expect, id)
+			}
+		}
+		if len(got) != len(expect) {
+			t.Fatalf("trial %d joined %d cells, want %d", trial, len(got), len(expect))
+		}
+		for i := range got {
+			if got[i] != expect[i] {
+				t.Fatalf("trial %d aggregation order diverged at %d:\n got: %v\nwant: %v", trial, i, got, expect)
+			}
+		}
+		if want == nil {
+			want = got
+		}
+		// Successful cells still fill their slots; failed cells are holes.
+		for i, req := range reqs {
+			failed := fail[req.Spec.Name] != ""
+			if failed && runs[i] != nil {
+				t.Fatalf("req %d (%s) failed but has a result", i, req.Spec.Name)
+			}
+			if !failed && runs[i] == nil {
+				t.Fatalf("req %d (%s) succeeded but slot is nil", i, req.Spec.Name)
+			}
+		}
+	}
+}
+
+// TestOnCellDoneExactlyOncePerCell hammers a parallel RunAll with duplicate
+// requests and concurrent callers: OnCellDone must fire exactly once per
+// distinct executed cell — successes and failures alike — never for
+// recalls or joins. Run under -race this also checks callback publication.
+func TestOnCellDoneExactlyOncePerCell(t *testing.T) {
+	fail := map[string]string{"BP": "error", "SN": "panic"}
+	r := failingRunner(t, fail)
+
+	var mu sync.Mutex
+	counts := make(map[string]int)
+	r.OnCellDone = func(c CellResult) {
+		mu.Lock()
+		counts[c.Benchmark+"/"+c.Org]++
+		mu.Unlock()
+	}
+
+	reqs := joinReqs(t, r)
+	var wg sync.WaitGroup
+	for caller := 0; caller < 4; caller++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = r.RunAll(reqs)
+		}()
+	}
+	wg.Wait()
+
+	distinct := make(map[string]bool)
+	for _, q := range reqs {
+		distinct[q.Spec.Name+"/"+q.Cfg.Org.String()] = true
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(counts) != len(distinct) {
+		t.Fatalf("OnCellDone saw %d distinct cells, want %d", len(counts), len(distinct))
+	}
+	for cell, n := range counts {
+		if n != 1 {
+			t.Errorf("OnCellDone fired %d times for %s, want exactly 1", n, cell)
+		}
+	}
+}

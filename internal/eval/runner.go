@@ -20,6 +20,7 @@ import (
 	"repro/internal/llc"
 	"repro/internal/obs"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -67,12 +68,23 @@ type Runner struct {
 	// concurrent use at the Runner's parallelism.
 	OnCellDone func(CellResult)
 
+	// Store, when set, is a persistent result cache shared across processes
+	// (sacsweep -cache-dir, the sacd daemon): each cell's leader consults it
+	// before simulating and writes successful results back. A store hit
+	// still fires OnCellDone but does not count as an execution (Runs) nor
+	// toward SimCycles. Store failures degrade to simulation, never to an
+	// error.
+	Store *store.Store
+
 	mu   sync.Mutex
 	memo map[runKey]*runEntry
 	sem  chan struct{}
 
 	execs     atomic.Int64 // completed simulations (not recalls/joins)
 	simCycles atomic.Int64 // total simulated cycles across executions
+
+	storeHits   atomic.Int64 // cells served from the persistent Store
+	storeMisses atomic.Int64 // cells that consulted the Store and simulated
 
 	obsOnce sync.Once
 	obsM    *sweepMetrics
@@ -94,6 +106,7 @@ type CellResult struct {
 // sweepMetrics are the Runner's aggregate series, registered on first use.
 type sweepMetrics struct {
 	ok, failed, inflight, cycles *obs.Metric
+	storeHit, storeMiss          *obs.Metric
 }
 
 // sweep returns the sweep-metric handles, or nil without an observer.
@@ -104,10 +117,12 @@ func (r *Runner) sweep() *sweepMetrics {
 	r.obsOnce.Do(func() {
 		reg := r.Obs.Metrics
 		r.obsM = &sweepMetrics{
-			ok:       reg.Counter("sacsweep_cells_completed_total", "Sweep cells that finished successfully."),
-			failed:   reg.Counter("sacsweep_cells_failed_total", "Sweep cells that failed (error or contained panic)."),
-			inflight: reg.Gauge("sacsweep_cells_inflight", "Simulations currently executing."),
-			cycles:   reg.Counter("sacsweep_sim_cycles_total", "Simulated cycles across all completed cells."),
+			ok:        reg.Counter("sacsweep_cells_completed_total", "Sweep cells that finished successfully."),
+			failed:    reg.Counter("sacsweep_cells_failed_total", "Sweep cells that failed (error or contained panic)."),
+			inflight:  reg.Gauge("sacsweep_cells_inflight", "Simulations currently executing."),
+			cycles:    reg.Counter("sacsweep_sim_cycles_total", "Simulated cycles across all completed cells."),
+			storeHit:  reg.Counter("sacsweep_store_hits_total", "Cells served from the persistent result store."),
+			storeMiss: reg.Counter("sacsweep_store_misses_total", "Cells that missed the persistent result store and simulated."),
 		}
 	})
 	return r.obsM
@@ -265,6 +280,22 @@ func (r *Runner) execute(e *runEntry, cfg gpu.Config, spec workload.Spec, plan *
 			return
 		}
 	}
+	// Persistent cache: a stored result short-circuits the simulation.
+	if r.Store != nil {
+		if res, ok := r.Store.Get(store.Key(cfg, spec.Name, plan.Key())); ok {
+			r.storeHits.Add(1)
+			if m := r.sweep(); m != nil {
+				m.storeHit.Inc()
+			}
+			e.res = res
+			r.cellDone(e, spec, cfg, plan)
+			return
+		}
+		r.storeMisses.Add(1)
+		if m := r.sweep(); m != nil {
+			m.storeMiss.Inc()
+		}
+	}
 	if m := r.sweep(); m != nil {
 		m.inflight.Add(1)
 	}
@@ -289,6 +320,10 @@ func (r *Runner) execute(e *runEntry, cfg gpu.Config, spec workload.Spec, plan *
 	e.res = res
 	r.execs.Add(1)
 	r.simCycles.Add(res.Cycles)
+	if r.Store != nil {
+		// Best-effort write-back; a full disk must not fail the sweep.
+		_ = r.Store.PutRun(cfg, spec.Name, plan.Key(), res)
+	}
 	if r.Verbose && r.Log != nil {
 		r.mu.Lock()
 		fmt.Fprintf(r.Log, "# run %-10s %-12s cycles=%-10d ipc=%.4f\n",
@@ -389,6 +424,13 @@ func (r *Runner) Runs() int { return int(r.execs.Load()) }
 // SimCycles returns the total simulated cycles across all executed runs,
 // for throughput (cycles/s) reporting.
 func (r *Runner) SimCycles() int64 { return r.simCycles.Load() }
+
+// StoreHits returns the number of cells served from the persistent Store.
+func (r *Runner) StoreHits() int64 { return r.storeHits.Load() }
+
+// StoreMisses returns the number of cells that consulted the persistent
+// Store, found nothing, and simulated.
+func (r *Runner) StoreMisses() int64 { return r.storeMisses.Load() }
 
 // orderedOrgs is the paper's comparison order.
 func orderedOrgs() []llc.Org { return llc.Orgs() }

@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
+	"time"
 )
 
 // Handler serves a registry over HTTP: GET /metrics returns the Prometheus
@@ -21,16 +23,50 @@ func Handler(r *Registry) http.Handler {
 	return mux
 }
 
+// MetricsServer is a running metrics endpoint. Callers shut it down
+// cooperatively with Close (or Shutdown for a deadline-bound drain) when
+// the process exits.
+type MetricsServer struct {
+	srv  *http.Server
+	addr net.Addr
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (m *MetricsServer) Addr() net.Addr { return m.addr }
+
+// Close immediately closes the listener and all active connections.
+func (m *MetricsServer) Close() error {
+	if m == nil {
+		return nil
+	}
+	return m.srv.Close()
+}
+
+// Shutdown stops the listener and waits for in-flight scrapes to finish,
+// bounded by ctx.
+func (m *MetricsServer) Shutdown(ctx context.Context) error {
+	if m == nil {
+		return nil
+	}
+	return m.srv.Shutdown(ctx)
+}
+
 // Serve starts an HTTP server for the registry on addr (e.g. ":9090"). It
-// returns once the listener is bound, so scrapes succeed immediately; the
-// server then runs until the process exits or the returned server is shut
-// down. The bound address (useful with ":0") is returned.
-func Serve(addr string, r *Registry) (*http.Server, net.Addr, error) {
+// returns once the listener is bound, so scrapes succeed immediately. The
+// server carries header/idle timeouts (a half-open scraper cannot pin a
+// connection open forever) and runs until the returned MetricsServer is
+// closed.
+func Serve(addr string, r *Registry) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(r)}
+	srv := &http.Server{
+		Handler:           Handler(r),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
 	go func() { _ = srv.Serve(ln) }()
-	return srv, ln.Addr(), nil
+	return &MetricsServer{srv: srv, addr: ln.Addr()}, nil
 }

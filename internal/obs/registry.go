@@ -20,7 +20,7 @@ import (
 	"sync/atomic"
 )
 
-// Kind distinguishes the two metric types the registry supports.
+// Kind distinguishes the metric types the registry supports.
 type Kind uint8
 
 const (
@@ -28,13 +28,19 @@ const (
 	KindCounter Kind = iota
 	// KindGauge is a point-in-time value that can move both ways.
 	KindGauge
+	// KindHistogram is a bucketed distribution with a sum and a count.
+	KindHistogram
 )
 
 func (k Kind) String() string {
-	if k == KindCounter {
+	switch k {
+	case KindCounter:
 		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
 	}
-	return "gauge"
 }
 
 // Label is one name="value" pair attached to a metric series.
@@ -75,11 +81,57 @@ func (m *Metric) Inc() { m.Add(1) }
 // Value returns the current value.
 func (m *Metric) Value() float64 { return math.Float64frombits(m.bits.Load()) }
 
+// Histogram is one bucketed distribution series. Observations land in the
+// first bucket whose upper bound is >= the value (Prometheus "le"
+// semantics); an implicit +Inf bucket catches the rest. All updates are
+// atomic, so a scrape may run while observations arrive (bucket counts and
+// the sum are each individually consistent; a scrape racing an Observe may
+// see the count without the sum, which Prometheus tolerates).
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, +Inf excluded
+	counts []atomic.Uint64
+	sum    Metric
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// cumulative returns the per-bucket cumulative counts (+Inf last).
+func (h *Histogram) cumulative() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+		out[i] = n
+	}
+	return out
+}
+
 // series is one labelled instance of a family.
 type series struct {
 	labels []Label
 	key    string // canonical {k="v",...} fragment, "" for the bare series
 	metric Metric
+	hist   *Histogram // non-nil only in histogram families
 }
 
 // family groups all series sharing one metric name.
@@ -87,6 +139,7 @@ type family struct {
 	name   string
 	help   string
 	kind   Kind
+	bounds []float64 // histogram families only
 	series []*series
 	byKey  map[string]*series
 }
@@ -115,6 +168,57 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Metric {
 // Gauge registers (or finds) the gauge series name{labels...}.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Metric {
 	return r.register(name, help, KindGauge, labels)
+}
+
+// Histogram registers (or finds) the histogram series name{labels...} with
+// the given bucket upper bounds (strictly increasing; +Inf is implicit).
+// Re-registering the same family with different buckets panics, like a kind
+// mismatch: both are programming errors, not input.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s buckets not strictly increasing", name))
+		}
+	}
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{
+			name: name, help: help, kind: KindHistogram,
+			bounds: append([]float64(nil), buckets...),
+			byKey:  make(map[string]*series),
+		}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.kind != KindHistogram {
+		panic(fmt.Sprintf("obs: metric %s reregistered as histogram (was %s)", name, f.kind))
+	} else if !equalBounds(f.bounds, buckets) {
+		panic(fmt.Sprintf("obs: histogram %s reregistered with different buckets", name))
+	}
+	if s, ok := f.byKey[key]; ok {
+		return s.hist
+	}
+	s := &series{labels: append([]Label(nil), labels...), key: key, hist: newHistogram(f.bounds)}
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+	return s.hist
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (r *Registry) register(name, help string, kind Kind, labels []Label) *Metric {
@@ -212,6 +316,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
 		for _, s := range f.series {
+			if f.kind == KindHistogram {
+				writeHistogram(&b, f, s)
+				continue
+			}
 			b.WriteString(f.name)
 			b.WriteString(s.key)
 			b.WriteByte(' ')
@@ -223,10 +331,50 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return err
 }
 
+// writeHistogram renders one histogram series in the Prometheus exposition
+// format: cumulative _bucket series with an le label, then _sum and _count.
+func writeHistogram(b *strings.Builder, f *family, s *series) {
+	cum := s.hist.cumulative()
+	for i, n := range cum {
+		le := "+Inf"
+		if i < len(f.bounds) {
+			le = formatValue(f.bounds[i])
+		}
+		b.WriteString(f.name)
+		b.WriteString("_bucket")
+		b.WriteString(withLabel(s.key, "le", le))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(n, 10))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", f.name, s.key, formatValue(s.hist.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", f.name, s.key, cum[len(cum)-1])
+}
+
+// withLabel appends one label to a canonical {..} fragment.
+func withLabel(key, name, value string) string {
+	extra := name + `="` + escapeLabel(value) + `"`
+	if key == "" {
+		return "{" + extra + "}"
+	}
+	return key[:len(key)-1] + "," + extra + "}"
+}
+
 // SeriesJSON is one exported series in the JSON snapshot.
 type SeriesJSON struct {
 	Labels map[string]string `json:"labels,omitempty"`
 	Value  float64           `json:"value"`
+	// Histogram series only: cumulative buckets, sum, and count.
+	Buckets []BucketJSON `json:"buckets,omitempty"`
+	Sum     *float64     `json:"sum,omitempty"`
+	Count   *uint64      `json:"count,omitempty"`
+}
+
+// BucketJSON is one cumulative histogram bucket in the JSON snapshot. LE is
+// rendered as a string so the +Inf bucket survives JSON encoding.
+type BucketJSON struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
 }
 
 // FamilyJSON is one exported metric family in the JSON snapshot.
@@ -245,7 +393,22 @@ func (r *Registry) Snapshot() []FamilyJSON {
 	for _, f := range r.families {
 		fj := FamilyJSON{Name: f.name, Kind: f.kind.String(), Help: f.help}
 		for _, s := range f.series {
-			sj := SeriesJSON{Value: s.metric.Value()}
+			var sj SeriesJSON
+			if f.kind == KindHistogram {
+				cum := s.hist.cumulative()
+				sj.Buckets = make([]BucketJSON, len(cum))
+				for i, n := range cum {
+					le := "+Inf"
+					if i < len(f.bounds) {
+						le = formatValue(f.bounds[i])
+					}
+					sj.Buckets[i] = BucketJSON{LE: le, Count: n}
+				}
+				sum, count := s.hist.Sum(), cum[len(cum)-1]
+				sj.Sum, sj.Count = &sum, &count
+			} else {
+				sj.Value = s.metric.Value()
+			}
 			if len(s.labels) > 0 {
 				sj.Labels = make(map[string]string, len(s.labels))
 				for _, l := range s.labels {

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/client"
+	"repro/internal/obs"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/jobs             submit a job            → 202 JobStatus
+//	GET  /v1/jobs/{id}        job status              → 200 JobStatus
+//	GET  /v1/jobs/{id}/result finished job's result   → 200 stats.Run
+//	GET  /v1/healthz          daemon health           → 200 Health
+//	GET  /metrics             Prometheus metrics (when a Registry is set)
+//	GET  /metrics.json        the same registry as JSON
+//
+// Every error response is JSON: {"error": "..."} with the status code
+// carrying the semantics (400 invalid request, 404 unknown job, 409 result
+// not ready, 429 queue full, 503 draining).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	if s.cfg.Registry != nil {
+		h := obs.Handler(s.cfg.Registry)
+		mux.Handle("GET /metrics", h)
+		mux.Handle("GET /metrics.json", h)
+	}
+	return mux
+}
+
+// writeJSON writes v with a status code; encode failures are unrecoverable
+// mid-response and ignored.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req client.JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	st, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.Status(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, st, ok := s.Result(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	switch st.State {
+	case client.StateFailed:
+		writeError(w, http.StatusInternalServerError, "job %s failed: %s", id, st.Error)
+	case client.StateDone:
+		writeJSON(w, http.StatusOK, res)
+	default:
+		writeError(w, http.StatusConflict, "job %s is %s, result not ready", id, st.State)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.HealthSnapshot())
+}

@@ -1,0 +1,693 @@
+// Package server is the sacd serving subsystem: a bounded job queue with
+// priority lanes and 429 backpressure, a worker pool that executes
+// simulations through the eval Runner's parallel engine, singleflight
+// deduplication across clients on the persistent store's content-addressed
+// cache key, and graceful drain — in-flight jobs finish, queued jobs are
+// requeued to disk and resume on the next daemon start.
+//
+// The execution path layers three caches, cheapest first: a per-process
+// flight table (jobs for a key already completed or in flight this process
+// join instantly), the persistent result store (shared with offline
+// sacsweep runs and earlier daemon lives), and finally a fresh simulation
+// through the shared eval.Runner. All three produce byte-identical results
+// to an in-process sac.Run of the same cell.
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/client"
+	"repro/internal/eval"
+	"repro/internal/fault"
+	"repro/internal/gpu"
+	"repro/internal/llc"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// Sentinel errors surfaced to the HTTP layer.
+var (
+	// ErrQueueFull reports queue backpressure (HTTP 429).
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining reports a draining daemon (HTTP 503).
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store is the persistent result cache; nil runs memo-only.
+	Store *store.Store
+	// RequeuePath, when non-empty, is where Drain persists queued jobs so a
+	// restarted daemon can resume them (LoadRequeued). With no path, Drain
+	// executes the queue to completion instead of persisting it.
+	RequeuePath string
+	// Workers bounds concurrent simulations; 0 means GOMAXPROCS.
+	Workers int
+	// QueueCap bounds queued-but-not-started jobs across all lanes; a full
+	// queue rejects submissions with ErrQueueFull. 0 means 256.
+	QueueCap int
+	// Registry receives serving metrics (queue depth, cache hit/miss, job
+	// latency, inflight workers); nil disables them.
+	Registry *obs.Registry
+	// Log receives one line per job transition; nil is silent.
+	Log io.Writer
+}
+
+// lanes in pop order.
+var lanes = []string{client.PriorityHigh, client.PriorityNormal, client.PriorityBatch}
+
+func laneIndex(p string) (int, error) {
+	switch p {
+	case client.PriorityHigh:
+		return 0, nil
+	case "", client.PriorityNormal:
+		return 1, nil
+	case client.PriorityBatch:
+		return 2, nil
+	}
+	return 0, fmt.Errorf("unknown priority %q", p)
+}
+
+// job is the server-side record of one submission.
+type job struct {
+	id   string
+	req  client.JobRequest
+	lane int
+
+	// Resolved simulation identity.
+	cfg  gpu.Config
+	spec workload.Spec
+	plan *fault.Plan
+	key  string
+
+	mu        sync.Mutex
+	state     string
+	source    string
+	err       error
+	res       *stats.Run
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// flight is one singleflight execution of a cache key. The first job to
+// reach a key becomes the leader and executes; concurrent jobs for the same
+// key wait on done (source "dedup"), later jobs find the completed flight
+// (source "memo").
+type flight struct {
+	done   chan struct{}
+	res    *stats.Run
+	err    error
+	source string // how the leader obtained the result: sim or store
+}
+
+// metrics are the server's obs series.
+type metrics struct {
+	queueDepth  [3]*obs.Metric
+	inflight    *obs.Metric
+	accepted    *obs.Metric
+	rejected    *obs.Metric
+	done        *obs.Metric
+	failed      *obs.Metric
+	hits        *obs.Metric
+	misses      *obs.Metric
+	dedup       *obs.Metric
+	memo        *obs.Metric
+	requeued    *obs.Metric
+	jobLatency  *obs.Histogram
+	waitLatency *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		return nil
+	}
+	latency := []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}
+	m := &metrics{
+		inflight:    reg.Gauge("sacd_inflight_workers", "Jobs currently executing."),
+		accepted:    reg.Counter("sacd_jobs_accepted_total", "Jobs accepted into the queue."),
+		rejected:    reg.Counter("sacd_jobs_rejected_total", "Jobs rejected by backpressure or drain."),
+		done:        reg.Counter("sacd_jobs_done_total", "Jobs that finished successfully."),
+		failed:      reg.Counter("sacd_jobs_failed_total", "Jobs that finished with an error."),
+		hits:        reg.Counter("sacd_cache_hits_total", "Jobs served from the persistent result store."),
+		misses:      reg.Counter("sacd_cache_misses_total", "Jobs that missed the store and simulated."),
+		dedup:       reg.Counter("sacd_dedup_joins_total", "Jobs that joined another job's in-flight simulation."),
+		memo:        reg.Counter("sacd_memo_recalls_total", "Jobs recalled from a result completed earlier this process."),
+		requeued:    reg.Counter("sacd_jobs_requeued_total", "Queued jobs persisted to disk by a drain."),
+		jobLatency:  reg.Histogram("sacd_job_latency_seconds", "Submit-to-finish latency.", latency),
+		waitLatency: reg.Histogram("sacd_job_run_seconds", "Start-to-finish execution latency.", latency),
+	}
+	for i, lane := range lanes {
+		m.queueDepth[i] = reg.Gauge("sacd_queue_depth", "Queued jobs per priority lane.", obs.L("lane", lane))
+	}
+	return m
+}
+
+// Server is one serving instance.
+type Server struct {
+	cfg    Config
+	runner *eval.Runner
+	m      *metrics
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   [3][]*job
+	queued   int
+	jobs     map[string]*job
+	flights  map[string]*flight
+	inflight int
+	draining bool
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// New builds a Server; call Start to launch its workers.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 256
+	}
+	var observer *obs.Observer
+	if cfg.Registry != nil {
+		observer = &obs.Observer{Metrics: cfg.Registry}
+	}
+	s := &Server{
+		cfg: cfg,
+		runner: &eval.Runner{
+			Base:        gpu.ScaledConfig(),
+			Parallelism: cfg.Workers,
+			Store:       cfg.Store,
+			Obs:         observer,
+		},
+		m:    newMetrics(cfg.Registry),
+		jobs: make(map[string]*job),
+		// flights deduplicate on the store key across clients; the runner
+		// memo beneath would too, but the flight table lets the server
+		// distinguish dedup joins from memo recalls and count them.
+		flights: make(map[string]*flight),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				j := s.pop()
+				if j == nil {
+					return
+				}
+				s.execute(j)
+			}
+		}()
+	}
+}
+
+// Workers returns the worker-pool size.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// newJobID draws a random 8-byte hex id.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: entropy unavailable: %v", err))
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// resolve validates a request and resolves its simulation identity.
+func resolve(req client.JobRequest) (gpu.Config, workload.Spec, *fault.Plan, error) {
+	spec, err := workload.ByName(req.Benchmark)
+	if err != nil {
+		return gpu.Config{}, workload.Spec{}, nil, err
+	}
+	org, err := llc.ParseOrg(req.Org)
+	if err != nil {
+		return gpu.Config{}, workload.Spec{}, nil, err
+	}
+	var cfg gpu.Config
+	switch {
+	case req.Config != nil:
+		cfg = *req.Config
+	default:
+		switch req.Preset {
+		case "", "scaled":
+			cfg = gpu.ScaledConfig()
+		case "paper":
+			cfg = gpu.PaperConfig()
+		case "mcm":
+			cfg = gpu.MCMConfig()
+		case "multisocket":
+			cfg = gpu.MultiSocketConfig()
+		default:
+			return gpu.Config{}, workload.Spec{}, nil, fmt.Errorf("unknown preset %q", req.Preset)
+		}
+	}
+	cfg = cfg.WithOrg(org)
+	if err := cfg.Validate(); err != nil {
+		return gpu.Config{}, workload.Spec{}, nil, err
+	}
+	var plan *fault.Plan
+	if req.Faults != "" {
+		plan, err = fault.Parse(req.Faults)
+		if err != nil {
+			return gpu.Config{}, workload.Spec{}, nil, err
+		}
+		if err := plan.Validate(cfg.FaultShape()); err != nil {
+			return gpu.Config{}, workload.Spec{}, nil, err
+		}
+	}
+	return cfg, spec, plan, nil
+}
+
+// Submit validates and enqueues one job. Validation failures come back as
+// plain errors (HTTP 400); ErrQueueFull and ErrDraining signal
+// backpressure and drain.
+func (s *Server) Submit(req client.JobRequest) (client.JobStatus, error) {
+	return s.submit(req, "")
+}
+
+// submit enqueues with an optional pinned id (requeued jobs keep theirs).
+// Requeued jobs bypass the queue cap: they were accepted by a previous
+// daemon life and must not be dropped by a full queue on restart.
+func (s *Server) submit(req client.JobRequest, pinnedID string) (client.JobStatus, error) {
+	lane, err := laneIndex(req.Priority)
+	if err != nil {
+		return client.JobStatus{}, err
+	}
+	cfg, spec, plan, err := resolve(req)
+	if err != nil {
+		return client.JobStatus{}, err
+	}
+	j := &job{
+		id:        pinnedID,
+		req:       req,
+		lane:      lane,
+		cfg:       cfg,
+		spec:      spec,
+		plan:      plan,
+		key:       store.Key(cfg, spec.Name, plan.Key()),
+		state:     client.StateQueued,
+		submitted: time.Now(),
+	}
+	if j.id == "" {
+		j.id = newJobID()
+	}
+
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		if s.m != nil {
+			s.m.rejected.Inc()
+		}
+		return client.JobStatus{}, ErrDraining
+	}
+	if pinnedID == "" && s.queued >= s.cfg.QueueCap {
+		s.mu.Unlock()
+		if s.m != nil {
+			s.m.rejected.Inc()
+		}
+		return client.JobStatus{}, ErrQueueFull
+	}
+	s.queues[lane] = append(s.queues[lane], j)
+	s.queued++
+	s.jobs[j.id] = j
+	if s.m != nil {
+		s.m.accepted.Inc()
+		s.m.queueDepth[lane].Add(1)
+	}
+	s.cond.Signal()
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	s.logf("accepted %s %s/%s lane=%s key=%.12s", j.id, spec.Name, cfg.Org, lanes[lane], j.key)
+	return st, nil
+}
+
+// pop blocks for the next job in priority order; nil means shut down.
+func (s *Server) pop() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for lane := range s.queues {
+			if q := s.queues[lane]; len(q) > 0 {
+				j := q[0]
+				s.queues[lane] = q[1:]
+				s.queued--
+				s.inflight++
+				if s.m != nil {
+					s.m.queueDepth[lane].Add(-1)
+					s.m.inflight.Add(1)
+				}
+				return j
+			}
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// execute runs one job through the flight table / store / runner stack.
+func (s *Server) execute(j *job) {
+	j.mu.Lock()
+	j.state = client.StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	f, leads := s.flights[j.key]
+	if !leads {
+		// No flight yet: this job leads the execution for its key.
+		f = &flight{done: make(chan struct{})}
+		s.flights[j.key] = f
+		s.mu.Unlock()
+		s.lead(f, j)
+		j.finish(s, f, f.source)
+	} else {
+		completed := false
+		select {
+		case <-f.done:
+			completed = true
+		default:
+		}
+		s.mu.Unlock()
+		if completed {
+			// The key finished earlier in this process: instant recall.
+			j.finish(s, f, client.SourceMemo)
+			if s.m != nil {
+				s.m.memo.Inc()
+			}
+		} else {
+			// Another client's identical cell is simulating right now:
+			// join it instead of simulating twice.
+			<-f.done
+			j.finish(s, f, client.SourceDedup)
+			if s.m != nil {
+				s.m.dedup.Inc()
+			}
+		}
+	}
+
+	s.mu.Lock()
+	s.inflight--
+	if s.m != nil {
+		s.m.inflight.Add(-1)
+	}
+	s.mu.Unlock()
+}
+
+// lead executes the simulation (or store load) on behalf of a flight.
+func (s *Server) lead(f *flight, j *job) {
+	defer close(f.done)
+	if res, ok := s.cfg.Store.Get(j.key); ok {
+		f.res, f.source = res, client.SourceStore
+		if s.m != nil {
+			s.m.hits.Inc()
+		}
+		return
+	}
+	if s.cfg.Store != nil && s.m != nil {
+		s.m.misses.Inc()
+	}
+	// The runner executes through its worker pool (sized to ours, so it
+	// never queues beneath us), memoizes, and — when a store is attached —
+	// writes the result back for the next daemon life. Its own store check
+	// re-misses (we just checked), which is one cheap stat call.
+	runs, err := s.runner.RunAll([]eval.RunRequest{{Cfg: j.cfg, Spec: j.spec, Faults: j.plan}})
+	if err != nil {
+		f.err = err
+		return
+	}
+	f.res, f.source = runs[0], client.SourceSim
+}
+
+// finish publishes a flight's outcome to the job and the metrics.
+func (j *job) finish(s *Server, f *flight, source string) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.source = source
+	if f.err != nil {
+		j.state = client.StateFailed
+		j.err = f.err
+	} else {
+		j.state = client.StateDone
+		j.res = f.res
+	}
+	total := j.finished.Sub(j.submitted).Seconds()
+	run := j.finished.Sub(j.started).Seconds()
+	state := j.state
+	j.mu.Unlock()
+
+	if s.m != nil {
+		if state == client.StateFailed {
+			s.m.failed.Inc()
+		} else {
+			s.m.done.Inc()
+		}
+		s.m.jobLatency.Observe(total)
+		s.m.waitLatency.Observe(run)
+	}
+	s.logf("%s %s source=%s total=%.3fs", state, j.id, source, total)
+}
+
+// statusLocked renders a job status snapshot; the server lock must be held
+// (for the queue-ahead count).
+func (s *Server) statusLocked(j *job) client.JobStatus {
+	j.mu.Lock()
+	st := client.JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Benchmark:   j.spec.Name,
+		Org:         j.cfg.Org.String(),
+		Priority:    lanes[j.lane],
+		Key:         j.key,
+		Source:      j.source,
+		SubmittedAt: j.submitted,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if j.res != nil {
+		st.Cycles = j.res.Cycles
+	}
+	j.mu.Unlock()
+	if st.State == client.StateQueued {
+		ahead := 0
+	scan:
+		for lane := 0; lane <= j.lane; lane++ {
+			for _, q := range s.queues[lane] {
+				if q == j {
+					break scan
+				}
+				ahead++
+			}
+		}
+		st.QueueAhead = ahead
+	}
+	return st
+}
+
+// Status returns the status of one job.
+func (s *Server) Status(id string) (client.JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return client.JobStatus{}, false
+	}
+	return s.statusLocked(j), true
+}
+
+// Result returns a finished job's result.
+func (s *Server) Result(id string) (*stats.Run, client.JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, client.JobStatus{}, false
+	}
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	j.mu.Lock()
+	res := j.res
+	j.mu.Unlock()
+	return res, st, true
+}
+
+// HealthSnapshot summarizes the server for /v1/healthz.
+func (s *Server) HealthSnapshot() client.Health {
+	s.mu.Lock()
+	h := client.Health{
+		Status:     "ok",
+		Draining:   s.draining,
+		Workers:    s.cfg.Workers,
+		Inflight:   s.inflight,
+		QueueDepth: s.queued,
+		Jobs:       len(s.jobs),
+	}
+	s.mu.Unlock()
+	if s.draining {
+		h.Status = "draining"
+	}
+	if st := s.cfg.Store; st != nil {
+		h.StoreObjects = st.Len()
+		h.StoreBytes = st.SizeBytes()
+	}
+	return h
+}
+
+// requeueFile is the on-disk drain format.
+type requeueFile struct {
+	Jobs []requeuedJob `json:"jobs"`
+}
+
+type requeuedJob struct {
+	ID  string            `json:"id"`
+	Req client.JobRequest `json:"request"`
+}
+
+// Drain stops accepting jobs, lets in-flight jobs finish, and deals with
+// the queue: with a RequeuePath the queued jobs are persisted to disk
+// (state "requeued") for the next daemon life; without one they execute to
+// completion. Drain returns once the workers are idle or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+
+	var spill []*job
+	if s.cfg.RequeuePath != "" {
+		for lane := range s.queues {
+			for _, j := range s.queues[lane] {
+				spill = append(spill, j)
+				if s.m != nil {
+					s.m.queueDepth[lane].Add(-1)
+				}
+			}
+			s.queues[lane] = nil
+		}
+		s.queued = 0
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	if len(spill) > 0 {
+		f := requeueFile{Jobs: make([]requeuedJob, len(spill))}
+		for i, j := range spill {
+			f.Jobs[i] = requeuedJob{ID: j.id, Req: j.req}
+			j.mu.Lock()
+			j.state = client.StateRequeued
+			j.mu.Unlock()
+		}
+		if err := writeJSONAtomic(s.cfg.RequeuePath, f); err != nil {
+			return fmt.Errorf("server: persisting %d queued jobs: %w", len(spill), err)
+		}
+		if s.m != nil {
+			s.m.requeued.Add(float64(len(spill)))
+		}
+		s.logf("drain: requeued %d queued jobs to %s", len(spill), s.cfg.RequeuePath)
+	}
+
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		s.logf("drain: workers idle")
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain incomplete: %w", ctx.Err())
+	}
+}
+
+// LoadRequeued restores jobs persisted by a previous life's Drain and
+// deletes the file. It must be called after Start.
+func (s *Server) LoadRequeued() (int, error) {
+	path := s.cfg.RequeuePath
+	if path == "" {
+		return 0, nil
+	}
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("server: %w", err)
+	}
+	var f requeueFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		// A corrupt requeue file must not wedge startup; the jobs it held
+		// are lost but the store may still carry their results.
+		os.Remove(path)
+		return 0, fmt.Errorf("server: corrupt requeue file %s dropped: %w", path, err)
+	}
+	os.Remove(path)
+	n := 0
+	for _, rj := range f.Jobs {
+		if _, err := s.submit(rj.Req, rj.ID); err != nil {
+			s.logf("requeue: dropping %s: %v", rj.ID, err)
+			continue
+		}
+		n++
+	}
+	s.logf("requeue: restored %d jobs from %s", n, path)
+	return n, nil
+}
+
+// writeJSONAtomic writes v as JSON via a temp file + rename.
+func writeJSONAtomic(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log == nil {
+		return
+	}
+	fmt.Fprintf(s.cfg.Log, "sacd: "+format+"\n", args...)
+}

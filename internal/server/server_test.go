@@ -1,0 +1,424 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/gpu"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// tinyConfig shrinks the machine so server tests simulate in milliseconds
+// (mirrors the eval package's testRunner shrink).
+func tinyConfig() gpu.Config {
+	cfg := gpu.ScaledConfig()
+	cfg.SMsPerChip = 4
+	cfg.WarpsPerSM = 4
+	cfg.SlicesPerChip = 2
+	cfg.LLCBytesPerChip = 64 << 10
+	cfg.L1BytesPerSM = 4 << 10
+	cfg.ChannelsPerChip = 2
+	cfg.ChannelBW = 32
+	cfg.RingLinkBW = 12
+	cfg.WorkloadScale = 512
+	cfg.SACOpts.WindowCycles = 1500
+	return cfg
+}
+
+func tinyRequest(benchmark, org string) client.JobRequest {
+	cfg := tinyConfig()
+	return client.JobRequest{Benchmark: benchmark, Org: org, Config: &cfg}
+}
+
+// testDaemon starts a Server over httptest and returns a connected client.
+func testDaemon(t *testing.T, cfg Config) (*Server, *client.Client) {
+	t.Helper()
+	s := New(cfg)
+	s.Start()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	c := client.New(hs.URL,
+		client.WithBackoff(time.Millisecond, 8*time.Millisecond),
+		client.WithPollInterval(2*time.Millisecond))
+	return s, c
+}
+
+func TestSubmitRunAndFetchResult(t *testing.T) {
+	_, c := testDaemon(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, tinyRequest("RN", "SAC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Key == "" {
+		t.Fatalf("submit returned incomplete status: %+v", st)
+	}
+	st, err = c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != client.StateDone || st.Source != client.SourceSim {
+		t.Fatalf("state=%s source=%s, want done/sim", st.State, st.Source)
+	}
+	res, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "RN" || res.Cycles <= 0 {
+		t.Fatalf("bogus result: benchmark=%q cycles=%d", res.Benchmark, res.Cycles)
+	}
+	if res.Cycles != st.Cycles {
+		t.Fatalf("status cycles %d != result cycles %d", st.Cycles, res.Cycles)
+	}
+}
+
+func TestValidationRejectedWith400(t *testing.T) {
+	_, c := testDaemon(t, Config{Workers: 1})
+	ctx := context.Background()
+	for _, req := range []client.JobRequest{
+		{Benchmark: "no-such-benchmark", Org: "SAC"},
+		{Benchmark: "RN", Org: "no-such-org"},
+		{Benchmark: "RN", Org: "SAC", Preset: "no-such-preset"},
+		{Benchmark: "RN", Org: "SAC", Priority: "no-such-lane"},
+		{Benchmark: "RN", Org: "SAC", Faults: "not a fault plan"},
+	} {
+		_, err := c.Submit(ctx, req)
+		var apiErr *client.APIError
+		if !asAPIError(err, &apiErr) || apiErr.StatusCode != 400 {
+			t.Errorf("request %+v: want 400, got %v", req, err)
+		}
+	}
+}
+
+func asAPIError(err error, target **client.APIError) bool {
+	return errors.As(err, target)
+}
+
+func TestUnknownJob404(t *testing.T) {
+	_, c := testDaemon(t, Config{Workers: 1})
+	_, err := c.Status(context.Background(), "jdeadbeef")
+	var apiErr *client.APIError
+	if !asAPIError(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("want 404, got %v", err)
+	}
+}
+
+func TestResultBeforeDone409(t *testing.T) {
+	s := New(Config{Workers: 1})
+	// Workers never started: the job stays queued.
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	c := client.New(hs.URL, client.WithRetries(0))
+	ctx := context.Background()
+	st, err := c.Submit(ctx, tinyRequest("RN", "SAC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Result(ctx, st.ID)
+	var apiErr *client.APIError
+	if !asAPIError(err, &apiErr) || apiErr.StatusCode != 409 {
+		t.Fatalf("pending result: want 409, got %v", err)
+	}
+}
+
+func TestQueueOverflow429(t *testing.T) {
+	s := New(Config{Workers: 1, QueueCap: 2})
+	// Workers never started, so the queue only fills.
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	c := client.New(hs.URL, client.WithRetries(0))
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Submit(ctx, tinyRequest("RN", "SAC")); err != nil {
+			t.Fatalf("submit %d within cap failed: %v", i, err)
+		}
+	}
+	_, err := c.Submit(ctx, tinyRequest("RN", "SAC"))
+	var apiErr *client.APIError
+	if !asAPIError(err, &apiErr) || apiErr.StatusCode != 429 {
+		t.Fatalf("overflow: want 429, got %v", err)
+	}
+}
+
+func TestPriorityPopOrder(t *testing.T) {
+	s := New(Config{Workers: 1, QueueCap: 16})
+	// Enqueue before starting workers so lane order, not arrival order,
+	// decides execution.
+	var ids []string
+	for _, pr := range []string{client.PriorityBatch, client.PriorityNormal, client.PriorityHigh} {
+		req := tinyRequest("RN", "SAC")
+		req.Priority = pr
+		st, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	if st, _ := s.Status(ids[0]); st.QueueAhead != 2 {
+		t.Fatalf("batch job has %d ahead, want 2 (both other lanes)", st.QueueAhead)
+	}
+	if st, _ := s.Status(ids[2]); st.QueueAhead != 0 {
+		t.Fatalf("high job has %d ahead, want 0", st.QueueAhead)
+	}
+	var order []string
+	for i := 0; i < 3; i++ {
+		j := s.pop()
+		order = append(order, j.id)
+	}
+	want := []string{ids[2], ids[1], ids[0]} // high, normal, batch
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("pop order %v, want %v", order, want)
+	}
+}
+
+// TestConcurrentDedup submits the same cell from many concurrent clients:
+// exactly one simulates ("sim"); the rest join it ("dedup") or recall it
+// ("memo"), and every result is identical.
+func TestConcurrentDedup(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, c := testDaemon(t, Config{Workers: 4, Registry: reg})
+	ctx := context.Background()
+
+	const n = 6
+	var wg sync.WaitGroup
+	sources := make([]string, n)
+	results := make([]json.RawMessage, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := c.Submit(ctx, tinyRequest("BP", "SAC"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			st, err = c.Wait(ctx, st.ID)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sources[i] = st.Source
+			res, err := c.Result(ctx, st.ID)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b, _ := json.Marshal(res)
+			results[i] = b
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	sims := 0
+	for i, src := range sources {
+		switch src {
+		case client.SourceSim:
+			sims++
+		case client.SourceDedup, client.SourceMemo:
+		default:
+			t.Errorf("job %d has unexpected source %q", i, src)
+		}
+		if string(results[i]) != string(results[0]) {
+			t.Errorf("job %d result differs from job 0", i)
+		}
+	}
+	if sims != 1 {
+		t.Fatalf("%d jobs simulated, want exactly 1 (the rest dedup/memo)", sims)
+	}
+	if got := s.runner.Runs(); got != 1 {
+		t.Fatalf("runner executed %d simulations, want 1", got)
+	}
+}
+
+// TestStoreSurvivesRestart runs a job, tears the server down, and brings up
+// a fresh one over the same store: the second server must answer from the
+// persistent store without simulating.
+func TestStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := store.Open(filepath.Join(dir, "cache"), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, c1 := testDaemon(t, Config{Workers: 2, Store: st1})
+	ctx := context.Background()
+
+	res1, err := c1.Run(ctx, tinyRequest("RN", "memory-side"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := s1.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(filepath.Join(dir, "cache"), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, c2 := testDaemon(t, Config{Workers: 2, Store: st2})
+	jst, err := c2.Submit(ctx, tinyRequest("RN", "memory-side"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jst, err = c2.Wait(ctx, jst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jst.Source != client.SourceStore {
+		t.Fatalf("restarted daemon answered with source %q, want store", jst.Source)
+	}
+	res2, err := c2.Result(ctx, jst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(res1)
+	b2, _ := json.Marshal(res2)
+	if string(b1) != string(b2) {
+		t.Fatal("result served from store differs from the original simulation")
+	}
+	if s2.runner.Runs() != 0 {
+		t.Fatalf("restarted daemon simulated %d cells, want 0", s2.runner.Runs())
+	}
+}
+
+// TestDrainRequeuesQueuedJobs drains a server with a deep queue and checks
+// the queued jobs land in the requeue file with their IDs, then that a new
+// server restores them and runs them to completion.
+func TestDrainRequeuesQueuedJobs(t *testing.T) {
+	dir := t.TempDir()
+	requeue := filepath.Join(dir, "requeue.json")
+
+	s1 := New(Config{Workers: 1, QueueCap: 16, RequeuePath: requeue})
+	// Workers never started: everything stays queued, so the drain must
+	// spill all of it.
+	var ids []string
+	for _, bm := range []string{"RN", "BP", "SN"} {
+		st, err := s1.Submit(tinyRequest(bm, "SAC"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		st, ok := s1.Status(id)
+		if !ok || st.State != client.StateRequeued {
+			t.Fatalf("job %s state %q after drain, want requeued", id, st.State)
+		}
+	}
+	b, err := os.ReadFile(requeue)
+	if err != nil {
+		t.Fatalf("requeue file not written: %v", err)
+	}
+	var rf requeueFile
+	if err := json.Unmarshal(b, &rf); err != nil {
+		t.Fatal(err)
+	}
+	if len(rf.Jobs) != len(ids) {
+		t.Fatalf("requeue file holds %d jobs, want %d", len(rf.Jobs), len(ids))
+	}
+
+	// A draining server rejects new submissions.
+	if _, err := s1.Submit(tinyRequest("RN", "SAC")); err != ErrDraining {
+		t.Fatalf("draining submit returned %v, want ErrDraining", err)
+	}
+
+	s2, _ := testDaemon(t, Config{Workers: 2, QueueCap: 16, RequeuePath: requeue})
+	n, err := s2.LoadRequeued()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(ids) {
+		t.Fatalf("restored %d jobs, want %d", n, len(ids))
+	}
+	if _, err := os.Stat(requeue); !os.IsNotExist(err) {
+		t.Fatal("requeue file not deleted after restore")
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for _, id := range ids {
+		for {
+			st, ok := s2.Status(id)
+			if !ok {
+				t.Fatalf("restored server does not know job %s", id)
+			}
+			if st.Done() {
+				if st.State != client.StateDone {
+					t.Fatalf("restored job %s finished %s: %s", id, st.State, st.Error)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("restored job %s still %s", id, st.State)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+func TestHealthAndMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := testDaemon(t, Config{Workers: 3, Store: st, Registry: reg})
+	ctx := context.Background()
+
+	if _, err := c.Run(ctx, tinyRequest("RN", "SAC")); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Workers != 3 || h.Jobs != 1 {
+		t.Fatalf("health %+v", h)
+	}
+	if h.StoreObjects != 1 {
+		t.Fatalf("store holds %d objects after one job, want 1", h.StoreObjects)
+	}
+
+	snap := map[string]float64{}
+	for _, fam := range reg.Snapshot() {
+		for _, s := range fam.Series {
+			snap[fam.Name] += s.Value
+		}
+	}
+	if snap["sacd_jobs_accepted_total"] != 1 || snap["sacd_jobs_done_total"] != 1 {
+		t.Fatalf("job counters wrong: %v", snap)
+	}
+	if snap["sacd_cache_misses_total"] != 1 {
+		t.Fatalf("first job should miss the store once: %v", snap)
+	}
+	if snap["sacd_inflight_workers"] != 0 {
+		t.Fatalf("inflight gauge nonzero at rest: %v", snap)
+	}
+}

@@ -1,0 +1,367 @@
+// Package store is a content-addressed, on-disk cache of simulation
+// results. Each entry is one completed *stats.Run keyed by a canonical
+// SHA-256 hash of the full simulation identity — configuration (which
+// includes the LLC organization), workload name, and fault-plan fingerprint
+// — so a result written by one process (an offline sacsweep, the sacd
+// daemon) is a warm hit for every later process given the same cell.
+//
+// Durability model: objects are written to a temp file in the store
+// directory and renamed into place, so a reader never observes a torn
+// write. The index (sizes + recency for the LRU cap) is rewritten on every
+// Put; recency bumps from Get are flushed by Close and otherwise lost on a
+// crash, which only weakens eviction order, never correctness. A missing or
+// corrupt index is rebuilt by scanning the object directory; a corrupt or
+// mismatched object is deleted and reported as a miss. The store is safe
+// for concurrent use by multiple goroutines of one process; concurrent
+// processes sharing a directory stay correct (atomic renames) but may
+// double-simulate on a racing miss.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/gpu"
+	"repro/internal/stats"
+)
+
+// schemaVersion is baked into every cache key: bump it when the meaning of
+// a stored result changes (simulator semantics, stats layout), so stale
+// entries become unreachable instead of wrong.
+const schemaVersion = 1
+
+// KeyMaterial is the canonical identity of one simulation. Hashing its
+// deterministic JSON encoding yields the cache key.
+type KeyMaterial struct {
+	Schema    int        `json:"schema"`
+	Config    gpu.Config `json:"config"`
+	Benchmark string     `json:"benchmark"`
+	Faults    string     `json:"faults,omitempty"`
+}
+
+// Key returns the content address of one simulation cell: a hex SHA-256 of
+// the canonical (config, workload, fault plan) encoding. faults is the
+// fault-plan fingerprint from fault.Plan.Key ("" = healthy).
+func Key(cfg gpu.Config, benchmark, faults string) string {
+	return keyOf(KeyMaterial{Schema: schemaVersion, Config: cfg, Benchmark: benchmark, Faults: faults})
+}
+
+func keyOf(m KeyMaterial) string {
+	b, err := json.Marshal(m)
+	if err != nil {
+		// gpu.Config is a flat value struct; Marshal cannot fail on it.
+		panic(fmt.Sprintf("store: marshal key material: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// envelope is the on-disk object layout. The key material is stored next to
+// the result so loads can verify the object against its address and so the
+// files are self-describing for debugging.
+type envelope struct {
+	Version int         `json:"version"`
+	Key     KeyMaterial `json:"key"`
+	Result  *stats.Run  `json:"result"`
+}
+
+// Options tune a Store.
+type Options struct {
+	// MaxBytes caps the total object bytes; the least-recently-used entries
+	// are evicted when a Put exceeds it. 0 means unbounded.
+	MaxBytes int64
+}
+
+// indexEntry is the per-object index record.
+type indexEntry struct {
+	Size int64 `json:"size"`
+	Used int64 `json:"used"` // logical recency clock; higher = more recent
+}
+
+// indexFile is the persisted index layout.
+type indexFile struct {
+	Clock   int64                 `json:"clock"`
+	Entries map[string]indexEntry `json:"entries"`
+}
+
+// Store is an open result cache rooted at one directory.
+type Store struct {
+	dir string
+	max int64
+
+	mu    sync.Mutex
+	idx   map[string]indexEntry
+	clock int64
+	total int64
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Open opens (creating if necessary) the store rooted at dir.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, max: opts.MaxBytes, idx: make(map[string]indexEntry)}
+	if err := s.loadIndex(); err != nil {
+		// Corrupt or missing index: rebuild from the objects on disk.
+		s.rebuildIndex()
+	}
+	return s, nil
+}
+
+// objectPath shards objects by the first byte of the hash to keep
+// directories small.
+func (s *Store) objectPath(key string) string {
+	return filepath.Join(s.dir, "objects", key[:2], key+".json")
+}
+
+func (s *Store) indexPath() string { return filepath.Join(s.dir, "index.json") }
+
+// loadIndex reads the persisted index. Any decode problem is an error so
+// Open can fall back to a rebuild.
+func (s *Store) loadIndex() error {
+	b, err := os.ReadFile(s.indexPath())
+	if err != nil {
+		return err
+	}
+	var f indexFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	if f.Entries == nil {
+		f.Entries = make(map[string]indexEntry)
+	}
+	s.idx, s.clock, s.total = f.Entries, f.Clock, 0
+	for _, e := range f.Entries {
+		s.total += e.Size
+	}
+	return nil
+}
+
+// rebuildIndex scans the object tree and reconstitutes sizes; recency
+// restarts from zero (eviction order degrades gracefully).
+func (s *Store) rebuildIndex() {
+	s.idx = make(map[string]indexEntry)
+	s.clock, s.total = 0, 0
+	root := filepath.Join(s.dir, "objects")
+	_ = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		key := d.Name()[:len(d.Name())-len(".json")]
+		s.idx[key] = indexEntry{Size: info.Size()}
+		s.total += info.Size()
+		return nil
+	})
+}
+
+// saveIndexLocked persists the index atomically. Best-effort: an index that
+// fails to write costs a rebuild on the next Open, never a wrong result.
+func (s *Store) saveIndexLocked() {
+	f := indexFile{Clock: s.clock, Entries: s.idx}
+	b, err := json.Marshal(f)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, "index-*.tmp")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, s.indexPath()); err != nil {
+		os.Remove(name)
+	}
+}
+
+// Get returns the stored result for key, or ok=false on a miss. Corrupt or
+// mismatched objects are deleted and reported as misses.
+func (s *Store) Get(key string) (*stats.Run, bool) {
+	if s == nil {
+		return nil, false
+	}
+	path := s.objectPath(key)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(b, &env); err != nil ||
+		env.Version != schemaVersion || env.Result == nil || keyOf(env.Key) != key {
+		// Torn, corrupt, or foreign object: drop it so the slot heals.
+		s.drop(key)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.mu.Lock()
+	if e, ok := s.idx[key]; ok {
+		s.clock++
+		e.Used = s.clock
+		s.idx[key] = e
+	}
+	s.mu.Unlock()
+	s.hits.Add(1)
+	return env.Result, true
+}
+
+// Put stores res under key (as derived by Key from the same cell identity).
+// The write is atomic; an existing entry is replaced. Exceeding the size
+// cap evicts least-recently-used entries.
+func (s *Store) Put(key string, m KeyMaterial, res *stats.Run) error {
+	if s == nil {
+		return nil
+	}
+	if res == nil {
+		return fmt.Errorf("store: nil result")
+	}
+	if keyOf(m) != key {
+		return fmt.Errorf("store: key %.12s does not address the supplied material", key)
+	}
+	b, err := json.Marshal(envelope{Version: schemaVersion, Key: m, Result: res})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	path := s.objectPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "object-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.idx[key]; ok {
+		s.total -= old.Size
+	}
+	s.clock++
+	s.idx[key] = indexEntry{Size: int64(len(b)), Used: s.clock}
+	s.total += int64(len(b))
+	s.evictLocked()
+	s.saveIndexLocked()
+	return nil
+}
+
+// PutRun derives the key from the cell identity and stores res under it.
+func (s *Store) PutRun(cfg gpu.Config, benchmark, faults string, res *stats.Run) error {
+	m := KeyMaterial{Schema: schemaVersion, Config: cfg, Benchmark: benchmark, Faults: faults}
+	return s.Put(keyOf(m), m, res)
+}
+
+// evictLocked removes least-recently-used entries until under the cap.
+func (s *Store) evictLocked() {
+	if s.max <= 0 || s.total <= s.max {
+		return
+	}
+	type cand struct {
+		key  string
+		used int64
+		size int64
+	}
+	cands := make([]cand, 0, len(s.idx))
+	for k, e := range s.idx {
+		cands = append(cands, cand{k, e.Used, e.Size})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].used < cands[j].used })
+	for _, c := range cands {
+		if s.total <= s.max {
+			break
+		}
+		os.Remove(s.objectPath(c.key))
+		delete(s.idx, c.key)
+		s.total -= c.size
+	}
+}
+
+// drop removes one object and its index entry (corruption healing).
+func (s *Store) drop(key string) {
+	os.Remove(s.objectPath(key))
+	s.mu.Lock()
+	if e, ok := s.idx[key]; ok {
+		s.total -= e.Size
+		delete(s.idx, key)
+	}
+	s.mu.Unlock()
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.idx)
+}
+
+// SizeBytes returns the total object bytes currently indexed.
+func (s *Store) SizeBytes() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Hits returns the number of Get calls served from disk.
+func (s *Store) Hits() int64 { return s.hits.Load() }
+
+// Misses returns the number of Get calls that found nothing usable.
+func (s *Store) Misses() int64 { return s.misses.Load() }
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close flushes the recency clock to the index. The store must not be used
+// after Close.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.saveIndexLocked()
+	return nil
+}

@@ -1,0 +1,321 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/stats"
+)
+
+func testConfig() gpu.Config {
+	cfg := gpu.ScaledConfig()
+	cfg.SMsPerChip = 4
+	cfg.WarpsPerSM = 4
+	return cfg
+}
+
+func testRun(bench string, cycles int64) *stats.Run {
+	return &stats.Run{
+		Benchmark: bench,
+		Org:       "memory-side",
+		Cycles:    cycles,
+		MemOps:    cycles / 2,
+		LLCHits:   100,
+		LLCMisses: 17,
+		Kernels:   []stats.KernelRec{{Index: 0, Name: "k0", Org: "memory-side", Cycles: cycles, MemOps: cycles / 2}},
+	}
+}
+
+func TestKeyDeterministicAndSensitive(t *testing.T) {
+	cfg := testConfig()
+	k1 := Key(cfg, "BP", "")
+	k2 := Key(cfg, "BP", "")
+	if k1 != k2 {
+		t.Fatalf("same identity hashed differently: %s vs %s", k1, k2)
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key is not a hex sha256: %q", k1)
+	}
+	// Every component of the identity must change the key.
+	if Key(cfg, "RN", "") == k1 {
+		t.Error("benchmark does not affect key")
+	}
+	if Key(cfg, "BP", "dram:0.0@100*0.5") == k1 {
+		t.Error("fault plan does not affect key")
+	}
+	cfg2 := cfg
+	cfg2.RingLinkBW *= 2
+	if Key(cfg2, "BP", "") == k1 {
+		t.Error("config does not affect key")
+	}
+	org := cfg.WithOrg(gpu.ScaledConfig().Org + 1)
+	if Key(org, "BP", "") == k1 {
+		t.Error("organization does not affect key")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	want := testRun("BP", 12345)
+	if err := s.PutRun(cfg, "BP", "", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(Key(cfg, "BP", ""))
+	if !ok {
+		t.Fatal("fresh put is a miss")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed the result:\n got %+v\nwant %+v", got, want)
+	}
+	if s.Hits() != 1 || s.Misses() != 0 {
+		t.Fatalf("hits=%d misses=%d, want 1/0", s.Hits(), s.Misses())
+	}
+	if _, ok := s.Get(Key(cfg, "RN", "")); ok {
+		t.Fatal("unstored key is a hit")
+	}
+	if s.Misses() != 1 {
+		t.Fatalf("misses=%d, want 1", s.Misses())
+	}
+}
+
+func TestReopenSeesEntries(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRun(cfg, "BP", "", testRun("BP", 99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store has %d entries, want 1", s2.Len())
+	}
+	if _, ok := s2.Get(Key(cfg, "BP", "")); !ok {
+		t.Fatal("reopened store misses a persisted entry")
+	}
+}
+
+func TestCorruptObjectIsAMissAndHeals(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(cfg, "BP", "")
+	if err := s.PutRun(cfg, "BP", "", testRun("BP", 7)); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the object to simulate disk corruption.
+	path := s.objectPath(key)
+	if err := os.WriteFile(path, []byte(`{"version":1,"key":{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("corrupt object served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt object not deleted")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("index still holds %d entries after healing", s.Len())
+	}
+	// The slot is writable again.
+	if err := s.PutRun(cfg, "BP", "", testRun("BP", 7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); !ok {
+		t.Fatal("healed slot still misses")
+	}
+}
+
+func TestMismatchedObjectRejected(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRun(cfg, "BP", "", testRun("BP", 7)); err != nil {
+		t.Fatal(err)
+	}
+	// Copy the BP object onto the RN address: content no longer matches it.
+	rnKey := Key(cfg, "RN", "")
+	b, err := os.ReadFile(s.objectPath(Key(cfg, "BP", "")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(s.objectPath(rnKey)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.objectPath(rnKey), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(rnKey); ok {
+		t.Fatal("object served under an address it does not hash to")
+	}
+}
+
+func TestCorruptIndexRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRun(cfg, "BP", "", testRun("BP", 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("rebuilt index has %d entries, want 1", s2.Len())
+	}
+	if _, ok := s2.Get(Key(cfg, "BP", "")); !ok {
+		t.Fatal("object unreachable after index rebuild")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	// Size one object to derive a cap that holds exactly two.
+	probe, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.PutRun(cfg, "BP", "", testRun("BP", 1)); err != nil {
+		t.Fatal(err)
+	}
+	objSize := probe.SizeBytes()
+	probe.drop(Key(cfg, "BP", ""))
+
+	s, err := Open(dir, Options{MaxBytes: objSize*2 + objSize/2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []string{"BP", "RN", "SN"} {
+		if err := s.PutRun(cfg, b, "", testRun(b, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatalf("store holds %d objects over the cap, want 2", s.Len())
+	}
+	// BP was least recently used and must be the evicted one.
+	if _, ok := s.Get(Key(cfg, "BP", "")); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	for _, b := range []string{"RN", "SN"} {
+		if _, ok := s.Get(Key(cfg, b, "")); !ok {
+			t.Fatalf("recently used %s evicted", b)
+		}
+	}
+}
+
+func TestGetBumpsRecency(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	probe, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.PutRun(cfg, "BP", "", testRun("BP", 1)); err != nil {
+		t.Fatal(err)
+	}
+	objSize := probe.SizeBytes()
+	probe.drop(Key(cfg, "BP", ""))
+
+	s, err := Open(dir, Options{MaxBytes: objSize*2 + objSize/2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRun(cfg, "BP", "", testRun("BP", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRun(cfg, "RN", "", testRun("RN", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Touch BP so RN becomes the LRU victim.
+	if _, ok := s.Get(Key(cfg, "BP", "")); !ok {
+		t.Fatal("warm entry missed")
+	}
+	if err := s.PutRun(cfg, "SN", "", testRun("SN", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(Key(cfg, "BP", "")); !ok {
+		t.Fatal("recently read entry evicted instead of LRU")
+	}
+	if _, ok := s.Get(Key(cfg, "RN", "")); ok {
+		t.Fatal("LRU entry survived")
+	}
+}
+
+func TestNoTempFilesLeftBehind(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []string{"BP", "RN"} {
+		if err := s.PutRun(cfg, b, "", testRun(b, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestJSONIdentityAfterRoundTrip(t *testing.T) {
+	// The daemon's byte-identity guarantee rests on JSON round trips being
+	// exact for stats.Run; pin it here at the store layer.
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	want := testRun("BP", 123456789)
+	if err := s.PutRun(cfg, "BP", "", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(Key(cfg, "BP", ""))
+	if !ok {
+		t.Fatal("miss")
+	}
+	wb, _ := json.Marshal(want)
+	gb, _ := json.Marshal(got)
+	if string(wb) != string(gb) {
+		t.Fatalf("JSON differs after round trip:\n%s\n%s", wb, gb)
+	}
+}

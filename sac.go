@@ -43,6 +43,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -280,6 +281,28 @@ type CellResult = eval.CellResult
 
 // NewRunner returns a Runner over ScaledConfig and all 16 benchmarks.
 func NewRunner() *Runner { return eval.NewRunner() }
+
+// ResultCache is a persistent content-addressed result store: each
+// simulation's statistics are filed under a hash of (configuration,
+// benchmark, fault plan), so identical cells are simulated once across
+// processes and machine reboots. Attach one to Runner.Store, point
+// `sacsweep -cache-dir` at it, or serve it with the sacd daemon — all
+// three share the same on-disk format and key derivation.
+type ResultCache = store.Store
+
+// OpenResultCache opens (or creates) a result cache rooted at dir.
+// maxBytes > 0 bounds the cache: least-recently-used entries are evicted
+// past the limit; 0 means unbounded.
+func OpenResultCache(dir string, maxBytes int64) (*ResultCache, error) {
+	return store.Open(dir, store.Options{MaxBytes: maxBytes})
+}
+
+// CacheKey returns the content address a simulation cell is filed under in
+// a ResultCache (and reported as "key" by the sacd API). Any difference in
+// configuration, benchmark, or fault plan yields a different key.
+func CacheKey(cfg Config, benchmark string, plan *FaultPlan) string {
+	return store.Key(cfg, benchmark, plan.Key())
+}
 
 // FastSet is a representative 6-benchmark subset for expensive sweeps.
 func FastSet() []string { return eval.FastSet() }
