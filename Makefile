@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race shuffle smoke fuzz vuln check bench benchguard fig8 fmt
+.PHONY: build test vet race shuffle smoke fuzz vuln check bench benchsmoke benchguard fig8 fmt
 
 build:
 	$(GO) build ./...
@@ -49,14 +49,24 @@ vuln:
 
 # check is the CI gate: static analysis, the full suite under the race
 # detector and again in shuffled order, the sacd daemon smoke, a fuzz smoke
-# of the parsers, and an advisory vulnerability scan.
-check: vet race shuffle smoke fuzz vuln
+# of the parsers, a one-iteration benchmark smoke, and an advisory
+# vulnerability scan.
+check: vet race shuffle smoke fuzz benchsmoke vuln
 
-# benchguard is the observability-layer cost gate: a full Fig 8 sweep with no
-# observer attached must stay within 1% of the allocation baseline recorded
-# in BENCH_seed.json. Takes minutes; run before merging cycle-loop changes.
+# benchsmoke compiles and executes the throughput-critical benchmarks for a
+# single iteration — it catches benchmarks broken by API drift without
+# paying for a measurement run.
+benchsmoke:
+	$(GO) test -run '^$$' -bench 'StepParallel|SimulatorThroughput$$' -benchtime 1x .
+
+# benchguard is the perf-regression gate: a full Fig 8 sweep with no
+# observer attached must stay within 1% of the newest recorded allocation
+# baseline, and the serial stepper's sim-cycles/s must stay within tolerance
+# of the newest recorded throughput (see benchguard_test.go; baselines are
+# the highest-_sequence BENCH_*.json). Takes minutes; run before merging
+# cycle-loop changes.
 benchguard:
-	BENCH_GUARD=1 $(GO) test -run TestFig8AllocGuard -timeout 60m -v .
+	BENCH_GUARD=1 $(GO) test -run 'TestFig8AllocGuard|TestSerialThroughputGuard' -timeout 60m -v .
 
 # bench regenerates every table/figure as Go benchmarks with allocation
 # stats. REPRO_SET=fast shrinks the benchmark sets for a quick pass.

@@ -41,26 +41,30 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8341", "HTTP listen address (use :0 for an ephemeral port)")
-		cacheDir   = flag.String("cache-dir", "", "persistent result store directory (shared with sacsweep -cache-dir); empty = in-memory only")
-		cacheMax   = flag.Int64("cache-max-bytes", 0, "evict least-recently-used store entries beyond this many bytes (0 = unbounded)")
-		workers    = flag.Int("workers", 0, "max simulations in flight (0 = all cores)")
-		queueCap   = flag.Int("queue", 256, "max queued jobs before submissions get 429")
-		drainGrace = flag.Duration("drain-grace", 10*time.Minute, "how long a shutdown signal waits for in-flight jobs")
-		quiet      = flag.Bool("q", false, "suppress per-job log lines")
+		addr        = flag.String("addr", ":8341", "HTTP listen address (use :0 for an ephemeral port)")
+		cacheDir    = flag.String("cache-dir", "", "persistent result store directory (shared with sacsweep -cache-dir); empty = in-memory only")
+		cacheMax    = flag.Int64("cache-max-bytes", 0, "evict least-recently-used store entries beyond this many bytes (0 = unbounded)")
+		workers     = flag.Int("workers", 0, "max simulations in flight (0 = all cores)")
+		chipWorkers = flag.Int("chip-workers", 0, "intra-run chip parallelism per simulation, bit-identical at any value (0 = auto-budget against -workers, 1 = serial)")
+		queueCap    = flag.Int("queue", 256, "max queued jobs before submissions get 429")
+		drainGrace  = flag.Duration("drain-grace", 10*time.Minute, "how long a shutdown signal waits for in-flight jobs")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the API address")
+		quiet       = flag.Bool("q", false, "suppress per-job log lines")
 	)
 	flag.Parse()
-	if err := run(*addr, *cacheDir, *cacheMax, *workers, *queueCap, *drainGrace, *quiet); err != nil {
+	if err := run(*addr, *cacheDir, *cacheMax, *workers, *chipWorkers, *queueCap, *drainGrace, *pprofOn, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "sacd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, cacheDir string, cacheMax int64, workers, queueCap int, drainGrace time.Duration, quiet bool) error {
+func run(addr, cacheDir string, cacheMax int64, workers, chipWorkers, queueCap int, drainGrace time.Duration, pprofOn, quiet bool) error {
 	cfg := server.Config{
-		Workers:  workers,
-		QueueCap: queueCap,
-		Registry: obs.NewRegistry(),
+		Workers:     workers,
+		ChipWorkers: chipWorkers,
+		QueueCap:    queueCap,
+		EnablePprof: pprofOn,
+		Registry:    obs.NewRegistry(),
 	}
 	if !quiet {
 		cfg.Log = os.Stderr

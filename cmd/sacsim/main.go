@@ -34,6 +34,7 @@ func main() {
 		orgName     = flag.String("org", "SAC", "LLC organization (or comma list for a comparison): memory-side | SM-side | static | dynamic | SAC")
 		scale       = flag.String("scale", "scaled", "machine scale: scaled | full")
 		parallel    = flag.Int("parallel", 0, "max simulations in flight for -org lists (0 = all cores)")
+		chipWorkers = flag.Int("chip-workers", 0, "intra-run chip parallelism, bit-identical at any value (0 = auto: one worker per chip capped at GOMAXPROCS, 1 = serial)")
 		sectored    = flag.Bool("sectored", false, "use a sectored LLC (4 sectors/line)")
 		hardware    = flag.Bool("hw-coherence", false, "use hardware (directory) coherence")
 		inputFactor = flag.Float64("input", 1, "input-set scale factor (Fig 13 axis)")
@@ -44,6 +45,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve live metrics over HTTP at this address (/metrics Prometheus, /metrics.json)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON file (open in Perfetto); single-org runs only")
 		metricsWin  = flag.Int64("metrics-window", 0, "metrics sampling window in cycles (0 = default)")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics-addr server")
 		printConfig = flag.Bool("print-config", false, "print the configuration (Table 3) and exit")
 	)
 	flag.Parse()
@@ -101,7 +103,7 @@ func main() {
 		if *traceOut != "" {
 			fatal(fmt.Errorf("-trace-out requires a single -org (got %d)", len(orgs)))
 		}
-		compareOrgs(ctx, cfg, spec, orgs, plan, *parallel, *scale, *metricsAddr)
+		compareOrgs(ctx, cfg, spec, orgs, plan, *parallel, *chipWorkers, *scale, *metricsAddr, *pprofOn)
 		return
 	}
 
@@ -115,7 +117,7 @@ func main() {
 			observer.Trace = nil // metrics only: don't buffer events
 		}
 		if *metricsAddr != "" {
-			defer serveMetrics(*metricsAddr, observer.Metrics).Close()
+			defer serveMetrics(*metricsAddr, observer.Metrics, *pprofOn).Close()
 		} else {
 			observer.Metrics = nil // trace only: don't register series
 		}
@@ -126,6 +128,7 @@ func main() {
 		sac.WithFaults(plan),
 		sac.WithObserver(observer),
 		sac.WithMetricsWindow(*metricsWin),
+		sac.WithWorkers(*chipWorkers),
 		sac.WithContext(ctx))
 	if err != nil {
 		fatal(err)
@@ -183,15 +186,16 @@ func parseOrg(name string) llc.Org {
 
 // compareOrgs runs one benchmark under several organizations through the
 // parallel experiment engine and prints them side by side.
-func compareOrgs(ctx context.Context, cfg sac.Config, spec sac.Spec, orgs []llc.Org, plan *sac.FaultPlan, parallel int, scale string, metricsAddr string) {
+func compareOrgs(ctx context.Context, cfg sac.Config, spec sac.Spec, orgs []llc.Org, plan *sac.FaultPlan, parallel, chipWorkers int, scale string, metricsAddr string, pprofOn bool) {
 	r := sac.NewRunner()
 	r.Parallelism = parallel
+	r.ChipWorkers = chipWorkers
 	r.Faults = plan
 	r.Ctx = ctx
 	if metricsAddr != "" {
 		r.Obs = sac.NewObserver(0)
 		r.Obs.Trace = nil
-		defer serveMetrics(metricsAddr, r.Obs.Metrics).Close()
+		defer serveMetrics(metricsAddr, r.Obs.Metrics, pprofOn).Close()
 	}
 	reqs := make([]sac.RunRequest, len(orgs))
 	for i, org := range orgs {
@@ -265,8 +269,12 @@ func printTable3(cfg sac.Config) {
 
 // serveMetrics exposes a registry over HTTP; the returned server is closed
 // on exit so the listener shuts down cooperatively.
-func serveMetrics(addr string, reg *sac.MetricsRegistry) *obs.MetricsServer {
-	ms, err := obs.Serve(addr, reg)
+func serveMetrics(addr string, reg *sac.MetricsRegistry, pprofOn bool) *obs.MetricsServer {
+	var opts []obs.ServeOption
+	if pprofOn {
+		opts = append(opts, obs.WithPprof())
+	}
+	ms, err := obs.Serve(addr, reg, opts...)
 	if err != nil {
 		fatal(err)
 	}

@@ -33,6 +33,7 @@ func main() {
 		exp         = flag.String("exp", "fig8", "experiment id (or comma list; 'all' for everything)")
 		set         = flag.String("set", "all", "benchmark set: all | fast | comma-separated names")
 		parallel    = flag.Int("parallel", 0, "max simulations in flight (0 = all cores, 1 = serial)")
+		chipWorkers = flag.Int("chip-workers", 0, "intra-run chip parallelism per simulation, bit-identical at any value (0 = auto-budget against -parallel, 1 = serial)")
 		verbose     = flag.Bool("v", false, "log each completed simulation")
 		jsonOut     = flag.Bool("json", false, "emit results as JSON instead of tables")
 		faults      = flag.String("faults", "", "fault plan injected into every simulation: JSON file path or inline DSL")
@@ -40,6 +41,7 @@ func main() {
 		watchdog    = flag.Int64("watchdog", -1, "abort a run when no request retires for this many cycles (0 = off, -1 = preset default)")
 		timeout     = flag.Duration("timeout", 0, "wall-clock limit for the whole invocation (0 = none; exceeding it exits 3)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live sweep metrics over HTTP at this address (/metrics)")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics-addr server")
 		progress    = flag.Bool("progress", false, "print one line per completed sweep cell to stderr")
 		cacheDir    = flag.String("cache-dir", "", "persistent result cache directory (shared with sacd); warm entries skip simulation")
 		cacheMax    = flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this many bytes (0 = unbounded)")
@@ -54,13 +56,18 @@ func main() {
 
 	r := sac.NewRunner()
 	r.Parallelism = *parallel
+	r.ChipWorkers = *chipWorkers
 	r.Verbose = *verbose
 	r.Log = os.Stderr
 	r.Ctx = ctx
 	if *metricsAddr != "" {
 		r.Obs = sac.NewObserver(0)
 		r.Obs.Trace = nil
-		ms, err := obs.Serve(*metricsAddr, r.Obs.Metrics)
+		var opts []obs.ServeOption
+		if *pprofOn {
+			opts = append(opts, obs.WithPprof())
+		}
+		ms, err := obs.Serve(*metricsAddr, r.Obs.Metrics, opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sacsweep:", err)
 			os.Exit(1)

@@ -87,12 +87,14 @@ func (b *TokenBucket) Take(n int) {
 // Credit returns the current credit, for tests and debugging.
 func (b *TokenBucket) Credit() float64 { return b.credit }
 
-// Queue is a bounded FIFO of T backed by a growable ring buffer. The bound
+// Queue is a bounded FIFO of T backed by a growable power-of-two ring
+// buffer, so the wraparound index is a mask instead of a modulo (the queues
+// sit on the per-cycle hot path of every NoC port and ring link). The bound
 // is a back-pressure signal, not a hard allocation limit: Full tells the
 // producer to stall, while Push always succeeds so that in-flight messages
 // are never dropped.
 type Queue[T any] struct {
-	buf   []T
+	buf   []T // length is always zero or a power of two
 	head  int
 	n     int
 	bound int
@@ -105,7 +107,16 @@ func NewQueue[T any](bound int) *Queue[T] {
 	if capHint <= 0 || capHint > 1024 {
 		capHint = 16
 	}
-	return &Queue[T]{buf: make([]T, capHint), bound: bound}
+	return &Queue[T]{buf: make([]T, ceilPow2(capHint)), bound: bound}
+}
+
+// ceilPow2 returns the smallest power of two >= n, for n >= 1.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // Len returns the number of queued entries.
@@ -126,7 +137,7 @@ func (q *Queue[T]) Push(v T) {
 	if q.n == len(q.buf) {
 		q.grow()
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
 	q.n++
 }
 
@@ -138,7 +149,7 @@ func (q *Queue[T]) Pop() (v T, ok bool) {
 	v = q.buf[q.head]
 	var zero T
 	q.buf[q.head] = zero
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.n--
 	return v, true
 }
@@ -151,10 +162,13 @@ func (q *Queue[T]) Peek() (v T, ok bool) {
 	return q.buf[q.head], true
 }
 
+// grow doubles the buffer (power-of-two sizes stay powers of two; an empty
+// zero-value queue starts at 8).
 func (q *Queue[T]) grow() {
 	nb := make([]T, max(len(q.buf)*2, 8))
+	mask := len(q.buf) - 1
 	for i := 0; i < q.n; i++ {
-		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		nb[i] = q.buf[(q.head+i)&mask]
 	}
 	q.buf = nb
 	q.head = 0
@@ -172,7 +186,8 @@ type delayEntry[T any] struct {
 	v   T
 }
 
-// NewDelayLine returns an empty delay line.
+// NewDelayLine returns an empty delay line. The pre-sized buffer length
+// must be a power of two (Queue indexes with a mask).
 func NewDelayLine[T any]() *DelayLine[T] {
 	return &DelayLine[T]{entries: Queue[delayEntry[T]]{buf: make([]delayEntry[T], 16)}}
 }

@@ -177,3 +177,53 @@ func TestDelayLine(t *testing.T) {
 		t.Fatalf("Len = %d, want 0", d.Len())
 	}
 }
+
+func TestQueuePowerOfTwoCapacity(t *testing.T) {
+	// The ring-buffer index is a mask, so every construction path must leave
+	// the backing slice at a power-of-two length.
+	for _, bound := range []int{-1, 0, 1, 2, 3, 5, 8, 9, 100, 1024, 1025, 4096} {
+		q := NewQueue[int](bound)
+		if c := len(q.buf); c&(c-1) != 0 || c == 0 {
+			t.Fatalf("NewQueue(%d): capacity %d is not a power of two", bound, c)
+		}
+	}
+	var zero Queue[int]
+	zero.Push(1)
+	if c := len(zero.buf); c&(c-1) != 0 || c == 0 {
+		t.Fatalf("zero-value queue grew to capacity %d, not a power of two", c)
+	}
+}
+
+func TestQueueWraparound(t *testing.T) {
+	// Drive head around the buffer many times while straddling growth, and
+	// check strict FIFO order throughout. bound 3 rounds up to capacity 4,
+	// so an occupancy of 5+ forces growth mid-wrap.
+	q := NewQueue[int](3)
+	next, expect := 0, 0
+	push := func(k int) {
+		for i := 0; i < k; i++ {
+			q.Push(next)
+			next++
+		}
+	}
+	pop := func(k int) {
+		for i := 0; i < k; i++ {
+			v, ok := q.Pop()
+			if !ok {
+				t.Fatalf("Pop: empty at %d, want %d", expect, next)
+			}
+			if v != expect {
+				t.Fatalf("Pop = %d, want %d", v, expect)
+			}
+			expect++
+		}
+	}
+	for round := 0; round < 50; round++ {
+		push(3)
+		pop(2) // net +1 per round: occupancy climbs through every growth edge
+	}
+	pop(q.Len())
+	if !q.Empty() || expect != next {
+		t.Fatalf("drain incomplete: len=%d popped=%d pushed=%d", q.Len(), expect, next)
+	}
+}

@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/llc"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// captureWorkers swaps the simulate stub for one that records the Workers
+// value each cell was launched with (and still runs the real simulation).
+func captureWorkers(r *Runner) *[]int {
+	var mu sync.Mutex
+	var got []int
+	r.simulate = func(cfg gpu.Config, spec workload.Spec, o gpu.RunOpts) (*stats.Run, error) {
+		mu.Lock()
+		got = append(got, o.Workers)
+		mu.Unlock()
+		return gpu.RunWith(cfg, spec, o)
+	}
+	return &got
+}
+
+// An explicit ChipWorkers setting must reach every simulation unchanged.
+func TestChipWorkersExplicit(t *testing.T) {
+	r := testRunner("RN")
+	r.ChipWorkers = 3
+	got := captureWorkers(r)
+	if _, err := r.RunAll([]RunRequest{{Cfg: r.Base.WithOrg(llc.SAC), Spec: mustSpec(t, r, "RN")}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range *got {
+		if w != 3 {
+			t.Fatalf("cell launched with Workers=%d, want 3", w)
+		}
+	}
+	if len(*got) == 0 {
+		t.Fatal("simulate stub never ran")
+	}
+}
+
+// The default budget divides the machine between concurrent cells: with
+// cell parallelism pinned to the core count the per-cell chip worker count
+// must be GOMAXPROCS / parallelism (floored at 1), so cells x chip workers
+// never oversubscribes the machine.
+func TestChipWorkersAutoBudget(t *testing.T) {
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		r := testRunner("RN")
+		r.Parallelism = par
+		want := runtime.GOMAXPROCS(0) / par
+		if want < 1 {
+			want = 1
+		}
+		got := captureWorkers(r)
+		if _, err := r.RunAll([]RunRequest{{Cfg: r.Base.WithOrg(llc.MemorySide), Spec: mustSpec(t, r, "RN")}}); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range *got {
+			if w != want {
+				t.Fatalf("parallelism %d: cell launched with Workers=%d, want %d", par, w, want)
+			}
+		}
+	}
+}
+
+func mustSpec(t *testing.T, r *Runner, name string) workload.Spec {
+	t.Helper()
+	specs, err := r.specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("benchmark %q not in runner selection", name)
+	return workload.Spec{}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/memsys"
 	"repro/internal/noc"
 	"repro/internal/sm"
+	"repro/internal/xchip"
 )
 
 // llcSlice is one LLC slice: a bandwidth-gated lookup queue in front of a
@@ -36,6 +37,17 @@ type chip struct {
 	dyn     *llc.DynamicController // Dynamic organization only
 	dir     *coherence.Directory   // hardware coherence only
 
+	// Per-chip request infrastructure. Chips tick concurrently during the
+	// parallel phases of step, so each owns its Request pool, its ID counter
+	// (namespaced by chip in the top byte — IDs are write-only after
+	// allocation, so disjoint ID spaces are observationally invisible), its
+	// staged ring lane, and a scratch area for stats/issue/profiling deltas
+	// merged serially between barriers.
+	pool   memsys.Pool
+	nextID uint64
+	lane   *xchip.Lane
+	scr    chipScratch
+
 	// Epoch accumulators for the Dynamic controller.
 	lastRingBytes int64
 	lastDRAMBytes int64
@@ -55,9 +67,11 @@ func (c *chip) ringOutReqPort(cfg *Config) int  { return cfg.SlicesPerChip }
 func (c *chip) ringInRespPort(cfg *Config) int  { return cfg.SlicesPerChip }
 func (c *chip) ringOutRespPort(cfg *Config) int { return cfg.ClustersPerChip() }
 
-func newChip(cfg *Config, idx int, pool *memsys.Pool) *chip {
+func newChip(cfg *Config, idx int) *chip {
 	clusters := cfg.ClustersPerChip()
 	c := &chip{idx: idx}
+	c.scr.issued = make([]issuedReq, 0, cfg.SMsPerChip) // ≤1 issue per SM per cycle
+	c.scr.clusterStaged = make([]int, clusters)
 
 	c.sms = make([]*sm.SM, cfg.SMsPerChip)
 	for i := range c.sms {
@@ -68,7 +82,7 @@ func newChip(cfg *Config, idx int, pool *memsys.Pool) *chip {
 			L1Ways:  cfg.L1Ways,
 			Geom:    cfg.Geom,
 			Sectors: cfg.SectorCount(),
-			Pool:    pool,
+			Pool:    &c.pool,
 		})
 	}
 

@@ -27,6 +27,12 @@ type RunOpts struct {
 	// Ctx cancels the run: the cycle loop polls it on a coarse stride and
 	// returns ctx.Err() (wrapped) from Run. Nil means uncancellable.
 	Ctx context.Context
+	// Workers bounds intra-run chip parallelism: each cycle's per-chip
+	// phases tick concurrently on up to this many workers, bit-identical to
+	// serial at any count. 0 = auto (one worker per chip, capped at
+	// GOMAXPROCS); 1 = serial. Hardware-coherence configurations always run
+	// serially regardless.
+	Workers int
 }
 
 // RunWith builds a system, applies the options and runs it. Every package
@@ -46,6 +52,9 @@ func RunWith(cfg Config, w Workload, o RunOpts) (*stats.Run, error) {
 	}
 	if o.Ctx != nil {
 		sys.SetContext(o.Ctx)
+	}
+	if o.Workers != 0 {
+		sys.SetWorkers(o.Workers)
 	}
 	return sys.Run()
 }

@@ -1,0 +1,114 @@
+package gpu
+
+import (
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/llc"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// runWorkers runs spec on cfg with a fixed chip-worker count.
+func runWorkers(t *testing.T, cfg Config, spec workload.Spec, workers int) *stats.Run {
+	t.Helper()
+	r, err := RunWith(cfg, spec, RunOpts{Workers: workers})
+	if err != nil {
+		t.Fatalf("RunWith(%s, workers=%d): %v", cfg.Org, workers, err)
+	}
+	return r
+}
+
+// TestChipWorkerDeterminism is the core contract of the parallel stepper:
+// for every organization, a run with any chip-worker count produces a
+// stats.Run deeply equal to the serial run — including latency sums, ring
+// bytes, reconfiguration counts, and per-kernel records. Worker counts
+// beyond the chip count exercise the clamp.
+func TestChipWorkerDeterminism(t *testing.T) {
+	spec := tinyWorkload()
+	for _, org := range llc.Orgs() {
+		t.Run(org.String(), func(t *testing.T) {
+			cfg := tinyConfig().WithOrg(org)
+			serial := runWorkers(t, cfg, spec, 1)
+			for _, w := range []int{2, 3, 4, 8} {
+				got := runWorkers(t, cfg, spec, w)
+				if !reflect.DeepEqual(serial, got) {
+					t.Fatalf("workers=%d diverged from serial:\nserial %+v\ngot    %+v", w, serial, got)
+				}
+			}
+		})
+	}
+}
+
+// Hardware coherence mutates remote directories inline, so the system must
+// force itself serial no matter what was requested — and still match.
+func TestChipWorkerHardwareCoherenceForcedSerial(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Coherence = coherence.Hardware
+	spec := tinyWorkload()
+	serial := runWorkers(t, cfg, spec, 1)
+	got := runWorkers(t, cfg, spec, 4)
+	if !reflect.DeepEqual(serial, got) {
+		t.Fatal("hardware-coherence run diverged across worker counts")
+	}
+
+	sys, err := New(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetWorkers(4)
+	if w := sys.effectiveWorkers(); w != 1 {
+		t.Fatalf("effectiveWorkers = %d under hardware coherence, want 1", w)
+	}
+}
+
+func TestEffectiveWorkers(t *testing.T) {
+	cfg := tinyConfig()
+	sys, err := New(cfg, tinyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetWorkers(2)
+	if w := sys.effectiveWorkers(); w != 2 {
+		t.Fatalf("explicit 2 workers resolved to %d", w)
+	}
+	sys.SetWorkers(1000)
+	if w := sys.effectiveWorkers(); w != cfg.Chips {
+		t.Fatalf("oversized request resolved to %d, want chip count %d", w, cfg.Chips)
+	}
+	sys.SetWorkers(0)
+	want := runtime.GOMAXPROCS(0)
+	if want > cfg.Chips {
+		want = cfg.Chips
+	}
+	if want < 1 {
+		want = 1
+	}
+	if w := sys.effectiveWorkers(); w != want {
+		t.Fatalf("auto resolved to %d, want %d", w, want)
+	}
+}
+
+// The worker group must execute every chip index exactly once per run call,
+// for any worker count, including workers == 1 (inline coordinator only)
+// and workers that don't divide the chip count.
+func TestWorkerGroupCoversAllChips(t *testing.T) {
+	const chips = 7
+	for _, workers := range []int{1, 2, 3, 5, 7} {
+		var hits [chips]atomic.Int32
+		g := newWorkerGroup(workers, chips)
+		const rounds = 50
+		for round := 0; round < rounds; round++ {
+			g.run(func(ci int) { hits[ci].Add(1) })
+		}
+		g.close()
+		for ci := range hits {
+			if n := hits[ci].Load(); n != rounds {
+				t.Fatalf("workers=%d: chip %d ticked %d times, want %d", workers, ci, n, rounds)
+			}
+		}
+	}
+}

@@ -64,15 +64,23 @@ type System struct {
 	dramSinks   []func(*memsys.Request)
 	ringDeliver xchip.Sink
 
-	// pool recycles Request objects; requests are retired back to it at
-	// their death points (response delivery, write absorption, writeback
-	// and invalidation completion).
-	pool memsys.Pool
+	// Chip parallelism (parallel.go). workers is the requested count (0 =
+	// auto); group is the live worker pool (nil when running serially);
+	// staged is true inside the parallel phases, flipping the ring helpers
+	// from direct injection to per-chip lane staging. Request pools and ID
+	// counters live on the chips: each chip retires requests to its own pool
+	// and allocates IDs from its own namespaced counter.
+	workers int
+	group   *workerGroup
+	staged  bool
+	// earlyFn/lateFn hold the phase method values, bound once: taking
+	// s.phaseEarly at the call site would allocate a closure every cycle.
+	earlyFn func(ci int)
+	lateFn  func(ci int)
 
-	run    *stats.Run
-	now    int64
-	nextID uint64
-	state  runState
+	run   *stats.Run
+	now   int64
+	state runState
 
 	// Fault injection (nil injector = healthy run).
 	inj            *fault.Injector
@@ -132,7 +140,7 @@ func New(cfg Config, spec Workload) (*System, error) {
 	}
 	s.chips = make([]*chip, cfg.Chips)
 	for i := range s.chips {
-		s.chips[i] = newChip(&cfg, i, &s.pool)
+		s.chips[i] = newChip(&cfg, i)
 	}
 	s.hwCoh = cfg.Coherence == coherence.Hardware
 	for _, c := range s.chips {
@@ -148,6 +156,13 @@ func New(cfg Config, spec Workload) (*System, error) {
 		HopLatency: cfg.RingHopLatency,
 		QueueBound: cfg.QueueBound,
 	})
+	for i, c := range s.chips {
+		c.lane = s.ring.Lane(i)
+		// Request IDs are write-only after allocation, so namespacing the
+		// counters by chip (top byte) keeps them unique without sharing.
+		c.nextID = uint64(i) << 56
+	}
+	s.earlyFn, s.lateFn = s.phaseEarly, s.phaseLate
 	if cfg.Org.Partitioned() {
 		for _, c := range s.chips {
 			c.setPartition(cfg.LLCWays / 2)
@@ -177,6 +192,13 @@ func (s *System) Now() int64 { return s.now }
 // Run executes every kernel invocation of the benchmark and returns the
 // collected statistics.
 func (s *System) Run() (*stats.Run, error) {
+	if w := s.effectiveWorkers(); w > 1 {
+		s.group = newWorkerGroup(w, len(s.chips))
+		defer func() {
+			s.group.close()
+			s.group = nil
+		}()
+	}
 	for s.kernelIdx = 0; s.kernelIdx < s.spec.KernelCount(); s.kernelIdx++ {
 		if err := s.runKernel(); err != nil {
 			return nil, err
@@ -251,10 +273,12 @@ func (s *System) runKernel() error {
 }
 
 // step advances one cycle; it returns true when the kernel has fully
-// retired (including boundary flushes).
+// retired (including boundary flushes). Phases 1-3 and 5-7a run as per-chip
+// tasks (parallel when a worker group is attached, inline otherwise) with
+// cross-chip effects staged per chip and merged serially between barriers —
+// see parallel.go for why the result is bit-identical to the serial loop.
 func (s *System) step() bool {
 	s.now++
-	now := s.now
 
 	// 0. Fault edges due this cycle change device health before any traffic
 	// moves, so the effect is identical however the previous idle span was
@@ -262,42 +286,23 @@ func (s *System) step() bool {
 	if s.inj != nil {
 		s.applyFaults()
 	}
-	// 1. DRAM completions and issue.
-	for i, c := range s.chips {
-		c.mem.Tick(now, s.cfg.Geom.LineBytes, s.dramSinks[i])
-	}
-	// 2. LLC hit-latency pipelines drain into the response network.
-	for _, c := range s.chips {
-		for si, sl := range c.slices {
-			for {
-				req, ok := sl.hitDelay.PopDue(now)
-				if !ok {
-					break
-				}
-				s.respondFromSlice(c, si, req)
-			}
-		}
-	}
-	// 3. Response networks deliver to SMs / ring.
-	for i, c := range s.chips {
-		c.respNet.Tick(now, s.respSinks[i])
-	}
-	// 4. Ring moves inter-chip traffic.
-	s.ring.Tick(now, s.ringDeliver)
-	// 5. LLC slices perform lookups.
-	for _, c := range s.chips {
-		for si := range c.slices {
-			s.tickSlice(c, si)
-		}
-	}
-	// 6. Request networks deliver to slices / ring.
-	for i, c := range s.chips {
-		c.reqNet.Tick(now, s.reqSinks[i])
-	}
-	// 7. SMs issue new accesses (unless draining).
-	if s.state == stRun {
-		s.issuePhase()
-	}
+	// 1-3. Per chip: DRAM completions, LLC hit-pipeline drain, response-NoC
+	// delivery. Ring injections land in per-chip lanes.
+	s.runPhase(s.earlyFn)
+	s.mergeLanes()
+	// 4. Ring moves inter-chip traffic — serial: the ring is the only agent
+	// that touches more than one chip, and its one-cycle-minimum hop is the
+	// synchronization window that makes the surrounding phases independent.
+	s.ring.Tick(s.now, s.ringDeliver)
+	// 5-7a. Per chip: slice lookups, request-NoC delivery, issue decisions.
+	s.runPhase(s.lateFn)
+	s.mergeLanes()
+	// 7b. Dispatch the buffered issues serially in chip-index order
+	// (first-touch page placement is order-sensitive), then fold the staged
+	// profiler records and stats deltas in before the controllers read them.
+	s.dispatchIssued()
+	s.replayProfiler()
+	s.mergeScratch()
 	// 8. Controllers, profiling, sampling, state transitions.
 	s.controlPhase()
 
@@ -417,46 +422,36 @@ func (s *System) fastForward() {
 	s.lastProgress = s.now
 }
 
-// retire returns a dead request to the pool and marks forward progress for
-// the watchdog. Every request death point goes through it.
-func (s *System) retire(req *memsys.Request) {
-	s.lastProgress = s.now
-	s.pool.Put(req)
+// retire returns a dead request to the retiring chip's pool and marks
+// forward progress for the watchdog (folded into lastProgress when the
+// scratch areas merge at the end of the step). Every request death point
+// goes through it; a request may die on a different chip than the one that
+// allocated it, which just migrates the object between pools.
+func (s *System) retire(c *chip, req *memsys.Request) {
+	c.scr.progress = true
+	c.pool.Put(req)
 }
 
-// issuePhase lets every SM issue at most one access.
-func (s *System) issuePhase() {
-	for _, c := range s.chips {
-		for _, smu := range c.sms {
-			if s.now < smu.SleepUntil() {
-				continue // no warp can issue yet (cleared by Receive)
-			}
-			cluster := smu.Index() / s.cfg.SMsPerCluster
-			canInject := c.reqNet.CanInject(cluster)
-			res := smu.Issue(s.now, canInject, &s.nextID)
-			if !res.Issued {
-				continue
-			}
-			s.run.MemOps++
-			if res.IsWrite {
-				s.run.Writes++
-			} else {
-				s.run.Reads++
-				switch {
-				case res.L1Hit:
-					s.run.L1Hits++
-				case res.Merged:
-					s.run.L1Misses++
-					s.run.L1Merged++
-				default:
-					s.run.L1Misses++
-				}
-			}
-			if res.Req != nil {
-				s.dispatch(c, cluster, res.Req)
-			}
-		}
+// ringInject places a message on the ring. Inside a staged phase it lands
+// in the chip's lane and merges at the next barrier; in serial context
+// (ring delivery, control-phase flushes) it goes straight in, exactly as
+// the pre-parallel loop did — same-cycle launch included.
+func (s *System) ringInject(c *chip, m xchip.Message) {
+	if s.staged {
+		c.lane.Inject(m)
+		return
 	}
+	s.ring.Inject(m)
+}
+
+// ringCanInject mirrors Ring.CanInject, counting the chip's staged lane
+// entries while inside a staged phase so back-pressure answers match the
+// serial loop's.
+func (s *System) ringCanInject(c *chip, dst int, line uint64) bool {
+	if s.staged {
+		return c.lane.CanInject(dst, line)
+	}
+	return s.ring.CanInject(c.idx, dst, line)
 }
 
 // dispatch resolves placement and injects a fresh SM request into the
@@ -485,14 +480,14 @@ func (s *System) reqSink(c *chip) noc.Sink {
 	return noc.SinkFunc{
 		CanAcceptF: func(out int, m noc.Message) bool {
 			if out == ringOut {
-				return s.ring.CanInject(c.idx, s.reqRingDst(m.Req), m.Req.Line)
+				return s.ringCanInject(c, s.reqRingDst(m.Req), m.Req.Line)
 			}
 			return !c.slices[out].lookupQ.Full()
 		},
 		AcceptF: func(out int, m noc.Message) {
 			if out == ringOut {
 				m.Req.Stage = memsys.StageRingReq
-				s.ring.Inject(xchip.Message{
+				s.ringInject(c, xchip.Message{
 					Req: m.Req, Src: c.idx, Dst: s.reqRingDst(m.Req),
 					Bytes: m.Bytes,
 				})
@@ -521,14 +516,14 @@ func (s *System) respSink(c *chip) noc.Sink {
 	return noc.SinkFunc{
 		CanAcceptF: func(out int, m noc.Message) bool {
 			if out == ringOut {
-				return s.ring.CanInject(c.idx, m.Req.SrcChip, m.Req.Line)
+				return s.ringCanInject(c, m.Req.SrcChip, m.Req.Line)
 			}
 			return true // SMs always absorb responses
 		},
 		AcceptF: func(out int, m noc.Message) {
 			if out == ringOut {
 				m.Req.Stage = memsys.StageRingResp
-				s.ring.Inject(xchip.Message{
+				s.ringInject(c, xchip.Message{
 					Req: m.Req, Src: c.idx, Dst: m.Req.SrcChip, Bytes: m.Bytes,
 				})
 				return
@@ -544,10 +539,12 @@ func (s *System) deliverToSM(c *chip, req *memsys.Request) {
 	req.DoneCycle = s.now
 	smu := c.sms[req.SrcSM]
 	smu.Receive(s.now, req)
-	s.run.AddResponse(req.Origin, req.RespBytes(s.cfg.Geom.LineBytes))
-	s.run.ReadLatencySum += s.now - req.IssueCycle
-	s.run.ReadLatencyN++
-	s.retire(req) // reads die at delivery
+	d := &c.scr.stats
+	d.respCount[req.Origin]++
+	d.respBytes[req.Origin] += int64(req.RespBytes(s.cfg.Geom.LineBytes))
+	d.readLatSum += s.now - req.IssueCycle
+	d.readLatN++
+	s.retire(c, req) // reads die at delivery
 }
 
 // ringSink adapts the system to the ring's delivery interface.
@@ -577,8 +574,8 @@ func (rs ringSink) Accept(chipIdx int, m xchip.Message) {
 	case req.Inval:
 		// Hardware-coherence invalidation arriving at a sharer.
 		c.slices[req.Slice].arr.Invalidate(req.Line)
-		s.run.InvalMessages++
-		s.retire(req) // invalidations are absorbed here
+		c.scr.stats.invalMessages++
+		s.retire(c, req) // invalidations are absorbed here
 	case req.Stage == memsys.StageRingResp:
 		s.ringResponseArrived(c, req)
 	case req.Bypass || req.WB:
@@ -645,12 +642,12 @@ func (s *System) fillSlice(c *chip, si int, req *memsys.Request, part cache.Part
 		}
 		s.respondAfterFill(c, si, w)
 		if w.Kind == memsys.Write {
-			s.retire(w) // write-through stores are absorbed at the fill
+			s.retire(c, w) // write-through stores are absorbed at the fill
 		}
 	}
 	// Retire a write primary only after the loop: waiters copy its Origin.
 	if req.Kind == memsys.Write {
-		s.retire(req)
+		s.retire(c, req)
 	}
 }
 
@@ -697,9 +694,9 @@ func (s *System) evict(c *chip, v cache.Victim) {
 
 // writeback issues a dirty-line writeback from chip c to the line's home.
 func (s *System) writeback(c *chip, line uint64, home int) {
-	s.nextID++
-	wb := s.pool.Get()
-	wb.ID = s.nextID
+	c.nextID++
+	wb := c.pool.Get()
+	wb.ID = c.nextID
 	wb.Kind = memsys.Write
 	wb.Line = line
 	wb.Addr = line * uint64(s.cfg.Geom.LineBytes)
@@ -716,7 +713,7 @@ func (s *System) writeback(c *chip, line uint64, home int) {
 		return
 	}
 	wb.Stage = memsys.StageRingReq
-	s.ring.Inject(xchip.Message{
+	s.ringInject(c, xchip.Message{
 		Req: wb, Src: c.idx, Dst: home,
 		Bytes: wb.ReqBytes(s.cfg.Geom.LineBytes),
 	})
@@ -740,7 +737,7 @@ func (s *System) tickSlice(c *chip, si int) {
 		sl.lookupQ.Pop()
 		sl.bkt.Take(cost)
 		if dead {
-			s.retire(req) // write hit: absorbed at the slice, no response
+			s.retire(c, req) // write hit: absorbed at the slice, no response
 		}
 	}
 }
@@ -767,8 +764,17 @@ func (s *System) lookup(c *chip, si int, req *memsys.Request) (done, dead bool, 
 
 	// SAC profiling observes every first lookup (which, during the window,
 	// runs under the memory-side configuration: this chip is the home chip).
+	// Records are staged per chip and replayed in chip-index order after the
+	// barrier: the profiler's CRDs are shared cross-chip state.
 	if s.sac != nil && !secondLookup && s.sac.Profiling(s.now) {
-		s.sac.Profiler().Record(req.Line, req.Sector, req.SrcChip, req.HomeChip, si, hit)
+		if s.staged {
+			c.scr.prof = append(c.scr.prof, profRec{
+				line: req.Line, sector: req.Sector,
+				src: req.SrcChip, home: req.HomeChip, si: si, hit: hit,
+			})
+		} else {
+			s.sac.Profiler().Record(req.Line, req.Sector, req.SrcChip, req.HomeChip, si, hit)
+		}
 	}
 
 	if hit {
@@ -813,7 +819,7 @@ func (s *System) lookup(c *chip, si int, req *memsys.Request) (done, dead bool, 
 		sl.mshr.Allocate(req)
 		req.Bypass = true
 		req.Stage = memsys.StageRingReq
-		s.ring.Inject(xchip.Message{
+		s.ringInject(c, xchip.Message{
 			Req: req, Src: c.idx, Dst: req.HomeChip,
 			Bytes: req.ReqBytes(lineBytes),
 		})
@@ -827,7 +833,7 @@ func (s *System) lookup(c *chip, si int, req *memsys.Request) (done, dead bool, 
 		}
 		req.Phase = 1
 		req.Stage = memsys.StageRingReq
-		s.ring.Inject(xchip.Message{
+		s.ringInject(c, xchip.Message{
 			Req: req, Src: c.idx, Dst: req.HomeChip,
 			Bytes: req.ReqBytes(lineBytes),
 		})
@@ -853,7 +859,7 @@ func (s *System) missResourcesAvailable(c *chip, sl *llcSlice, req *memsys.Reque
 	if atHome {
 		return c.mem.CanAccept(req.Channel)
 	}
-	return s.ring.CanInject(c.idx, req.HomeChip, req.Line)
+	return s.ringCanInject(c, req.HomeChip, req.Line)
 }
 
 // writeInvalidate performs the hardware-coherence write action: update the
@@ -871,9 +877,9 @@ func (s *System) writeInvalidate(c *chip, req *memsys.Request) {
 		if sharer == c.idx {
 			continue
 		}
-		s.nextID++
-		inv := s.pool.Get()
-		inv.ID = s.nextID
+		c.nextID++
+		inv := c.pool.Get()
+		inv.ID = c.nextID
 		inv.Kind = memsys.Write
 		inv.Line = req.Line
 		inv.SrcChip = c.idx
@@ -882,7 +888,7 @@ func (s *System) writeInvalidate(c *chip, req *memsys.Request) {
 		inv.Slice = s.pae.Slice(req.Line)
 		inv.Inval = true
 		inv.Stage = memsys.StageRingReq
-		s.ring.Inject(xchip.Message{
+		s.ringInject(c, xchip.Message{
 			Req: inv, Src: c.idx, Dst: sharer, Bytes: memsys.CtrlBytes,
 		})
 	}
@@ -904,7 +910,7 @@ func (s *System) respondFromSlice(c *chip, si int, req *memsys.Request) {
 // dramDone handles a completed memory access at chip c (the home chip).
 func (s *System) dramDone(c *chip, req *memsys.Request) {
 	if req.WB {
-		s.retire(req) // writeback retired
+		s.retire(c, req) // writeback retired
 		return
 	}
 	if req.Origin == memsys.OriginNone {
@@ -918,7 +924,7 @@ func (s *System) dramDone(c *chip, req *memsys.Request) {
 		// SM-side remote miss: the line returns to the requesting chip over
 		// the ring (the home LLC was bypassed).
 		req.Stage = memsys.StageRingResp
-		s.ring.Inject(xchip.Message{
+		s.ringInject(c, xchip.Message{
 			Req: req, Src: c.idx, Dst: req.SrcChip,
 			Bytes: req.RespBytes(s.cfg.Geom.LineBytes),
 		})
@@ -950,12 +956,12 @@ func (s *System) dramDone(c *chip, req *memsys.Request) {
 		}
 		s.respondMemFill(c, w)
 		if w.Kind == memsys.Write {
-			s.retire(w) // write-through stores are absorbed at the fill
+			s.retire(c, w) // write-through stores are absorbed at the fill
 		}
 	}
 	// Retire a write primary only after the loop: waiters copy its Origin.
 	if req.Kind == memsys.Write {
-		s.retire(req)
+		s.retire(c, req)
 	}
 }
 

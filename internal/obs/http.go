@@ -4,6 +4,7 @@ import (
 	"context"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
@@ -51,18 +52,48 @@ func (m *MetricsServer) Shutdown(ctx context.Context) error {
 	return m.srv.Shutdown(ctx)
 }
 
+// ServeOption configures Serve.
+type ServeOption func(*serveOptions)
+
+type serveOptions struct{ pprof bool }
+
+// WithPprof mounts the net/http/pprof handlers under /debug/pprof/ next to
+// the metrics routes, so CPU and heap profiles of a live simulation are one
+// curl away (see the README's profiling recipe). Profile endpoints expose
+// internal state; keep the listen address loopback-only when enabled.
+func WithPprof() ServeOption {
+	return func(o *serveOptions) { o.pprof = true }
+}
+
 // Serve starts an HTTP server for the registry on addr (e.g. ":9090"). It
 // returns once the listener is bound, so scrapes succeed immediately. The
 // server carries header/idle timeouts (a half-open scraper cannot pin a
 // connection open forever) and runs until the returned MetricsServer is
-// closed.
-func Serve(addr string, r *Registry) (*MetricsServer, error) {
+// closed. The response path is deliberately not write-limited: a
+// /debug/pprof/profile?seconds=30 capture outlives any reasonable write
+// timeout.
+func Serve(addr string, r *Registry, opts ...ServeOption) (*MetricsServer, error) {
+	var so serveOptions
+	for _, opt := range opts {
+		opt(&so)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	h := Handler(r)
+	if so.pprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", h)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		h = mux
+	}
 	srv := &http.Server{
-		Handler:           Handler(r),
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		IdleTimeout:       60 * time.Second,

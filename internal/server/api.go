@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"repro/client"
 	"repro/internal/obs"
@@ -18,6 +19,7 @@ import (
 //	GET  /v1/healthz          daemon health           → 200 Health
 //	GET  /metrics             Prometheus metrics (when a Registry is set)
 //	GET  /metrics.json        the same registry as JSON
+//	GET  /debug/pprof/...     net/http/pprof (when EnablePprof is set)
 //
 // Every error response is JSON: {"error": "..."} with the status code
 // carrying the semantics (400 invalid request, 404 unknown job, 409 result
@@ -32,6 +34,13 @@ func (s *Server) Handler() http.Handler {
 		h := obs.Handler(s.cfg.Registry)
 		mux.Handle("GET /metrics", h)
 		mux.Handle("GET /metrics.json", h)
+	}
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	return mux
 }

@@ -1,0 +1,32 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The daemon's pprof surface is strictly opt-in via Config.EnablePprof.
+func TestHandlerPprofOptIn(t *testing.T) {
+	for _, enabled := range []bool{false, true} {
+		s := New(Config{Workers: 1, EnablePprof: enabled})
+		s.Start()
+		hs := httptest.NewServer(s.Handler())
+		resp, err := http.Get(hs.URL + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		hs.Close()
+		if enabled {
+			if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+				t.Fatalf("EnablePprof: index broken: status %d body %q", resp.StatusCode, body)
+			}
+		} else if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("pprof reachable with EnablePprof off: status %d", resp.StatusCode)
+		}
+	}
+}

@@ -55,6 +55,15 @@ type Config struct {
 	RequeuePath string
 	// Workers bounds concurrent simulations; 0 means GOMAXPROCS.
 	Workers int
+	// ChipWorkers sets each simulation's intra-run chip parallelism
+	// (bit-identical at any value). 0 auto-budgets against Workers so chip
+	// workers × concurrent simulations never oversubscribes cores; a daemon
+	// serving a single high-priority job at Workers=1 gets every core.
+	ChipWorkers int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the API mux
+	// (the sacd -pprof flag), so CPU and heap profiles of live serving are
+	// one curl away.
+	EnablePprof bool
 	// QueueCap bounds queued-but-not-started jobs across all lanes; a full
 	// queue rejects submissions with ErrQueueFull. 0 means 256.
 	QueueCap int
@@ -191,6 +200,7 @@ func New(cfg Config) *Server {
 		runner: &eval.Runner{
 			Base:        gpu.ScaledConfig(),
 			Parallelism: cfg.Workers,
+			ChipWorkers: cfg.ChipWorkers,
 			Store:       cfg.Store,
 			Obs:         observer,
 		},

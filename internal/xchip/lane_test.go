@@ -1,0 +1,103 @@
+package xchip
+
+import (
+	"reflect"
+	"testing"
+)
+
+// A round of per-chip staged injections flushed in chip-index order must
+// load the ring exactly as the serial loop injecting directly in that same
+// order would: same accept/refuse decisions, same egress contents, same
+// deliveries.
+func TestLaneStagingMatchesDirectInjection(t *testing.T) {
+	cfg := Config{Chips: 4, LinkBW: 96, HopLatency: 2, QueueBound: 4}
+	direct := New(cfg)
+	staged := New(cfg)
+
+	var msgs []Message
+	for i := 0; i < 40; i++ {
+		src := i % 4
+		dst := (src + 1 + i%3) % 4
+		msgs = append(msgs, ringMsg(src, dst, uint64(i)))
+	}
+	accepted := 0
+	for c := 0; c < 4; c++ {
+		for _, m := range msgs {
+			if m.Src != c {
+				continue
+			}
+			if direct.CanInject(m.Src, m.Dst, m.Req.Line) {
+				direct.Inject(m)
+				accepted++
+			}
+		}
+	}
+	stagedAccepted := 0
+	for c := 0; c < 4; c++ {
+		l := staged.Lane(c)
+		for _, m := range msgs {
+			if m.Src != c {
+				continue
+			}
+			if l.CanInject(m.Dst, m.Req.Line) {
+				l.Inject(m)
+				stagedAccepted++
+			}
+		}
+	}
+	if stagedAccepted != accepted {
+		t.Fatalf("lanes accepted %d messages, direct injection accepted %d", stagedAccepted, accepted)
+	}
+	for c := 0; c < 4; c++ {
+		staged.Lane(c).Flush()
+	}
+	if direct.Pending() != staged.Pending() {
+		t.Fatalf("pending after load: direct %d, staged %d", direct.Pending(), staged.Pending())
+	}
+
+	sd, ss := newSink(), newSink()
+	run(direct, sd, 200)
+	run(staged, ss, 200)
+	for c := 0; c < 4; c++ {
+		if !reflect.DeepEqual(sd.arrived[c], ss.arrived[c]) {
+			t.Fatalf("chip %d deliveries diverge:\ndirect %+v\nstaged %+v", c, sd.arrived[c], ss.arrived[c])
+		}
+	}
+}
+
+// CanInject on a lane must count messages staged this phase against the
+// queue bound, or a chip could overfill its egress queue within one cycle.
+func TestLaneCanInjectCountsStaged(t *testing.T) {
+	r := New(Config{Chips: 4, LinkBW: 96, HopLatency: 1, QueueBound: 2})
+	l := r.Lane(0)
+	for i := 0; i < 2; i++ {
+		if !l.CanInject(1, 0) {
+			t.Fatalf("injection %d refused below the bound", i)
+		}
+		l.Inject(ringMsg(0, 1, 0))
+	}
+	if l.CanInject(1, 0) {
+		t.Fatal("staged messages not counted against the queue bound")
+	}
+	if l.Staged() != 2 {
+		t.Fatalf("Staged = %d, want 2", l.Staged())
+	}
+	l.Flush()
+	if l.Staged() != 0 {
+		t.Fatalf("Staged = %d after Flush, want 0", l.Staged())
+	}
+	// The flushed messages now occupy the real egress queue.
+	if r.CanInject(0, 1, 0) {
+		t.Fatal("flushed messages missing from the egress queue")
+	}
+}
+
+func TestLaneRejectsForeignSource(t *testing.T) {
+	r := New(Config{Chips: 4, LinkBW: 96, HopLatency: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lane accepted a message sourced by another chip")
+		}
+	}()
+	r.Lane(0).Inject(ringMsg(1, 2, 0))
+}

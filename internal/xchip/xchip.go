@@ -53,7 +53,8 @@ type Config struct {
 
 // Ring is the inter-chip network.
 type Ring struct {
-	cfg Config
+	cfg   Config
+	lanes []Lane
 	// egress[chip][dir]: messages waiting to enter the link leaving chip in dir.
 	egress [][2]*bwsim.Queue[Message]
 	bkt    [][2]*bwsim.TokenBucket
@@ -100,7 +101,64 @@ func New(cfg Config) *Ring {
 			r.inFlight[c][d] = bwsim.NewDelayLine[Message]()
 		}
 	}
+	r.lanes = make([]Lane, cfg.Chips)
+	for c := range r.lanes {
+		r.lanes[c] = Lane{r: r, chip: c}
+	}
 	return r
+}
+
+// Lane is chip's staged view of the ring, for phase-parallel cycle loops
+// that tick chips concurrently. A Lane's Inject appends to a private
+// per-direction buffer instead of touching shared ring state, and its
+// CanInject answers exactly what Ring.CanInject would answer had the staged
+// messages already been pushed — so back-pressure decisions match a serial
+// execution. Flush replays the buffers through Ring.Inject in staging
+// order; since each egress queue is per (source chip, direction) and a lane
+// only ever stages messages sourced at its own chip, flushing lanes in chip
+// index order reproduces the serial loop's egress-queue contents exactly.
+//
+// Each goroutine must use only its own chip's Lane, and Flush must only be
+// called from the coordinating goroutine between parallel phases.
+func (r *Ring) Lane(chip int) *Lane { return &r.lanes[chip] }
+
+// Lane stages ring injections for one chip. See Ring.Lane.
+type Lane struct {
+	r      *Ring
+	chip   int
+	staged [2][]Message
+}
+
+// CanInject reports whether the lane's chip has egress queue space toward
+// dst, counting messages already staged this phase as occupying slots.
+func (l *Lane) CanInject(dst int, line uint64) bool {
+	d := l.r.route(l.chip, dst, line)
+	b := l.r.cfg.QueueBound
+	return b <= 0 || l.r.egress[l.chip][d].Len()+len(l.staged[d]) < b
+}
+
+// Inject stages a message sourced at the lane's chip.
+func (l *Lane) Inject(m Message) {
+	if m.Src != l.chip {
+		panic(fmt.Sprintf("xchip: lane %d injection from chip %d", l.chip, m.Src))
+	}
+	d := l.r.route(m.Src, m.Dst, m.Req.Line)
+	l.staged[d] = append(l.staged[d], m)
+}
+
+// Staged returns the number of messages waiting in the lane.
+func (l *Lane) Staged() int { return len(l.staged[0]) + len(l.staged[1]) }
+
+// Flush replays the staged messages into the ring in staging order and
+// empties the lane (buffers are retained for reuse).
+func (l *Lane) Flush() {
+	for d := range l.staged {
+		for i := range l.staged[d] {
+			l.r.Inject(l.staged[d][i])
+			l.staged[d][i] = Message{}
+		}
+		l.staged[d] = l.staged[d][:0]
+	}
 }
 
 // Cfg returns the ring's configuration.

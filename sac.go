@@ -144,6 +144,17 @@ func WithContext(ctx context.Context) RunOption {
 	return func(o *gpu.RunOpts) { o.Ctx = ctx }
 }
 
+// WithWorkers sets intra-run chip parallelism: each simulated cycle's
+// per-chip phases tick concurrently on up to n workers (clamped to the chip
+// count), with results bit-identical to serial at any n. 0 = auto (one
+// worker per chip, capped at GOMAXPROCS); 1 = serial. Hardware-coherence
+// configurations always run serially. When combining many concurrent runs
+// (a sweep), prefer the Runner's ChipWorkers budget so cells × chip workers
+// do not oversubscribe cores.
+func WithWorkers(n int) RunOption {
+	return func(o *gpu.RunOpts) { o.Workers = n }
+}
+
 // Run executes workload w on cfg and returns the run statistics. Invalid
 // configurations and workloads come back as errors; no panic escapes to the
 // caller. Options attach fault plans, observers and cancellation:
