@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race shuffle smoke fuzz vuln check bench benchsmoke benchguard fig8 fmt
+.PHONY: build test vet race shuffle smoke fuzz vuln fieldalign check bench benchsmoke benchguard fig8 fmt
 
 build:
 	$(GO) build ./...
@@ -47,17 +47,28 @@ vuln:
 			| tee artifacts/govulncheck.txt; \
 	fi
 
+# fieldalign runs the fieldalignment analyzer over the struct-of-arrays hot
+# packages (a padded layout there silently regresses the cache behaviour the
+# SoA refactor bought). Advisory like vuln: offline checkouts without the
+# tool still pass.
+fieldalign:
+	@if command -v fieldalignment >/dev/null 2>&1; then \
+		fieldalignment ./internal/llc ./internal/gpu ./internal/xchip; \
+	else \
+		echo "fieldalignment not installed; skipping (go install golang.org/x/tools/go/analysis/passes/fieldalignment/cmd/fieldalignment@latest)"; \
+	fi
+
 # check is the CI gate: static analysis, the full suite under the race
 # detector and again in shuffled order, the sacd daemon smoke, a fuzz smoke
 # of the parsers, a one-iteration benchmark smoke, and an advisory
 # vulnerability scan.
-check: vet race shuffle smoke fuzz benchsmoke vuln
+check: vet fieldalign race shuffle smoke fuzz benchsmoke vuln
 
 # benchsmoke compiles and executes the throughput-critical benchmarks for a
 # single iteration — it catches benchmarks broken by API drift without
 # paying for a measurement run.
 benchsmoke:
-	$(GO) test -run '^$$' -bench 'StepParallel|SimulatorThroughput$$' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'StepParallel|SimulatorThroughput$$|IdleFastForward|LLCLookup' -benchtime 1x .
 
 # benchguard is the perf-regression gate: a full Fig 8 sweep with no
 # observer attached must stay within 1% of the newest recorded allocation

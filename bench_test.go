@@ -19,6 +19,8 @@ import (
 	"testing"
 
 	sac "repro"
+	"repro/internal/cache"
+	"repro/internal/llc"
 )
 
 var (
@@ -364,4 +366,70 @@ func BenchmarkStepParallel(b *testing.B) {
 			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
 		})
 	}
+}
+
+// BenchmarkIdleFastForward measures the next-event scheduler on a
+// compute-gap-dominated workload: warps spend hundreds of cycles between
+// memory accesses, so almost all simulated time is idle spans the cycle
+// loop must skip rather than step. The skipped/total ratio is attached so
+// regressions in skip coverage show up alongside raw speed.
+func BenchmarkIdleFastForward(b *testing.B) {
+	cfg := sac.ScaledConfig()
+	spec, err := sac.Benchmark("SN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range spec.Kernels {
+		spec.Kernels[i].ComputeGap = 300
+	}
+	var cycles, skipped int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := sac.Run(cfg.WithOrg(sac.MemorySide), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += run.Cycles
+		skipped += run.Skipped
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+	if cycles > 0 {
+		b.ReportMetric(float64(skipped)/float64(cycles), "skipped-frac")
+	}
+}
+
+// BenchmarkLLCLookup measures the slice-lookup hot path against both array
+// layouts: the pointer-per-line cache.Cache and the struct-of-arrays
+// llc.Array the phase-5 loop uses (split find/commit, as in the simulator).
+func BenchmarkLLCLookup(b *testing.B) {
+	cfg := cache.Config{Sets: 512, Ways: 16, LineBytes: 128, Sectors: 4, WriteBack: true}
+	lines := uint64(cfg.Lines())
+	fillBoth := func(fill func(line uint64, sector int)) {
+		lcg := uint64(1)
+		for i := uint64(0); i < lines; i++ {
+			lcg = lcg*6364136223846793005 + 1442695040888963407
+			fill(lcg%(2*lines), int(lcg>>60)&3)
+		}
+	}
+	b.Run("aos", func(b *testing.B) {
+		c := cache.New(cfg)
+		fillBoth(func(l uint64, s int) { c.Fill(l, s, cache.PartAll, false) })
+		lcg := uint64(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lcg = lcg*6364136223846793005 + 1442695040888963407
+			c.Lookup(lcg%(2*lines), int(lcg>>60)&3)
+		}
+	})
+	b.Run("soa", func(b *testing.B) {
+		a := llc.NewArray(cfg)
+		fillBoth(func(l uint64, s int) { a.Fill(l, s, cache.PartAll, false) })
+		lcg := uint64(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lcg = lcg*6364136223846793005 + 1442695040888963407
+			line, sector := lcg%(2*lines), int(lcg>>60)&3
+			a.CommitLookup(a.FindLine(line), sector)
+		}
+	})
 }

@@ -24,6 +24,7 @@ func Mix64(x uint64) uint64 {
 type PAE struct {
 	slicesPerChip   int
 	channelsPerChip int
+	sliceMask       int // slicesPerChip-1 when a power of two, else -1
 	salt            uint64
 }
 
@@ -32,7 +33,11 @@ func NewPAE(slicesPerChip, channelsPerChip int) *PAE {
 	if slicesPerChip <= 0 || channelsPerChip <= 0 {
 		panic("addr: non-positive slice or channel count")
 	}
-	return &PAE{slicesPerChip: slicesPerChip, channelsPerChip: channelsPerChip, salt: paeSalt}
+	mask := -1
+	if slicesPerChip&(slicesPerChip-1) == 0 {
+		mask = slicesPerChip - 1
+	}
+	return &PAE{slicesPerChip: slicesPerChip, channelsPerChip: channelsPerChip, sliceMask: mask, salt: paeSalt}
 }
 
 const paeSalt = 0x5ac5ac5ac5ac5ac
@@ -43,7 +48,11 @@ const paeSalt = 0x5ac5ac5ac5ac5ac
 // the requesting chip use the same slice position — exactly the property the
 // SAC routing switch relies on.
 func (p *PAE) Slice(line uint64) int {
-	return int(Mix64(line^paeSalt) % uint64(p.slicesPerChip))
+	h := Mix64(line ^ paeSalt)
+	if p.sliceMask >= 0 {
+		return int(h) & p.sliceMask // low bits: identical to % for powers of two
+	}
+	return int(h % uint64(p.slicesPerChip))
 }
 
 // Channel returns the DRAM channel index within the home chip's partition.
@@ -67,7 +76,19 @@ func (p *PAE) ChannelsPerChip() int { return p.channelsPerChip }
 type PageTable struct {
 	geom  memsys.Geometry
 	chips int
-	pages map[uint64]*pageEntry
+	// lpp is geom.LinesPerPage() and pageShift its log2 (-1 when not a
+	// power of two), precomputed so the per-dispatch Touch path divides by
+	// constants instead of re-deriving them from the geometry.
+	lpp       int
+	pageShift int
+	pages     map[uint64]*pageEntry
+
+	// One-entry memo of the most recently touched page: warp access streams
+	// are page-local, so consecutive Touch/Home calls usually hit the same
+	// page and skip the map lookup. Purely an access-path cache — contents
+	// and results are unchanged.
+	lastPage  uint64
+	lastEntry *pageEntry
 }
 
 type pageEntry struct {
@@ -82,28 +103,58 @@ func NewPageTable(geom memsys.Geometry, chips int) *PageTable {
 	if chips <= 0 || chips > 8 {
 		panic("addr: chip count must be in 1..8")
 	}
-	return &PageTable{geom: geom, chips: chips, pages: make(map[uint64]*pageEntry)}
+	t := &PageTable{geom: geom, chips: chips, lpp: geom.LinesPerPage(), pageShift: -1, pages: make(map[uint64]*pageEntry)}
+	if t.lpp > 0 && geom.PageBytes%geom.LineBytes == 0 && t.lpp&(t.lpp-1) == 0 {
+		s := 0
+		for 1<<uint(s) < t.lpp {
+			s++
+		}
+		t.pageShift = s
+	}
+	return t
+}
+
+// pageOf returns the page index of a line — geom.PageOfLine with the
+// division strength-reduced to a shift when lines-per-page is a power of two
+// (line >> log2(lpp) == line*LineBytes/PageBytes exactly when LineBytes
+// divides PageBytes).
+func (t *PageTable) pageOf(line uint64) uint64 {
+	if t.pageShift >= 0 {
+		return line >> uint(t.pageShift)
+	}
+	return t.geom.PageOfLine(line)
 }
 
 // Touch records an access by chip to the given line and returns the page's
 // home chip, allocating the page to the toucher if this is the first access.
 func (t *PageTable) Touch(line uint64, chip int) (home int) {
-	page := t.geom.PageOfLine(line)
-	e, ok := t.pages[page]
-	if !ok {
-		e = &pageEntry{home: chip, lineChips: make([]uint8, t.geom.LinesPerPage())}
-		t.pages[page] = e
+	page := t.pageOf(line)
+	e := t.lastEntry
+	if e == nil || page != t.lastPage {
+		var ok bool
+		e, ok = t.pages[page]
+		if !ok {
+			e = &pageEntry{home: chip, lineChips: make([]uint8, t.lpp)}
+			t.pages[page] = e
+		}
+		t.lastPage, t.lastEntry = page, e
 	}
-	idx := int(line) - int(page)*t.geom.LinesPerPage()
+	idx := int(line) - int(page)*t.lpp
 	e.lineChips[idx] |= 1 << uint(chip)
 	e.chipsTouch |= 1 << uint(chip)
 	return e.home
 }
 
 // Home returns the home chip of a line's page, or -1 when the page has never
-// been touched.
+// been touched. Home runs inside parallel per-chip phases, so unlike Touch
+// (serial dispatch only) it consults the memo without refreshing it — it
+// must stay a pure reader.
 func (t *PageTable) Home(line uint64) int {
-	e, ok := t.pages[t.geom.PageOfLine(line)]
+	page := t.pageOf(line)
+	if e := t.lastEntry; e != nil && page == t.lastPage {
+		return e.home
+	}
+	e, ok := t.pages[page]
 	if !ok {
 		return -1
 	}
@@ -143,12 +194,12 @@ func (c SharingClass) String() string {
 // Classify returns the sharing class of a line given the accesses recorded
 // so far. Untouched lines classify as NonShared.
 func (t *PageTable) Classify(line uint64) SharingClass {
-	page := t.geom.PageOfLine(line)
+	page := t.pageOf(line)
 	e, ok := t.pages[page]
 	if !ok {
 		return NonShared
 	}
-	idx := int(line) - int(page)*t.geom.LinesPerPage()
+	idx := int(line) - int(page)*t.lpp
 	mask := e.lineChips[idx]
 	if popcount8(mask) > 1 {
 		return TrueShared
@@ -195,7 +246,10 @@ func (t *PageTable) HomeHistogram() []int {
 
 // Reset drops all placement and sharing state (between whole-application
 // runs; kernel boundaries do NOT reset placement).
-func (t *PageTable) Reset() { t.pages = make(map[uint64]*pageEntry) }
+func (t *PageTable) Reset() {
+	t.pages = make(map[uint64]*pageEntry)
+	t.lastPage, t.lastEntry = 0, nil
+}
 
 func popcount8(x uint8) int {
 	n := 0

@@ -87,6 +87,12 @@ func (b *TokenBucket) Take(n int) {
 // Credit returns the current credit, for tests and debugging.
 func (b *TokenBucket) Credit() float64 { return b.credit }
 
+// AtCap reports whether the credit sits at the burst ceiling. Advance and
+// Refill clamp to the ceiling and nothing else raises credit, so Advance on
+// an at-cap bucket is a no-op — per-cycle loops use this to skip the refill
+// of idle resources without changing the credit's float history.
+func (b *TokenBucket) AtCap() bool { return b.credit >= b.burst }
+
 // Queue is a bounded FIFO of T backed by a growable power-of-two ring
 // buffer, so the wraparound index is a mask instead of a modulo (the queues
 // sit on the per-cycle hot path of every NoC port and ring link). The bound

@@ -55,6 +55,7 @@ type Cache struct {
 	cfg        Config
 	sets       [][]way
 	tick       int64
+	setMask    int // Sets-1 when Sets is a power of two, else -1
 	localWays  int // ways reserved for PartLocal; rest are PartRemote
 	partActive bool
 	usableWays int // ways not disabled by fault injection (Ways when healthy)
@@ -85,7 +86,11 @@ func New(cfg Config) *Cache {
 	for i := range sets {
 		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
 	}
-	return &Cache{cfg: cfg, sets: sets, localWays: cfg.Ways, usableWays: cfg.Ways}
+	mask := -1
+	if cfg.Sets&(cfg.Sets-1) == 0 {
+		mask = cfg.Sets - 1
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: mask, localWays: cfg.Ways, usableWays: cfg.Ways}
 }
 
 // Cfg returns the cache's configuration.
@@ -114,7 +119,11 @@ func (c *Cache) LocalWays() int { return c.localWays }
 func (c *Cache) setIndex(line uint64) int {
 	// Lines arriving here were already spread across slices by the PAE hash;
 	// a second small mix decorrelates the set index from the slice index.
-	return int((line*0x9e3779b97f4a7c15)>>32) % c.cfg.Sets
+	h := int((line * 0x9e3779b97f4a7c15) >> 32)
+	if c.setMask >= 0 {
+		return h & c.setMask // identical to % for power-of-two set counts
+	}
+	return h % c.cfg.Sets
 }
 
 func (c *Cache) wayRange(p Partition) (lo, hi int) {

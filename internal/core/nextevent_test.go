@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// controllerTrigger reports whether a timed trigger is firing at now.
+func controllerTrigger(c *Controller, now int64) bool {
+	return c.WindowElapsed(now) || c.ReprofileDue(now)
+}
+
+// TestControllerNextEventNeverLate: the SAC controller's timed triggers are
+// the profiling-window end and the periodic re-profile; NextEvent(now) must
+// never point past the first cycle at which one fires, and must return the
+// sentinel when no trigger is pending (decided, no re-profiling).
+func TestControllerNextEventNeverLate(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for _, opts := range []Options{
+		{WindowCycles: 100},
+		{WindowCycles: 100, ReprofileEvery: 250},
+	} {
+		c := newTestController(opts)
+		now := int64(1 + rng.Int63n(5000))
+		c.StartKernel(now)
+		for probe := 0; probe < 50; probe++ {
+			ne := c.NextEvent(now)
+			if t0 := c.NextTimedEvent(); t0 < 0 {
+				if ne != -1 {
+					t.Fatalf("probe %d: no trigger pending but NextEvent = %d", probe, ne)
+				}
+				// Decided, no re-profiling: nothing fires, ever.
+				for tt := now + 1; tt <= now+1000; tt++ {
+					if controllerTrigger(c, tt) {
+						t.Fatalf("probe %d: trigger fired at %d despite NextEvent sentinel", probe, tt)
+					}
+				}
+				break
+			}
+			if ne <= now {
+				t.Fatalf("probe %d: NextEvent %d not in the future of %d", probe, ne, now)
+			}
+			change := int64(-1)
+			for tt := now + 1; tt <= now+1000; tt++ {
+				if controllerTrigger(c, tt) {
+					change = tt
+					break
+				}
+			}
+			if change < 0 {
+				// Trigger beyond the horizon; NextEvent must agree.
+				if ne <= now+1000 {
+					t.Fatalf("probe %d: NextEvent(%d) = %d but no trigger fired within 1000 cycles", probe, now, ne)
+				}
+				now += 1000
+				continue
+			}
+			if ne > change {
+				t.Fatalf("probe %d: NextEvent(%d) = %d but a trigger fired at %d", probe, now, ne, change)
+			}
+			// React to the trigger like the cycle loop would.
+			now = change
+			if c.WindowElapsed(now) {
+				c.Decide()
+			} else if c.ReprofileDue(now) {
+				c.Rearm(now)
+			}
+		}
+	}
+}

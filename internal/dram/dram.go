@@ -58,6 +58,11 @@ type Partition struct {
 	Reads      int64
 	Writes     int64
 	BytesMoved int64
+	// Enqueues counts Enqueue calls (monotone). It is the partition's
+	// earlier-mover signature: Enqueue is the only mutation that can move
+	// NextEvent to an earlier cycle, so event schedulers that cache a
+	// NextEvent result refresh it when Enqueues changed.
+	Enqueues int64
 
 	// chBytes is the per-channel breakdown of BytesMoved; windowed deltas
 	// give channel occupancy (fraction of data bandwidth in use).
@@ -141,6 +146,7 @@ func (p *Partition) Enqueue(req *memsys.Request) {
 	}
 	p.queues[req.Channel].Push(req)
 	p.pending++
+	p.Enqueues++
 }
 
 // Pending returns queued plus in-flight requests.
@@ -158,6 +164,13 @@ func (p *Partition) Tick(now int64, lineBytes int, done func(*memsys.Request)) {
 	dt := now - p.lastRef
 	p.lastRef = now
 	for c := 0; c < p.cfg.Channels; c++ {
+		// A channel with nothing queued, nothing in flight, and its bucket
+		// parked at the burst cap does no work this cycle: the only state
+		// change would be the bucket advance, which at the cap only clamps.
+		// Skipping it is bit-exact.
+		if p.buckets[c].AtCap() && p.queues[c].Empty() && p.inFlight[c].Len() == 0 {
+			continue
+		}
 		// Completions first.
 		for {
 			req, ok := p.inFlight[c].PopDue(now)

@@ -18,7 +18,7 @@ import (
 // system's routing: bypassing requests go straight to the memory
 // controller's shared queue and never enter lookupQ.
 type llcSlice struct {
-	arr      *cache.Cache
+	arr      *llc.Array
 	mshr     *cache.MSHR
 	lookupQ  *bwsim.Queue[*memsys.Request]
 	bkt      *bwsim.TokenBucket
@@ -51,6 +51,23 @@ type chip struct {
 	// Epoch accumulators for the Dynamic controller.
 	lastRingBytes int64
 	lastDRAMBytes int64
+
+	// Earlier-mover signatures for the fast-forward event heap (events.go):
+	// pipeSig bumps when work enters a slice pipeline (lookupQ push,
+	// hit-delay insert), warpSig when a response delivery may lower an SM's
+	// wakeup. Each is only written from its own chip's phase task.
+	pipeSig int64
+	warpSig int64
+
+	// wakeHint caches the earliest cycle any of the chip's SMs may issue;
+	// issueChip skips the whole SM loop before it (deliverToSM lowers it).
+	wakeHint int64
+
+	// hitInFlight counts requests in the chip's hit-latency pipelines
+	// (across slices); phaseEarly skips the per-slice drain scan when it is
+	// zero. Inserted in the chip's late phase, popped in its early phase —
+	// both run on the chip's own task, so no synchronization is needed.
+	hitInFlight int
 }
 
 // Port layout of the request network:
@@ -105,7 +122,7 @@ func newChip(cfg *Config, idx int) *chip {
 	c.slices = make([]*llcSlice, cfg.SlicesPerChip)
 	for s := range c.slices {
 		c.slices[s] = &llcSlice{
-			arr: cache.New(cache.Config{
+			arr: llc.NewArray(cache.Config{
 				Sets:      sliceLines / cfg.LLCWays,
 				Ways:      cfg.LLCWays,
 				LineBytes: cfg.Geom.LineBytes,

@@ -212,7 +212,7 @@ func (s *System) observeSample() {
 		m.memOps.Set(float64(s.run.MemOps))
 		m.reads.Set(float64(s.run.Reads))
 		m.writes.Set(float64(s.run.Writes))
-		m.ringBytes.Set(float64(s.ring.BytesMoved))
+		m.ringBytes.Set(float64(s.ring.BytesMoved()))
 		m.reconfigs.Set(float64(s.run.Reconfigs))
 		m.drains.Set(float64(s.run.DrainCycles))
 		m.dirtyFlushed.Set(float64(s.run.DirtyFlushed))

@@ -132,13 +132,16 @@ func (s *System) phaseEarly(ci int) {
 	c := s.chips[ci]
 	now := s.now
 	c.mem.Tick(now, s.cfg.Geom.LineBytes, s.dramSinks[ci])
-	for si, sl := range c.slices {
-		for {
-			req, ok := sl.hitDelay.PopDue(now)
-			if !ok {
-				break
+	if c.hitInFlight > 0 {
+		for si, sl := range c.slices {
+			for {
+				req, ok := sl.hitDelay.PopDue(now)
+				if !ok {
+					break
+				}
+				c.hitInFlight--
+				s.respondFromSlice(c, si, req)
 			}
-			s.respondFromSlice(c, si, req)
 		}
 	}
 	c.respNet.Tick(now, s.respSinks[ci])
@@ -157,6 +160,28 @@ func (s *System) phaseLate(ci int) {
 	}
 }
 
+// phaseFused is one chip's whole cycle inside a fused multi-cycle epoch
+// (step proved no ring landing is due): phases 1-3, then the chip's own
+// staged ring injections flush and launch, then phases 5-7a — all in one
+// task, one barrier pair for the cycle instead of two.
+//
+// Safety: with no landing due, Ring.Tick's landing phase is a no-op, and
+// its launch phase decomposes into per-source-chip work (egress queues,
+// buckets and delay lines are partitioned by source chip) — the only
+// cross-chip coupling is the advance-all-or-forfeit bucket rule, which the
+// coordinator reproduces via fusedForce and Ring.FinishFused. Flushing the
+// chip's own lane in-task (instead of the coordinator's mergeLanes) is
+// exact because a lane only ever stages messages sourced at its own chip,
+// and the late phase afterwards sees its own post-launch egress occupancy —
+// exactly what the serial order (early, merge, Tick, late) establishes.
+func (s *System) phaseFused(ci int) {
+	s.phaseEarly(ci)
+	c := s.chips[ci]
+	c.lane.Flush()
+	s.ring.FusedLaunch(s.now, ci, s.fusedForce)
+	s.phaseLate(ci)
+}
+
 // issueChip is pass A of the issue phase: every SM of one chip decides
 // whether it issues this cycle; new requests are buffered, not dispatched.
 // Dispatch calls PageTable.Touch, whose first-touch placement depends on
@@ -164,18 +189,31 @@ func (s *System) phaseLate(ci int) {
 // Staged per-cluster counts keep the NoC back-pressure answer identical to
 // the serial loop, where each dispatch occupies its queue slot immediately.
 func (s *System) issueChip(c *chip) {
+	if s.now < c.wakeHint {
+		// No SM of the chip can issue yet: the whole loop below would be
+		// side-effect-free skips. deliverToSM lowers the hint when a
+		// response may wake a warp earlier.
+		return
+	}
 	scr := &c.scr
 	for i := range scr.clusterStaged {
 		scr.clusterStaged[i] = 0
 	}
 	d := &scr.stats
+	minWake := int64(1) << 62
 	for _, smu := range c.sms {
-		if s.now < smu.SleepUntil() {
+		if w := smu.SleepUntil(); s.now < w {
+			if w < minWake {
+				minWake = w
+			}
 			continue // no warp can issue yet (cleared by Receive)
 		}
 		cluster := smu.Index() / s.cfg.SMsPerCluster
 		canInject := c.reqNet.CanInjectMore(cluster, scr.clusterStaged[cluster])
 		res := smu.Issue(s.now, canInject, &c.nextID)
+		if w := smu.SleepUntil(); w < minWake {
+			minWake = w // post-attempt hint: ≤ now when the SM stays hot
+		}
 		if !res.Issued {
 			continue
 		}
@@ -206,6 +244,7 @@ func (s *System) issueChip(c *chip) {
 			}
 		}
 	}
+	c.wakeHint = minWake
 }
 
 // dispatchIssued is pass B of the issue phase: replay the buffered issues

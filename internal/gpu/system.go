@@ -3,6 +3,8 @@ package gpu
 import (
 	"context"
 	"fmt"
+	"os"
+	"strconv"
 
 	"repro/internal/addr"
 	"repro/internal/cache"
@@ -81,6 +83,24 @@ type System struct {
 	run   *stats.Run
 	now   int64
 	state runState
+
+	// Next-event heap over the fast-forward sources (events.go). noFF
+	// disables idle-span skipping entirely (regression tests compare stepped
+	// against fast-forwarded runs).
+	events eventHeap
+	noFF   bool
+
+	// Fused multi-cycle epochs (parallel.go): when the ring proves no
+	// inter-chip landing is due, per-chip tasks run their early phase, ring
+	// launch, and late phase back to back under a single barrier pair.
+	// epochK caps consecutive fused cycles (-1 = unlimited, 0 = disabled);
+	// fusedStreak counts the current run of fused cycles; fusedFn is the
+	// bound per-chip task; fusedForce carries the coordinator's pre-phase
+	// ring-occupancy observation into the tasks (see Ring.FusedLaunch).
+	epochK      int
+	fusedStreak int
+	fusedFn     func(ci int)
+	fusedForce  bool
 
 	// Fault injection (nil injector = healthy run).
 	inj            *fault.Injector
@@ -162,7 +182,19 @@ func New(cfg Config, spec Workload) (*System, error) {
 		// counters by chip (top byte) keeps them unique without sharing.
 		c.nextID = uint64(i) << 56
 	}
-	s.earlyFn, s.lateFn = s.phaseEarly, s.phaseLate
+	s.earlyFn, s.lateFn, s.fusedFn = s.phaseEarly, s.phaseLate, s.phaseFused
+	// REPRO_EPOCH_K caps consecutive fused multi-cycle epochs: unset = -1
+	// (unlimited), 0 disables fusion, K > 0 forces a full two-barrier cycle
+	// at least every K cycles (the determinism matrix exercises 0 and small
+	// K against the default).
+	s.epochK = -1
+	if v := os.Getenv("REPRO_EPOCH_K"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("gpu: invalid REPRO_EPOCH_K %q: %w", v, err)
+		}
+		s.epochK = k
+	}
 	if cfg.Org.Partitioned() {
 		for _, c := range s.chips {
 			c.setPartition(cfg.LLCWays / 2)
@@ -223,6 +255,10 @@ func (s *System) runKernel() error {
 	s.kernelStartOps = s.run.MemOps
 	s.lastProgress = s.now
 	s.state = stRun
+	s.resetEvents()
+	for _, c := range s.chips {
+		c.wakeHint = 0 // LoadStreams reset every SM's wakeup hint
+	}
 	if s.cfg.Org == llc.SAC {
 		s.mode = llc.ModeMemorySide
 		s.sac.StartKernel(s.now)
@@ -286,17 +322,32 @@ func (s *System) step() bool {
 	if s.inj != nil {
 		s.applyFaults()
 	}
-	// 1-3. Per chip: DRAM completions, LLC hit-pipeline drain, response-NoC
-	// delivery. Ring injections land in per-chip lanes.
-	s.runPhase(s.earlyFn)
-	s.mergeLanes()
-	// 4. Ring moves inter-chip traffic — serial: the ring is the only agent
-	// that touches more than one chip, and its one-cycle-minimum hop is the
-	// synchronization window that makes the surrounding phases independent.
-	s.ring.Tick(s.now, s.ringDeliver)
-	// 5-7a. Per chip: slice lookups, request-NoC delivery, issue decisions.
-	s.runPhase(s.lateFn)
-	s.mergeLanes()
+	if s.group != nil && s.epochK != 0 && s.canFuse() {
+		// Fused cycle: the ring has proven no inter-chip landing is due this
+		// cycle, so the landing phase is a no-op and launches touch only
+		// per-source-chip state — phases 1-3, the chip's ring launch, and
+		// phases 5-7a can run back to back in one per-chip task under a
+		// single barrier pair instead of two (parallel.go).
+		s.fusedStreak++
+		s.fusedForce = s.ring.Pending() > 0
+		s.runPhase(s.fusedFn)
+		s.ring.FinishFused(s.now)
+		s.mergeLanes()
+	} else {
+		s.fusedStreak = 0
+		// 1-3. Per chip: DRAM completions, LLC hit-pipeline drain,
+		// response-NoC delivery. Ring injections land in per-chip lanes.
+		s.runPhase(s.earlyFn)
+		s.mergeLanes()
+		// 4. Ring moves inter-chip traffic — serial: the ring is the only
+		// agent that touches more than one chip, and its one-cycle-minimum
+		// hop is the synchronization window that makes the surrounding
+		// phases independent.
+		s.ring.Tick(s.now, s.ringDeliver)
+		// 5-7a. Per chip: slice lookups, request-NoC delivery, issue decisions.
+		s.runPhase(s.lateFn)
+		s.mergeLanes()
+	}
 	// 7b. Dispatch the buffered issues serially in chip-index order
 	// (first-touch page placement is order-sensitive), then fold the staged
 	// profiler records and stats deltas in before the controllers read them.
@@ -314,6 +365,19 @@ func (s *System) step() bool {
 	return s.boundaryPhase()
 }
 
+// canFuse reports whether this cycle may run as a fused epoch: no in-flight
+// ring message lands at or before now (the conservative-lookahead window —
+// hop latency is at least one cycle, so nothing a chip does this cycle can
+// create a landing this cycle), and the consecutive-fused-cycle cap is not
+// exhausted.
+func (s *System) canFuse() bool {
+	if s.epochK > 0 && s.fusedStreak >= s.epochK {
+		return false
+	}
+	t := s.ring.NextLanding()
+	return t < 0 || t > s.now
+}
+
 // fastForward advances the clock over idle spans: cycles in which no queue,
 // pipeline, DRAM bank, ring link or warp can make progress. It runs between
 // steps and moves s.now to one cycle before the earliest future event, so
@@ -326,10 +390,13 @@ func (s *System) step() bool {
 // The body is deliberately closure-free: it runs after every step, and a
 // closure capturing the minimum would allocate on each call.
 func (s *System) fastForward() {
-	if s.state != stRun {
+	if s.state != stRun || s.noFF {
 		return
 	}
-	// Work that progresses every cycle forbids skipping outright.
+	// Cheap busy-cycle early-outs: work queued in a crossbar or a slice
+	// lookup pipeline progresses every cycle, so no skip is possible and
+	// the signature sweep below would be pure overhead. Sources go stale
+	// while these fire; they are refreshed before the heap is consulted.
 	for _, c := range s.chips {
 		if c.reqNet.Pending() > 0 || c.respNet.Pending() > 0 {
 			return
@@ -340,53 +407,40 @@ func (s *System) fastForward() {
 			}
 		}
 	}
-	const horizon = int64(1) << 62
-	next := horizon
-	for _, c := range s.chips {
-		if t := c.mem.NextEvent(s.now); t >= 0 {
-			if t <= s.now+1 {
-				return
-			}
-			if t < next {
-				next = t
-			}
-		}
-		for _, sl := range c.slices {
-			if due, ok := sl.hitDelay.NextDue(); ok {
-				if due <= s.now+1 {
-					return
-				}
-				if due < next {
-					next = due
-				}
-			}
-		}
-		for _, smu := range c.sms {
-			if smu.KernelDone() {
-				continue
-			}
-			w := smu.SleepUntil()
-			if w <= s.now+1 {
-				return
-			}
-			if w < next {
-				next = w
-			}
+	// Refresh the key of every source whose earlier-mover signature changed
+	// since it was last computed; keys of untouched sources stay cached
+	// (they can only be stale lower bounds, corrected at pop below).
+	ev := &s.events
+	for src := range ev.key {
+		if sig := s.sourceSig(src); sig != ev.sig[src] {
+			ev.sig[src] = sig
+			ev.set(src, s.sourceNext(src))
 		}
 	}
-	if t := s.ring.NextEvent(s.now); t >= 0 {
-		if t <= s.now+1 {
+	// Pop-validate loop: recompute the minimum source's key; if it moved,
+	// re-key and retry (each source revalidates at most once — no state
+	// changes between steps). A validated minimum at or before now+1 means
+	// the next cycle does real work: no skip.
+	var next int64
+	for {
+		src, key, ok := ev.min()
+		if !ok {
+			// Every source idle: nothing can ever wake the system again;
+			// skipping would spin the MaxCycles watchdog instantly instead
+			// of letting it count real stalled cycles, so step normally and
+			// let it fire with context.
 			return
 		}
-		if t < next {
-			next = t
+		v := s.sourceNext(src)
+		if v != key {
+			ev.set(src, v)
+			continue
 		}
-	}
-	if next == horizon {
-		// Nothing can ever wake the system again; skipping would spin the
-		// MaxCycles watchdog instantly instead of letting it count real
-		// stalled cycles, so step normally and let it fire with context.
-		return
+		if v <= s.now+1 {
+			return
+		}
+		next = v
+		break
 	}
 	// Timed triggers cap the skip so their boundary cycle executes.
 	if census := (s.now/512 + 1) * 512; census < next {
@@ -495,6 +549,7 @@ func (s *System) reqSink(c *chip) noc.Sink {
 			}
 			m.Req.Stage = memsys.StageLLC
 			c.slices[out].lookupQ.Push(m.Req)
+			c.pipeSig++
 		},
 	}
 }
@@ -539,6 +594,10 @@ func (s *System) deliverToSM(c *chip, req *memsys.Request) {
 	req.DoneCycle = s.now
 	smu := c.sms[req.SrcSM]
 	smu.Receive(s.now, req)
+	c.warpSig++
+	if w := smu.SleepUntil(); w < c.wakeHint {
+		c.wakeHint = w
+	}
 	d := &c.scr.stats
 	d.respCount[req.Origin]++
 	d.respBytes[req.Origin] += int64(req.RespBytes(s.cfg.Geom.LineBytes))
@@ -725,6 +784,11 @@ func (s *System) writeback(c *chip, line uint64, home int) {
 // the two identical).
 func (s *System) tickSlice(c *chip, si int) {
 	sl := c.slices[si]
+	if sl.lookupQ.Empty() {
+		// Deferring the refill past empty cycles is exact: the slice bucket's
+		// rate never changes, and linear-with-cap accrual composes.
+		return
+	}
 	sl.bkt.Advance(s.now - sl.lastRef)
 	sl.lastRef = s.now
 	for !sl.lookupQ.Empty() && sl.bkt.CanTake() {
@@ -753,14 +817,17 @@ func (s *System) lookup(c *chip, si int, req *memsys.Request) (done, dead bool, 
 	atHome := c.idx == req.HomeChip
 	secondLookup := req.Phase == 1 && atHome && req.SrcChip != c.idx
 
-	// Probe first (no counters, no LRU): a miss that cannot proceed this
-	// cycle (MSHR/DRAM/ring full) must not repeat its lookup statistics on
-	// every retry cycle.
-	hit := sl.arr.Probe(req.Line, req.Sector)
+	// One tag scan serves both the resource probe and the counted access:
+	// FindLine touches no counters, so a miss that cannot proceed this cycle
+	// (MSHR/DRAM/ring full) does not repeat its lookup statistics on every
+	// retry cycle; CommitLookup applies the counter and LRU effects once the
+	// access is known to go through.
+	wi := sl.arr.FindLine(req.Line)
+	hit := wi >= 0 && sl.arr.SectorValid(wi, req.Sector)
 	if !hit && !s.missResourcesAvailable(c, sl, req, secondLookup) {
 		return false, false, 0
 	}
-	sl.arr.Lookup(req.Line, req.Sector) // commit counters and recency
+	sl.arr.CommitLookup(wi, req.Sector)
 
 	// SAC profiling observes every first lookup (which, during the window,
 	// runs under the memory-side configuration: this chip is the home chip).
@@ -785,11 +852,13 @@ func (s *System) lookup(c *chip, si int, req *memsys.Request) (done, dead bool, 
 			req.Origin = memsys.OriginRemoteLLC
 		}
 		if req.Kind == memsys.Write {
-			sl.arr.MarkDirty(req.Line)
+			sl.arr.MarkDirtyWay(wi)
 			s.writeInvalidate(c, req)
 			return true, true, lineBytes // stores deposit a line of data and die here
 		}
 		sl.hitDelay.Insert(s.now, s.cfg.LLCLatency, req)
+		c.hitInFlight++
+		c.pipeSig++
 		return true, false, lineBytes
 	}
 
@@ -1031,7 +1100,7 @@ func (s *System) controlPhase() {
 	// Dynamic way rebalancing.
 	if s.cfg.Org == llc.Dynamic {
 		for _, c := range s.chips {
-			ringBytes := s.ring.BytesMoved // global; per-chip approximation below
+			ringBytes := s.ring.BytesMoved() // global; per-chip approximation below
 			dramBytes := c.mem.BytesMoved
 			c.dyn.Observe((ringBytes-c.lastRingBytes)/int64(s.cfg.Chips), dramBytes-c.lastDRAMBytes)
 			c.lastRingBytes = ringBytes
@@ -1184,7 +1253,7 @@ func (s *System) finalize() {
 		s.run.LLCMisses += m
 		s.run.DRAMBytes += c.mem.BytesMoved
 	}
-	s.run.RingBytes = s.ring.BytesMoved
+	s.run.RingBytes = s.ring.BytesMoved()
 	if s.obs != nil {
 		s.observeSample() // close the partial final window
 	}

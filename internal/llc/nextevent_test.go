@@ -1,0 +1,44 @@
+package llc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDynamicControllerNextEventNeverLate: the controller's only events are
+// epoch boundaries, so NextEvent(now) must never point past the first cycle
+// at which Tick acts (observable as NextAdjust moving). There is no idle
+// sentinel case — a boundary is always pending.
+func TestDynamicControllerNextEventNeverLate(t *testing.T) {
+	d := NewDynamicController(16, 50, 100, 100)
+	rng := rand.New(rand.NewSource(41))
+	now := int64(0)
+	for probe := 0; probe < 300; probe++ {
+		for c := rng.Intn(30); c > 0; c-- {
+			now++
+			d.Observe(rng.Int63n(500), rng.Int63n(500))
+			d.Tick(now)
+		}
+
+		ne := d.NextEvent(now)
+		if ne <= now {
+			t.Fatalf("probe %d: NextEvent %d not in the future of %d", probe, ne, now)
+		}
+		before := d.NextAdjust()
+		change := int64(-1)
+		for tt := now + 1; tt <= now+200; tt++ {
+			d.Tick(tt)
+			if d.NextAdjust() != before {
+				change = tt
+				break
+			}
+		}
+		if change < 0 {
+			t.Fatalf("probe %d: no epoch boundary within 200 cycles of %d (epoch is 50)", probe, now)
+		}
+		if ne > change {
+			t.Fatalf("probe %d: NextEvent(%d) = %d but the controller acted at %d", probe, now, ne, change)
+		}
+		now = change
+	}
+}

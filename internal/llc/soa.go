@@ -1,0 +1,426 @@
+// Struct-of-arrays LLC array. Array is a drop-in replacement for
+// cache.Cache on the simulator's hottest path — the phase-5 slice lookup
+// loop — with the per-way metadata split into parallel slices so a set scan
+// walks contiguous packed tags instead of chasing padded per-line structs,
+// and with the lookup decomposed into FindLine / CommitLookup so a probe and
+// the subsequent counted access share one tag scan.
+//
+// Semantics are an exact port of cache.Cache (same set hash, same LRU and
+// partition rules, same counter increments in the same order); the
+// differential test in soa_test.go drives both through random operation
+// streams and asserts identical behaviour. The one functional addition is
+// an incrementally maintained local/remote occupancy census, making
+// Occupancy O(1) instead of a full-array scan.
+package llc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/cache"
+)
+
+const (
+	wValid  uint8 = 1 << 0
+	wDirty  uint8 = 1 << 1
+	wRemote uint8 = 1 << 2
+)
+
+// Array is a set-associative cache with struct-of-arrays metadata.
+// Way w of set s lives at flat index s*Ways+w in every slice.
+type Array struct {
+	tags    []uint64 // line tag per way
+	lastUse []int64  // LRU timestamp per way
+	occ     []uint64 // per-set bitmap of valid ways (Ways <= 64)
+	meta    []uint8  // wValid|wDirty|wRemote per way
+	sectors []uint8  // per-sector valid bits per way
+
+	cfg       cache.Config
+	tick      int64
+	setMask   int // Sets-1 when Sets is a power of two, else -1
+	occLocal  int // valid lines with a local home (incremental Fig-9 census)
+	occRemote int // valid lines with a remote home
+
+	localWays  int // ways reserved for PartLocal; rest are PartRemote
+	usableWays int // ways not disabled by fault injection (Ways when healthy)
+	partActive bool
+
+	// Counters (reset by ResetStats).
+	Hits        int64
+	Misses      int64
+	SectorMiss  int64 // tag hit but sector invalid (sectored mode only)
+	Evictions   int64
+	Writebacks  int64
+	Invalidates int64
+}
+
+// NewArray returns an empty array. Panics on an invalid config; the SoA
+// layout additionally requires Ways <= 64 (the per-set valid bitmap).
+func NewArray(cfg cache.Config) *Array {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.LineBytes <= 0 {
+		panic(fmt.Sprintf("llc: invalid config %+v", cfg))
+	}
+	if cfg.Ways > 64 {
+		panic("llc: Array supports at most 64 ways")
+	}
+	if cfg.Sectors <= 0 {
+		cfg.Sectors = 1
+	}
+	if cfg.Sectors > 8 {
+		panic("llc: at most 8 sectors per line")
+	}
+	n := cfg.Sets * cfg.Ways
+	mask := -1
+	if cfg.Sets&(cfg.Sets-1) == 0 {
+		mask = cfg.Sets - 1
+	}
+	return &Array{
+		cfg:        cfg,
+		tags:       make([]uint64, n),
+		lastUse:    make([]int64, n),
+		occ:        make([]uint64, cfg.Sets),
+		meta:       make([]uint8, n),
+		sectors:    make([]uint8, n),
+		setMask:    mask,
+		localWays:  cfg.Ways,
+		usableWays: cfg.Ways,
+	}
+}
+
+// Cfg returns the array's configuration.
+func (a *Array) Cfg() cache.Config { return a.cfg }
+
+// SetPartition reserves the first localWays ways of every set for local
+// data and the remainder for remote data, activating partitioned allocation.
+func (a *Array) SetPartition(localWays int) {
+	if localWays < 1 || localWays >= a.cfg.Ways {
+		panic(fmt.Sprintf("llc: localWays %d out of [1,%d)", localWays, a.cfg.Ways))
+	}
+	a.localWays = localWays
+	a.partActive = true
+}
+
+// ClearPartition disables partitioned allocation (all ways for everyone).
+func (a *Array) ClearPartition() {
+	a.partActive = false
+	a.localWays = a.cfg.Ways
+}
+
+// LocalWays returns the current local partition size (Ways when unpartitioned).
+func (a *Array) LocalWays() int { return a.localWays }
+
+// UsableWays returns the ways not disabled by LimitWays (Ways when healthy).
+func (a *Array) UsableWays() int { return a.usableWays }
+
+func (a *Array) setIndex(line uint64) int {
+	// Same decorrelating mix as cache.Cache — set placement must be
+	// identical for golden outputs to match.
+	h := int((line * 0x9e3779b97f4a7c15) >> 32)
+	if a.setMask >= 0 {
+		return h & a.setMask // identical to % for power-of-two set counts
+	}
+	return h % a.cfg.Sets
+}
+
+func (a *Array) wayRange(p cache.Partition) (lo, hi int) {
+	lo, hi = 0, a.cfg.Ways
+	if a.partActive && p != cache.PartAll {
+		if p == cache.PartLocal {
+			hi = a.localWays
+		} else {
+			lo = a.localWays
+		}
+	}
+	if hi > a.usableWays {
+		hi = a.usableWays
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+func sectorBit(sector int) uint8 { return 1 << uint(sector) }
+
+// FindLine returns the flat way index holding line, or -1. It touches no
+// LRU state and no counters; pair with CommitLookup (counted access) or use
+// alone as a probe.
+func (a *Array) FindLine(line uint64) int {
+	set := a.setIndex(line)
+	base := set * a.cfg.Ways
+	for b := a.occ[set]; b != 0; b &= b - 1 {
+		wi := base + bits.TrailingZeros64(b)
+		if a.tags[wi] == line {
+			return wi
+		}
+	}
+	return -1
+}
+
+// SectorValid reports whether the given sector of the line at flat way wi is
+// valid (vacuously true for unsectored arrays).
+func (a *Array) SectorValid(wi int, sector int) bool {
+	return a.cfg.Sectors <= 1 || a.sectors[wi]&sectorBit(sector) != 0
+}
+
+// CommitLookup applies the counter and LRU effects of one counted access to
+// the FindLine result wi (-1 = not present), returning whether it hit.
+// FindLine+CommitLookup ≡ Lookup.
+func (a *Array) CommitLookup(wi int, sector int) bool {
+	a.tick++
+	if wi < 0 {
+		a.Misses++
+		return false
+	}
+	if a.cfg.Sectors > 1 && a.sectors[wi]&sectorBit(sector) == 0 {
+		a.SectorMiss++
+		a.Misses++
+		return false
+	}
+	a.lastUse[wi] = a.tick
+	a.Hits++
+	return true
+}
+
+// Lookup probes for a line (and sector, when sectored). It updates LRU on a
+// hit but never allocates. Returns whether the access hit.
+func (a *Array) Lookup(line uint64, sector int) bool {
+	return a.CommitLookup(a.FindLine(line), sector)
+}
+
+// Probe reports whether the line (and sector) is present without touching
+// LRU or counters.
+func (a *Array) Probe(line uint64, sector int) bool {
+	wi := a.FindLine(line)
+	return wi >= 0 && a.SectorValid(wi, sector)
+}
+
+// Fill installs a line (or adds a sector to an already-present line) in the
+// partition's way range, evicting the LRU way of that range if needed.
+// remote annotates whether the line's home is another chip. The returned
+// victim is valid only when evicted is true.
+func (a *Array) Fill(line uint64, sector int, p cache.Partition, remote bool) (victim cache.Victim, evicted bool) {
+	a.tick++
+	set := a.setIndex(line)
+	base := set * a.cfg.Ways
+	// Sector fill into an existing line?
+	if wi := a.FindLine(line); wi >= 0 {
+		a.sectors[wi] |= sectorBit(sector)
+		a.lastUse[wi] = a.tick
+		return cache.Victim{}, false
+	}
+	lo, hi := a.wayRange(p)
+	if lo >= hi {
+		// No allocatable ways (slice disabled by fault injection): the line
+		// is served but not retained.
+		return cache.Victim{}, false
+	}
+	// Free way in range? First invalid way by index, as in cache.Cache.
+	// (1<<64 wraps to 0, so hi == 64 yields an all-ones upper mask.)
+	rangeMask := (uint64(1)<<uint(hi) - 1) &^ (uint64(1)<<uint(lo) - 1)
+	if free := ^a.occ[set] & rangeMask; free != 0 {
+		w := bits.TrailingZeros64(free)
+		a.install(set, base+w, line, sector, remote)
+		a.occ[set] |= 1 << uint(w)
+		a.countInstall(remote)
+		return cache.Victim{}, false
+	}
+	// Evict LRU in range.
+	lru := lo
+	for i := lo + 1; i < hi; i++ {
+		if a.lastUse[base+i] < a.lastUse[base+lru] {
+			lru = i
+		}
+	}
+	wi := base + lru
+	m := a.meta[wi]
+	victim = cache.Victim{
+		Line:   a.tags[wi],
+		Dirty:  m&wDirty != 0 && a.cfg.WriteBack,
+		Remote: m&wRemote != 0,
+	}
+	a.Evictions++
+	if victim.Dirty {
+		a.Writebacks++
+	}
+	a.countEvict(m)
+	a.install(set, wi, line, sector, remote)
+	a.countInstall(remote)
+	return victim, true
+}
+
+func (a *Array) install(set, wi int, line uint64, sector int, remote bool) {
+	a.tags[wi] = line
+	m := wValid
+	if remote {
+		m |= wRemote
+	}
+	a.meta[wi] = m
+	a.lastUse[wi] = a.tick
+	if a.cfg.Sectors > 1 {
+		a.sectors[wi] = sectorBit(sector)
+	} else {
+		a.sectors[wi] = 1
+	}
+}
+
+func (a *Array) countInstall(remote bool) {
+	if remote {
+		a.occRemote++
+	} else {
+		a.occLocal++
+	}
+}
+
+func (a *Array) countEvict(m uint8) {
+	if m&wRemote != 0 {
+		a.occRemote--
+	} else {
+		a.occLocal--
+	}
+}
+
+// MarkDirty sets the dirty bit of a present line (stores hitting a
+// write-back cache). It is a no-op when the line is absent.
+func (a *Array) MarkDirty(line uint64) {
+	if wi := a.FindLine(line); wi >= 0 {
+		a.meta[wi] |= wDirty
+	}
+}
+
+// MarkDirtyWay sets the dirty bit of the (present) line at flat way wi —
+// the fused-lookup fast path, which already holds the FindLine result.
+func (a *Array) MarkDirtyWay(wi int) { a.meta[wi] |= wDirty }
+
+// invalidateWay drops way wi of set; the caller accounts Writebacks and
+// Invalidates itself (flush variants differ in ordering).
+func (a *Array) invalidateWay(set, wi int) {
+	a.countEvict(a.meta[wi])
+	a.meta[wi] &^= wValid | wDirty
+	a.occ[set] &^= 1 << uint(wi-set*a.cfg.Ways)
+}
+
+// Invalidate drops a line if present, returning whether it was dirty (the
+// caller is responsible for the writeback traffic).
+func (a *Array) Invalidate(line uint64) (wasPresent, wasDirty bool) {
+	wi := a.FindLine(line)
+	if wi < 0 {
+		return false, false
+	}
+	a.Invalidates++
+	dirty := a.meta[wi]&wDirty != 0 && a.cfg.WriteBack
+	a.invalidateWay(a.setIndex(line), wi)
+	return true, dirty
+}
+
+// LimitWays restricts allocation to the first usable ways of every set,
+// invalidating resident lines in the disabled ways; dirty ones are reported
+// through onDirty. See cache.Cache.LimitWays.
+func (a *Array) LimitWays(usable int, onDirty func(line uint64, remote bool)) (dropped int) {
+	if usable < 0 {
+		usable = 0
+	}
+	if usable > a.cfg.Ways {
+		usable = a.cfg.Ways
+	}
+	if usable < a.usableWays {
+		for s := 0; s < a.cfg.Sets; s++ {
+			base := s * a.cfg.Ways
+			for i := usable; i < a.usableWays; i++ {
+				wi := base + i
+				m := a.meta[wi]
+				if m&wValid == 0 {
+					continue
+				}
+				if m&wDirty != 0 && a.cfg.WriteBack {
+					a.Writebacks++
+					if onDirty != nil {
+						onDirty(a.tags[wi], m&wRemote != 0)
+					}
+				}
+				a.invalidateWay(s, wi)
+				a.Invalidates++
+				dropped++
+			}
+		}
+	}
+	a.usableWays = usable
+	return dropped
+}
+
+// FlushAll invalidates every line and returns the number of dirty lines
+// that needed writing back.
+func (a *Array) FlushAll() (dirtyLines int) { return a.FlushAllFunc(nil) }
+
+// FlushAllFunc invalidates every line, invoking onDirty for each dirty line
+// so the caller can issue the writeback traffic.
+func (a *Array) FlushAllFunc(onDirty func(line uint64, remote bool)) (dirtyLines int) {
+	for s := 0; s < a.cfg.Sets; s++ {
+		base := s * a.cfg.Ways
+		for b := a.occ[s]; b != 0; b &= b - 1 {
+			wi := base + bits.TrailingZeros64(b)
+			m := a.meta[wi]
+			if m&wDirty != 0 && a.cfg.WriteBack {
+				dirtyLines++
+				a.Writebacks++
+				if onDirty != nil {
+					onDirty(a.tags[wi], m&wRemote != 0)
+				}
+			}
+			a.invalidateWay(s, wi)
+			a.Invalidates++
+		}
+	}
+	return dirtyLines
+}
+
+// FlushDirty writes back and invalidates only the dirty lines, leaving
+// clean lines resident.
+func (a *Array) FlushDirty(onDirty func(line uint64, remote bool)) (dirtyLines int) {
+	for s := 0; s < a.cfg.Sets; s++ {
+		base := s * a.cfg.Ways
+		for b := a.occ[s]; b != 0; b &= b - 1 {
+			wi := base + bits.TrailingZeros64(b)
+			m := a.meta[wi]
+			if m&wValid != 0 && m&wDirty != 0 && a.cfg.WriteBack {
+				dirtyLines++
+				a.Writebacks++
+				if onDirty != nil {
+					onDirty(a.tags[wi], m&wRemote != 0)
+				}
+				a.invalidateWay(s, wi)
+				a.Invalidates++
+			}
+		}
+	}
+	return dirtyLines
+}
+
+// Occupancy counts valid lines, split into local-homed and remote-homed —
+// the Figure 9 census. O(1): maintained incrementally on install and evict.
+func (a *Array) Occupancy() (local, remote int) { return a.occLocal, a.occRemote }
+
+// DirtyLines counts lines with the dirty bit set.
+func (a *Array) DirtyLines() int {
+	n := 0
+	for _, m := range a.meta {
+		if m&(wValid|wDirty) == wValid|wDirty {
+			n++
+		}
+	}
+	return n
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 with no accesses.
+func (a *Array) HitRate() float64 {
+	total := a.Hits + a.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(a.Hits) / float64(total)
+}
+
+// ResetStats zeroes the counters without touching contents.
+func (a *Array) ResetStats() {
+	a.Hits, a.Misses, a.SectorMiss, a.Evictions, a.Writebacks, a.Invalidates = 0, 0, 0, 0, 0, 0
+}

@@ -1,0 +1,70 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestNextEventNeverLate: NextEvent(now) is a lower bound on the crossbar's
+// first observable state change (message movement, or a blocked-cycle mark
+// when the sink refuses), and -1 exactly when the crossbar holds nothing.
+// Probes freeze injection and brute-force step Tick to find the change.
+func TestNextEventNeverLate(t *testing.T) {
+	x := New(Config{InPorts: 3, OutPorts: 3, InBW: 64, OutBW: 48, IngressBound: 6})
+	rng := rand.New(rand.NewSource(11))
+	const horizon = 200
+	refuse := false
+	var delivered int64
+	sink := SinkFunc{
+		CanAcceptF: func(int, Message) bool { return !refuse },
+		AcceptF:    func(int, Message) { delivered++ },
+	}
+	snap := func() [5]int64 {
+		return [5]int64{int64(x.Pending()), x.BytesMoved, x.MsgsMoved, x.BlockedCycle, delivered}
+	}
+
+	now := int64(0)
+	for probe := 0; probe < 200; probe++ {
+		refuse = rng.Intn(4) == 0 // some probes under a refusing sink
+		for c := 1 + rng.Intn(10); c > 0; c-- {
+			now++
+			for i := rng.Intn(4); i > 0; i-- {
+				in := rng.Intn(3)
+				if x.CanInject(in) {
+					x.Inject(Message{In: in, Out: rng.Intn(3), Bytes: 16 + rng.Intn(64)})
+				}
+			}
+			x.Tick(now, sink)
+		}
+
+		ne := x.NextEvent(now)
+		if x.Pending() == 0 && ne != -1 {
+			t.Fatalf("probe %d: idle crossbar returned NextEvent %d, want -1", probe, ne)
+		}
+		if ne != -1 && ne <= now {
+			t.Fatalf("probe %d: NextEvent %d not in the future of %d", probe, ne, now)
+		}
+		before := snap()
+		change := int64(-1)
+		for tt := now + 1; tt <= now+horizon; tt++ {
+			x.Tick(tt, sink)
+			if snap() != before {
+				change = tt
+				break
+			}
+		}
+		switch {
+		case change >= 0:
+			if ne == -1 || ne > change {
+				t.Fatalf("probe %d: NextEvent(%d) = %d but state changed at %d", probe, now, ne, change)
+			}
+			now = change
+		default:
+			if ne != -1 && ne <= now+horizon {
+				t.Fatalf("probe %d: NextEvent(%d) = %d promised progress but nothing changed in %d cycles",
+					probe, now, ne, horizon)
+			}
+			now += horizon
+		}
+	}
+}

@@ -14,6 +14,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bwsim"
 	"repro/internal/memsys"
@@ -50,14 +51,31 @@ type Crossbar struct {
 	inBkt   []*bwsim.TokenBucket
 	inScale []float64 // per-input-port residual health (1 = full bandwidth)
 	outBkt  []*bwsim.TokenBucket
+	// inAdv/outAdv: cycle each bucket last accrued credit to. Buckets accrue
+	// lazily — only when a Tick actually consults them — which is exact
+	// because refill is linear-with-cap (deferred accrual composes) as long
+	// as each span runs at one rate; SetInPortScale settles the bucket at the
+	// old rate before switching.
+	inAdv   []int64
+	outAdv  []int64
 	rr      int   // round-robin pointer over input ports
 	pending int   // queued messages across all input ports
-	lastRef int64 // cycle of the last bucket refill
+	lastRef int64 // cycle of the last active tick (rate-change settle point)
+	// nonEmpty is a bitmask of input ports with queued messages (bit i =
+	// port i), valid when InPorts <= 64. Tick walks its set bits in
+	// round-robin order instead of scanning every port; the bits it skips
+	// are exactly the ports the linear scan would have found empty, so
+	// arbitration order is unchanged.
+	nonEmpty uint64
 
 	// Stats.
 	BytesMoved   int64
 	MsgsMoved    int64
 	BlockedCycle int64 // cycles in which at least one head-of-line was blocked
+	// Injects counts Inject calls (monotone). It is the crossbar's
+	// earlier-mover signature: injection is the only mutation that can move
+	// NextEvent to an earlier cycle.
+	Injects int64
 }
 
 // New returns an idle crossbar.
@@ -71,6 +89,8 @@ func New(cfg Config) *Crossbar {
 		inBkt:   make([]*bwsim.TokenBucket, cfg.InPorts),
 		inScale: make([]float64, cfg.InPorts),
 		outBkt:  make([]*bwsim.TokenBucket, cfg.OutPorts),
+		inAdv:   make([]int64, cfg.InPorts),
+		outAdv:  make([]int64, cfg.OutPorts),
 	}
 	for i := range x.ingress {
 		x.ingress[i] = bwsim.NewQueue[Message](cfg.IngressBound)
@@ -99,6 +119,11 @@ func (x *Crossbar) SetInPortScale(in int, scale float64) {
 	} else if scale > 1 {
 		scale = 1
 	}
+	// Settle deferred accrual at the old rate up to the last active tick —
+	// exactly what eager per-tick refills would have credited by now — so
+	// the span after the change accrues wholly at the new rate.
+	x.inBkt[in].Advance(x.lastRef - x.inAdv[in])
+	x.inAdv[in] = x.lastRef
 	x.inScale[in] = scale
 	x.inBkt[in].SetRate(x.cfg.InBW * scale)
 }
@@ -126,10 +151,22 @@ func (x *Crossbar) Inject(m Message) {
 	}
 	x.ingress[m.In].Push(m)
 	x.pending++
+	x.Injects++
+	x.nonEmpty |= 1 << uint(m.In)
 }
 
 // Pending returns the number of queued messages across all input ports.
 func (x *Crossbar) Pending() int { return x.pending }
+
+// NextEvent returns the earliest future cycle at which the crossbar can make
+// progress — now+1 while any message is queued (movement is bandwidth-gated
+// per cycle) — or -1 when idle.
+func (x *Crossbar) NextEvent(now int64) int64 {
+	if x.pending == 0 {
+		return -1
+	}
+	return now + 1
+}
 
 // InQueueLen returns the instantaneous depth of one input port's ingress
 // queue (the observability layer samples it on its metrics window).
@@ -143,38 +180,82 @@ func (x *Crossbar) Tick(now int64, sink Sink) {
 	if x.pending == 0 {
 		return
 	}
-	dt := now - x.lastRef
 	x.lastRef = now
-	for _, b := range x.inBkt {
-		b.Advance(dt)
-	}
-	for _, b := range x.outBkt {
-		b.Advance(dt)
-	}
 	blocked := false
 	// Round-robin over input ports; each port drains while it has credit.
-	for i := 0; i < x.cfg.InPorts; i++ {
-		in := (x.rr + i) % x.cfg.InPorts
-		q := x.ingress[in]
-		for !q.Empty() && x.inBkt[in].CanTake() {
-			head, _ := q.Peek()
-			if !x.outBkt[head.Out].CanTake() || !sink.CanAccept(head.Out, head) {
-				blocked = true
-				break // head-of-line blocks this input port this cycle
+	// Buckets accrue lazily at first consultation this cycle: ports with no
+	// queued traffic (and output ports no head targets) skip their refill
+	// entirely, which deferred-composes to the same credit later.
+	if x.cfg.InPorts <= 64 {
+		// Walk only the non-empty ports: bits >= rr first, then the wrap.
+		// The skipped bits are exactly the ports the linear scan below finds
+		// empty, so the visit order — and the arbitration — is identical.
+		hi := x.nonEmpty &^ (1<<uint(x.rr) - 1)
+		lo := x.nonEmpty & (1<<uint(x.rr) - 1)
+		for hi != 0 || lo != 0 {
+			var in int
+			if hi != 0 {
+				in = bits.TrailingZeros64(hi)
+				hi &= hi - 1
+			} else {
+				in = bits.TrailingZeros64(lo)
+				lo &= lo - 1
 			}
-			q.Pop()
-			x.pending--
-			x.inBkt[in].Take(head.Bytes)
-			x.outBkt[head.Out].Take(head.Bytes)
-			x.BytesMoved += int64(head.Bytes)
-			x.MsgsMoved++
-			sink.Accept(head.Out, head)
+			if x.drainPort(now, in, sink) {
+				blocked = true
+			}
+		}
+	} else {
+		for i := 0; i < x.cfg.InPorts; i++ {
+			in := x.rr + i
+			if in >= x.cfg.InPorts {
+				in -= x.cfg.InPorts
+			}
+			if x.ingress[in].Empty() {
+				continue
+			}
+			if x.drainPort(now, in, sink) {
+				blocked = true
+			}
 		}
 	}
-	x.rr = (x.rr + 1) % x.cfg.InPorts
+	if x.rr++; x.rr >= x.cfg.InPorts {
+		x.rr = 0
+	}
 	if blocked {
 		x.BlockedCycle++
 	}
+}
+
+// drainPort moves one input port's messages for this cycle, reporting
+// whether its head-of-line blocked. The caller guarantees the port is
+// non-empty.
+func (x *Crossbar) drainPort(now int64, in int, sink Sink) bool {
+	q := x.ingress[in]
+	bkt := x.inBkt[in]
+	bkt.Advance(now - x.inAdv[in])
+	x.inAdv[in] = now
+	for !q.Empty() && bkt.CanTake() {
+		head, _ := q.Peek()
+		out := head.Out
+		ob := x.outBkt[out]
+		ob.Advance(now - x.outAdv[out])
+		x.outAdv[out] = now
+		if !ob.CanTake() || !sink.CanAccept(out, head) {
+			return true // head-of-line blocks this input port this cycle
+		}
+		q.Pop()
+		x.pending--
+		bkt.Take(head.Bytes)
+		ob.Take(head.Bytes)
+		x.BytesMoved += int64(head.Bytes)
+		x.MsgsMoved++
+		sink.Accept(out, head)
+	}
+	if q.Empty() {
+		x.nonEmpty &^= 1 << uint(in)
+	}
+	return false
 }
 
 // SinkFunc adapts a pair of functions to the Sink interface.

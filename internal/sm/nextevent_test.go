@@ -1,0 +1,117 @@
+package sm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/memsys"
+	"repro/internal/workload"
+)
+
+// sliceStream adapts a fixed access slice to workload.AccessStream.
+type sliceStream struct {
+	acc []workload.Access
+	i   int
+}
+
+func (s *sliceStream) Next() (workload.Access, bool) {
+	if s.i >= len(s.acc) {
+		return workload.Access{}, false
+	}
+	a := s.acc[s.i]
+	s.i++
+	return a, true
+}
+func (s *sliceStream) Len() int64 { return int64(len(s.acc)) }
+
+func randomStream(rng *rand.Rand, n int) workload.AccessStream {
+	acc := make([]workload.Access, n)
+	for i := range acc {
+		kind := memsys.Read
+		if rng.Intn(5) == 0 {
+			kind = memsys.Write
+		}
+		acc[i] = workload.Access{Line: rng.Uint64() % 64, Kind: kind, Gap: rng.Intn(30)}
+	}
+	return &sliceStream{acc: acc}
+}
+
+// TestNextEventNeverLate: the SM's NextEvent(now) is a lower bound on the
+// first future cycle at which Issue can act (a warp issues or retires), and
+// -1 only when nothing can happen without a Receive. Probes freeze response
+// delivery and brute-force step Issue to find the first action.
+func TestNextEventNeverLate(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := New(Config{
+		Chip: 0, Index: 0, L1Lines: 16, L1Ways: 2,
+		Geom: memsys.Geometry{LineBytes: 128, PageBytes: 4096, Sectors: 4},
+	})
+	streams := make([]workload.AccessStream, 4)
+	for i := range streams {
+		streams[i] = randomStream(rng, 80)
+	}
+	s.LoadStreams(streams)
+
+	const horizon = 200 // past the longest compute gap
+	var nextID uint64
+	var outstanding []*memsys.Request
+	now := int64(0)
+	for probe := 0; probe < 400 && !s.KernelDone(); probe++ {
+		// Run a burst with responses delivered at random delays.
+		for c := 1 + rng.Intn(12); c > 0; c-- {
+			now++
+			if res := s.Issue(now, rng.Intn(8) != 0, &nextID); res.Req != nil {
+				if res.Req.Kind == memsys.Read {
+					outstanding = append(outstanding, res.Req)
+				}
+			}
+			for len(outstanding) > 0 && rng.Intn(3) == 0 {
+				req := outstanding[0]
+				outstanding = outstanding[1:]
+				s.Receive(now, req)
+			}
+		}
+
+		ne := s.NextEvent(now)
+		if ne != -1 && ne <= now {
+			t.Fatalf("probe %d: NextEvent %d not in the future of %d", probe, ne, now)
+		}
+		if s.KernelDone() {
+			if ne != -1 {
+				t.Fatalf("probe %d: retired SM returned NextEvent %d, want -1", probe, ne)
+			}
+			break
+		}
+		change := int64(-1)
+		for tt := now + 1; tt <= now+horizon; tt++ {
+			if res := s.Issue(tt, true, &nextID); res.Issued {
+				if res.Req != nil && res.Req.Kind == memsys.Read {
+					outstanding = append(outstanding, res.Req)
+				}
+				change = tt
+				break
+			}
+		}
+		switch {
+		case change >= 0:
+			if ne == -1 || ne > change {
+				t.Fatalf("probe %d: NextEvent(%d) = %d but a warp issued at %d", probe, now, ne, change)
+			}
+			now = change
+		default:
+			// No issue without deliveries: every live warp is blocked on a
+			// load. The probed NextEvent may have been a conservative now+1
+			// (the block hint updates lazily, on a failed Issue attempt), but
+			// after the attempts above the SM must report idle — Receive is
+			// the only thing that can wake it.
+			now += horizon
+			if ne := s.NextEvent(now); ne != -1 {
+				t.Fatalf("probe %d: blocked SM returned NextEvent %d after failed issue attempts, want -1",
+					probe, ne)
+			}
+			if len(outstanding) == 0 {
+				t.Fatalf("probe %d: SM wedged with no outstanding loads to deliver", probe)
+			}
+		}
+	}
+}

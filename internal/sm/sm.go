@@ -113,6 +113,25 @@ func (s *SM) Outstanding() int { return len(s.pending) }
 // hint; the cycle loop may skip the SM before it).
 func (s *SM) SleepUntil() int64 { return s.sleepUntil }
 
+// NextEvent returns the earliest future cycle at which the SM can act on
+// its own: now+1 if a warp may already be ready, the wakeup cycle when all
+// are waiting out compute gaps, or -1 when nothing can happen without an
+// external stimulus (kernel retired, or every live warp blocked on a load —
+// Receive is what unblocks those, and it lowers the hint it returns from).
+func (s *SM) NextEvent(now int64) int64 {
+	if s.KernelDone() {
+		return -1
+	}
+	w := s.sleepUntil
+	if w >= 1<<62 {
+		return -1
+	}
+	if w <= now {
+		return now + 1
+	}
+	return w
+}
+
 // FlushL1 invalidates the L1 (software coherence at kernel boundaries).
 func (s *SM) FlushL1() { s.l1.FlushAll() }
 

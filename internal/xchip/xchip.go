@@ -64,13 +64,31 @@ type Ring struct {
 	// inFlight[chip][dir]: messages on the wire leaving chip in dir.
 	inFlight [][2]*bwsim.DelayLine[Message]
 
-	pending int   // messages queued or on the wire
-	lastRef int64 // cycle of the last bucket refill
+	// pendingBy[chip]: messages held in chip's egress queues or on the wire
+	// leaving chip. Partitioned by holding chip so that the fused-epoch
+	// launch path (FusedLaunch, one goroutine per chip) mutates only its own
+	// counter; Pending sums the partition.
+	pendingBy []int32
+	// landDueBy[chip]: earliest due cycle over the two in-flight delay lines
+	// leaving chip, -1 when both are empty. Partitioned by launching chip
+	// for the same reason as pendingBy; it lets Tick skip the landing scan
+	// of chips with nothing due and NextLanding read 1 word per chip instead
+	// of peeking every delay line.
+	landDueBy []int64
+	lastRef   int64 // cycle of the last bucket refill
 
-	// Stats.
-	BytesMoved int64 // bytes that entered any link
-	MsgsMoved  int64 // link traversals (a 2-hop message counts twice)
-	Arrivals   int64
+	// Stats. Counters mutated on the per-chip launch path are partitioned by
+	// chip (msgsBy, injectsBy, linkBytes); the landing-phase counters stay
+	// scalar because landings only ever run serially in Tick.
+	Arrivals  int64
+	msgsBy    []int64 // link traversals launched by each chip
+	injectsBy []int64 // Inject calls per source chip (monotone, for StateSig)
+	hopped    int64   // intermediate-hop re-queues (monotone, for StateSig)
+	refused   int64   // refused deliveries re-inserted (monotone, for StateSig)
+
+	// advanced[chip] marks chips whose buckets already caught up this fused
+	// cycle; FinishFused settles the rest and clears the marks.
+	advanced []bool
 
 	// linkBytes[chip][dir]: bytes that entered the link leaving chip in dir
 	// (the per-link breakdown of BytesMoved; utilization metrics window it).
@@ -91,9 +109,15 @@ func New(cfg Config) *Ring {
 		bkt:       make([][2]*bwsim.TokenBucket, cfg.Chips),
 		scale:     make([][2]float64, cfg.Chips),
 		inFlight:  make([][2]*bwsim.DelayLine[Message], cfg.Chips),
+		pendingBy: make([]int32, cfg.Chips),
+		landDueBy: make([]int64, cfg.Chips),
+		msgsBy:    make([]int64, cfg.Chips),
+		injectsBy: make([]int64, cfg.Chips),
+		advanced:  make([]bool, cfg.Chips),
 		linkBytes: make([][2]int64, cfg.Chips),
 	}
 	for c := 0; c < cfg.Chips; c++ {
+		r.landDueBy[c] = -1
 		for d := 0; d < 2; d++ {
 			r.egress[c][d] = bwsim.NewQueue[Message](cfg.QueueBound)
 			r.bkt[c][d] = bwsim.NewBucket(cfg.LinkBW)
@@ -241,32 +265,106 @@ func (r *Ring) Inject(m Message) {
 	m.dir = r.route(m.Src, m.Dst, m.Req.Line)
 	m.Req.CrossedRing = true
 	r.egress[m.Src][m.dir].Push(m)
-	r.pending++
+	r.pendingBy[m.Src]++
+	r.injectsBy[m.Src]++
 }
 
 // Pending returns all messages queued or on the wire.
-func (r *Ring) Pending() int { return r.pending }
+func (r *Ring) Pending() int {
+	n := int32(0)
+	for _, p := range r.pendingBy {
+		n += p
+	}
+	return int(n)
+}
+
+// BytesMoved returns the bytes that entered any link.
+func (r *Ring) BytesMoved() int64 {
+	var n int64
+	for c := range r.linkBytes {
+		n += r.linkBytes[c][0] + r.linkBytes[c][1]
+	}
+	return n
+}
+
+// MsgsMoved returns the total link traversals (a 2-hop message counts twice).
+func (r *Ring) MsgsMoved() int64 {
+	var n int64
+	for _, m := range r.msgsBy {
+		n += m
+	}
+	return n
+}
+
+// Injects returns the total Inject calls since construction (monotone).
+func (r *Ring) Injects() int64 {
+	var n int64
+	for _, i := range r.injectsBy {
+		n += i
+	}
+	return n
+}
+
+// StateSig is a monotone signature that changes whenever any ring state
+// mutation could move NextEvent earlier: injections, launches, intermediate
+// hops, refused deliveries, and arrivals all bump at least one term. Event
+// schedulers cache it to detect staleness of a memoized NextEvent.
+func (r *Ring) StateSig() int64 {
+	return r.Injects() + r.MsgsMoved() + r.Arrivals + r.hopped + r.refused
+}
 
 // NextEvent returns the earliest future cycle at which the ring can make
 // progress: now+1 while any egress queue holds a message (launch is
 // bandwidth-gated per cycle), else the earliest in-flight landing, or -1
 // when the ring is fully idle.
 func (r *Ring) NextEvent(now int64) int64 {
-	if r.pending == 0 {
+	if r.Pending() == 0 {
 		return -1
 	}
 	next := int64(-1)
 	for c := 0; c < r.cfg.Chips; c++ {
-		for d := 0; d < 2; d++ {
-			if !r.egress[c][d].Empty() {
+		if !r.egress[c][0].Empty() || !r.egress[c][1].Empty() {
+			return now + 1
+		}
+		if due := r.landDueBy[c]; due >= 0 {
+			if due <= now {
+				// A refused delivery can leave later messages of the
+				// same link undrained this cycle; they land next cycle.
 				return now + 1
 			}
-			if due, ok := r.inFlight[c][d].NextDue(); ok && (next < 0 || due < next) {
+			if next < 0 || due < next {
 				next = due
 			}
 		}
 	}
 	return next
+}
+
+// NextLanding returns the earliest in-flight landing cycle, or -1 when
+// nothing is on the wire. Unlike NextEvent it ignores egress queues: a fused
+// multi-cycle epoch only needs to know when a message can *arrive* at
+// another chip, because launches are per-source-chip local.
+func (r *Ring) NextLanding() int64 {
+	next := int64(-1)
+	for c := 0; c < r.cfg.Chips; c++ {
+		if due := r.landDueBy[c]; due >= 0 && (next < 0 || due < next) {
+			next = due
+		}
+	}
+	return next
+}
+
+// recomputeLandDue re-derives chip c's cached earliest landing due from its
+// two delay-line heads, after the landing phase popped from them.
+func (r *Ring) recomputeLandDue(c int) {
+	due := int64(-1)
+	if d, ok := r.inFlight[c][0].NextDue(); ok {
+		due = d
+	}
+	if d, ok := r.inFlight[c][1].NextDue(); ok && (due < 0 || d < due) {
+		due = d
+	}
+	r.landDueBy[c] = due
 }
 
 func (r *Ring) next(chip int, d Direction) int {
@@ -279,13 +377,16 @@ func (r *Ring) next(chip int, d Direction) int {
 // Tick advances the ring one cycle. now is the global cycle counter.
 // An idle ring returns immediately; link credit catches up lazily.
 func (r *Ring) Tick(now int64, sink Sink) {
-	if r.pending == 0 {
+	if r.Pending() == 0 {
 		r.lastRef = now
 		return
 	}
 	// Landing phase: messages whose hop latency elapsed arrive at the next
 	// chip — either delivered, or queued for the next hop.
 	for c := 0; c < r.cfg.Chips; c++ {
+		if due := r.landDueBy[c]; due < 0 || due > now {
+			continue // nothing leaving chip c lands this cycle
+		}
 		for d := 0; d < 2; d++ {
 			dir := Direction(d)
 			for {
@@ -298,35 +399,113 @@ func (r *Ring) Tick(now int64, sink Sink) {
 					if sink.CanAccept(at, m) {
 						sink.Accept(at, m)
 						r.Arrivals++
-						r.pending--
+						r.pendingBy[c]--
 					} else {
 						// Destination busy: retry next cycle from a zero-
 						// latency in-flight slot (models an arrival buffer).
 						r.inFlight[c][d].Insert(now, 1, m)
+						r.refused++
 						break
 					}
 				} else {
 					r.egress[at][d].Push(m)
+					r.pendingBy[c]--
+					r.pendingBy[at]++
+					r.hopped++
 				}
 			}
 		}
+		r.recomputeLandDue(c)
 	}
 	// Launch phase: move queued messages onto links, bandwidth permitting.
 	dt := now - r.lastRef
 	r.lastRef = now
 	for c := 0; c < r.cfg.Chips; c++ {
-		for d := 0; d < 2; d++ {
-			bkt := r.bkt[c][d]
-			bkt.Advance(dt)
-			q := r.egress[c][d]
-			for !q.Empty() && bkt.CanTake() {
-				m, _ := q.Pop()
-				bkt.Take(m.Bytes)
-				r.BytesMoved += int64(m.Bytes)
-				r.linkBytes[c][d] += int64(m.Bytes)
-				r.MsgsMoved++
-				r.inFlight[c][d].Insert(now, r.cfg.HopLatency, m)
+		r.launchChip(now, dt, c)
+	}
+}
+
+// launchChip advances chip c's directional buckets by dt and moves its
+// queued messages onto the wire, bandwidth permitting. It touches only
+// per-chip state (egress/bkt/inFlight/linkBytes/msgsBy of chip c), which is
+// what makes FusedLaunch safe to run from per-chip goroutines.
+func (r *Ring) launchChip(now, dt int64, c int) {
+	launched := false
+	for d := 0; d < 2; d++ {
+		bkt := r.bkt[c][d]
+		q := r.egress[c][d]
+		if q.Empty() {
+			// Advance on an at-cap bucket only clamps; skipping it leaves the
+			// exact credit value the old eager refill would have left.
+			if !bkt.AtCap() {
+				bkt.Advance(dt)
 			}
+			continue
+		}
+		bkt.Advance(dt)
+		for bkt.CanTake() {
+			m, ok := q.Pop()
+			if !ok {
+				break
+			}
+			bkt.Take(m.Bytes)
+			r.linkBytes[c][d] += int64(m.Bytes)
+			r.msgsBy[c]++
+			r.inFlight[c][d].Insert(now, r.cfg.HopLatency, m)
+			launched = true
 		}
 	}
+	if launched {
+		// Launches due at now+HopLatency can only lower an empty line's due:
+		// anything already on the wire left earlier with the same hop
+		// latency, except zero-latency refused-delivery retries, which are
+		// earlier still — the min-update covers every case.
+		if due := now + r.cfg.HopLatency; r.landDueBy[c] < 0 || due < r.landDueBy[c] {
+			r.landDueBy[c] = due
+		}
+	}
+}
+
+// FusedLaunch runs the launch phase for one chip from inside a fused
+// multi-cycle epoch, where per-chip goroutines tick their chip without a
+// global ring Tick. Callers must guarantee no landing is due at or before
+// now (NextLanding() < 0 || > now) — then the landing phase is a no-op and
+// launches are independent per source chip.
+//
+// force preserves the serial idle-forfeit semantics: serial Tick advances
+// every bucket whenever global Pending() > 0 and forfeits accrual (lastRef
+// = now without Advance) when it is 0. The coordinator passes force =
+// (Pending() > 0) as observed before the parallel phase; chips whose egress
+// is empty then still catch their buckets up iff force. Chips left
+// unadvanced are settled by FinishFused, which recomputes global pending
+// after all lanes flushed — together reproducing exactly the serial
+// advance-or-forfeit decision.
+func (r *Ring) FusedLaunch(now int64, chip int, force bool) {
+	if !force && r.egress[chip][0].Empty() && r.egress[chip][1].Empty() {
+		return
+	}
+	r.advanced[chip] = true
+	r.launchChip(now, now-r.lastRef, chip)
+}
+
+// FinishFused completes a fused cycle from the coordinating goroutine after
+// every chip's FusedLaunch returned: chips that skipped their bucket
+// advance catch up iff the ring is still non-idle (matching serial Tick's
+// advance-all-or-forfeit rule), and lastRef moves to now.
+func (r *Ring) FinishFused(now int64) {
+	if r.Pending() > 0 {
+		dt := now - r.lastRef
+		for c := 0; c < r.cfg.Chips; c++ {
+			if !r.advanced[c] {
+				r.bkt[c][0].Advance(dt)
+				r.bkt[c][1].Advance(dt)
+			}
+			r.advanced[c] = false
+		}
+	} else {
+		for c := range r.advanced {
+			r.advanced[c] = false
+		}
+	}
+	r.lastRef = now
 }

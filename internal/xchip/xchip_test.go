@@ -56,8 +56,8 @@ func TestTwoHopDelivery(t *testing.T) {
 	if len(s.arrived[2]) != 1 {
 		t.Fatalf("chip 2 got %d messages, want 1", len(s.arrived[2]))
 	}
-	if r.MsgsMoved != 2 {
-		t.Fatalf("MsgsMoved = %d, want 2 (two link traversals)", r.MsgsMoved)
+	if r.MsgsMoved() != 2 {
+		t.Fatalf("MsgsMoved = %d, want 2 (two link traversals)", r.MsgsMoved())
 	}
 }
 
