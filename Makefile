@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race shuffle smoke fuzz vuln fieldalign check bench benchsmoke benchguard fig8 fmt
+.PHONY: build test vet race shuffle smoke chaossmoke fuzz vuln fieldalign check bench benchsmoke benchguard fig8 fmt
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,17 @@ shuffle:
 # store), and require a clean exit.
 smoke:
 	$(GO) test -count=1 -run TestDaemonEndToEnd ./cmd/sacd
+
+# chaossmoke is the crash-safety gate, run under the race detector: the
+# in-process kill -9 simulation (zero accepted jobs lost, zero duplicate
+# executions), the journaled drain/restart exactly-once cycle, the chaos
+# soak (worker panics + dropped fsyncs + tight deadlines), and the real
+# SIGKILL of a sacd process. REPRO_JOURNAL_SYNC=1 exercises the fsync path.
+chaossmoke:
+	$(GO) test -race -count=1 \
+		-run 'TestCrashRecovery|TestDrainJournalExactlyOnce|TestChaosSoak|TestWorkerPanicContained|TestJournalFailureUnhealthyAndHeals|TestDeadline|TestDegradedShedsBatchLane|TestCorruptJournal' \
+		./internal/server
+	REPRO_JOURNAL_SYNC=1 $(GO) test -race -count=1 -run 'TestCrashRecoveryE2E' ./cmd/sacd
 
 # fuzz is a short smoke of the untrusted-input parsers (the trace reader).
 # An exec-count budget keeps the wall time stable on single-core CI runners;
@@ -59,10 +70,10 @@ fieldalign:
 	fi
 
 # check is the CI gate: static analysis, the full suite under the race
-# detector and again in shuffled order, the sacd daemon smoke, a fuzz smoke
-# of the parsers, a one-iteration benchmark smoke, and an advisory
-# vulnerability scan.
-check: vet fieldalign race shuffle smoke fuzz benchsmoke vuln
+# detector and again in shuffled order, the sacd daemon smoke, the chaos /
+# crash-recovery smoke, a fuzz smoke of the parsers, a one-iteration
+# benchmark smoke, and an advisory vulnerability scan.
+check: vet fieldalign race shuffle smoke chaossmoke fuzz benchsmoke vuln
 
 # benchsmoke compiles and executes the throughput-critical benchmarks for a
 # single iteration — it catches benchmarks broken by API drift without

@@ -21,8 +21,24 @@ const (
 	StateRunning  = "running"
 	StateDone     = "done"
 	StateFailed   = "failed"
-	StateRequeued = "requeued" // drained to disk; resumes on daemon restart
+	StateExpired  = "expired"  // deadline passed before the job could finish
+	StateRequeued = "requeued" // journaled live; resumes on daemon restart
 )
+
+// Health states reported by /v1/healthz, in degradation order. A degraded
+// daemon sheds batch-lane traffic (429 + Retry-After); an unhealthy one
+// rejects all new work (503 + Retry-After).
+const (
+	HealthHealthy   = "healthy"
+	HealthDegraded  = "degraded"
+	HealthDraining  = "draining"
+	HealthUnhealthy = "unhealthy"
+)
+
+// TimeoutHeader carries a submission deadline as integer milliseconds;
+// the JSON timeout_ms field wins when both are present. The client sets it
+// automatically from the submission context's deadline.
+const TimeoutHeader = "X-Sacd-Timeout-Ms"
 
 // Result sources: how a finished job's result was obtained.
 const (
@@ -56,6 +72,11 @@ type JobRequest struct {
 	Faults string `json:"faults,omitempty"`
 	// Priority selects the queue lane; "" means normal.
 	Priority string `json:"priority,omitempty"`
+	// TimeoutMS is the end-to-end deadline budget in milliseconds measured
+	// from acceptance (0 = none): a job still queued past it fails fast
+	// with state "expired" instead of burning a worker, and a running job
+	// has its simulation cancelled. The deadline survives daemon restarts.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // JobStatus is the daemon's view of one job.
@@ -78,22 +99,43 @@ type JobStatus struct {
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// DeadlineAt is the job's absolute deadline (requests with TimeoutMS
+	// only); preserved across daemon restarts.
+	DeadlineAt *time.Time `json:"deadline_at,omitempty"`
 }
 
 // Done reports whether the job reached a terminal state.
-func (s JobStatus) Done() bool { return s.State == StateDone || s.State == StateFailed }
+func (s JobStatus) Done() bool {
+	return s.State == StateDone || s.State == StateFailed || s.State == StateExpired
+}
 
 // Health is the /v1/healthz payload.
 type Health struct {
-	Status     string `json:"status"` // "ok" or "draining"
-	Draining   bool   `json:"draining"`
-	Workers    int    `json:"workers"`
-	Inflight   int    `json:"inflight"`
-	QueueDepth int    `json:"queue_depth"`
-	Jobs       int    `json:"jobs"`
+	// Status is one of the Health* states above.
+	Status string `json:"status"`
+	// Reasons explains a non-healthy status, one human-readable signal per
+	// entry (queue age, worker stall, journal failure, ...).
+	Reasons    []string `json:"reasons,omitempty"`
+	Draining   bool     `json:"draining"`
+	Workers    int      `json:"workers"`
+	Inflight   int      `json:"inflight"`
+	QueueDepth int      `json:"queue_depth"`
+	Jobs       int      `json:"jobs"`
+	// OldestQueuedMS is the age of the oldest still-queued job.
+	OldestQueuedMS int64 `json:"oldest_queued_ms,omitempty"`
+	// RecoveryErrors counts data-loss signals seen at startup recovery:
+	// corrupt journal records and unrestorable journaled jobs. Non-zero
+	// means a previous life lost something — observable, not silent.
+	RecoveryErrors int `json:"recovery_errors,omitempty"`
+	// Journal statistics; zero values when the daemon runs unjournaled.
+	JournalRecords int `json:"journal_records,omitempty"`
+	JournalLive    int `json:"journal_live,omitempty"`
 	// Store statistics; zero values when the daemon runs without a store.
 	StoreObjects int   `json:"store_objects,omitempty"`
 	StoreBytes   int64 `json:"store_bytes,omitempty"`
+	// StoreCorrupt counts objects quarantined for failing content-hash
+	// verification since the store opened.
+	StoreCorrupt int64 `json:"store_corrupt,omitempty"`
 }
 
 // errorBody is the JSON error payload every non-2xx API response carries.

@@ -7,8 +7,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -19,6 +21,10 @@ import (
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint (0 = none). The retry
+	// loop honors it as a floor under the jittered backoff, so a shedding
+	// or restarting daemon controls its own comeback pacing.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -86,23 +92,21 @@ func New(baseURL string, opts ...Option) *Client {
 
 // do performs one API call with retries, decoding a 2xx JSON body into out
 // (skipped when out is nil). The request body, if any, is re-sent verbatim
-// on every attempt.
-func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+// on every attempt. Retry pacing uses full-jitter exponential backoff: a
+// fleet of clients knocked back by one restarting daemon desynchronizes
+// instead of returning as a thundering herd.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any, hdr http.Header) error {
 	var lastErr error
-	delay := c.backoff
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			select {
 			case <-ctx.Done():
 				return fmt.Errorf("sacd: giving up after %d attempts: %w (last error: %v)",
 					attempt, ctx.Err(), lastErr)
-			case <-time.After(delay):
-			}
-			if delay *= 2; delay > c.maxWait {
-				delay = c.maxWait
+			case <-time.After(c.retryDelay(attempt, lastErr)):
 			}
 		}
-		err := c.once(ctx, method, path, body, out)
+		err := c.once(ctx, method, path, body, out, hdr)
 		if err == nil {
 			return nil
 		}
@@ -118,8 +122,57 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	return lastErr
 }
 
+// maxRetryAfter caps how long a server-sent Retry-After can stall one
+// attempt, so a confused daemon cannot park clients for hours.
+const maxRetryAfter = 30 * time.Second
+
+// retryDelay computes the wait before retry number attempt (1-based):
+// full jitter — uniform in [0, min(maxWait, backoff·2^(attempt-1))] — with
+// the server's Retry-After hint from the last failure as a floor.
+func (c *Client) retryDelay(attempt int, lastErr error) time.Duration {
+	ceil := c.backoff
+	for i := 1; i < attempt && ceil < c.maxWait; i++ {
+		ceil *= 2
+	}
+	if ceil > c.maxWait {
+		ceil = c.maxWait
+	}
+	delay := time.Duration(0)
+	if ceil > 0 {
+		delay = time.Duration(rand.Int63n(int64(ceil) + 1))
+	}
+	var apiErr *APIError
+	if errors.As(lastErr, &apiErr) && apiErr.RetryAfter > 0 {
+		floor := apiErr.RetryAfter
+		if floor > maxRetryAfter {
+			floor = maxRetryAfter
+		}
+		if delay < floor {
+			delay = floor
+		}
+	}
+	return delay
+}
+
+// parseRetryAfter reads a Retry-After header: integer (or fractional)
+// seconds, or an HTTP date. 0 means absent or unparseable.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseFloat(h, 64); err == nil && secs >= 0 {
+		return time.Duration(secs * float64(time.Second))
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 // once performs a single HTTP round trip.
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any, hdr http.Header) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -130,6 +183,11 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -144,7 +202,11 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 				msg = eb.Error
 			}
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		return &APIError{
+			StatusCode: resp.StatusCode,
+			Message:    msg,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
@@ -154,14 +216,26 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 }
 
 // Submit enqueues one job and returns its initial status. Backpressure
-// (429) and draining (503) responses are retried with backoff.
+// (429) and draining (503) responses are retried with jittered backoff,
+// honoring the daemon's Retry-After pacing. When the request carries no
+// explicit TimeoutMS but ctx has a deadline, the remaining budget is
+// propagated as the X-Sacd-Timeout-Ms header so the daemon expires the job
+// when the caller would have stopped waiting anyway.
 func (c *Client) Submit(ctx context.Context, req JobRequest) (JobStatus, error) {
 	b, err := json.Marshal(req)
 	if err != nil {
 		return JobStatus{}, err
 	}
+	var hdr http.Header
+	if req.TimeoutMS == 0 {
+		if dl, ok := ctx.Deadline(); ok {
+			if ms := time.Until(dl).Milliseconds(); ms > 0 {
+				hdr = http.Header{TimeoutHeader: []string{strconv.FormatInt(ms, 10)}}
+			}
+		}
+	}
 	var st JobStatus
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", b, &st); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", b, &st, hdr); err != nil {
 		return JobStatus{}, err
 	}
 	return st, nil
@@ -170,7 +244,7 @@ func (c *Client) Submit(ctx context.Context, req JobRequest) (JobStatus, error) 
 // Status fetches the current status of a job.
 func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
 	var st JobStatus
-	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &st); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &st, nil); err != nil {
 		return JobStatus{}, err
 	}
 	return st, nil
@@ -181,7 +255,7 @@ func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
 // error text.
 func (c *Client) Result(ctx context.Context, id string) (*sac.Stats, error) {
 	var run sac.Stats
-	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result", nil, &run); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result", nil, &run, nil); err != nil {
 		return nil, err
 	}
 	return &run, nil
@@ -226,7 +300,7 @@ func (c *Client) Run(ctx context.Context, req JobRequest) (*sac.Stats, error) {
 // Health fetches the daemon's health summary.
 func (c *Client) Health(ctx context.Context) (Health, error) {
 	var h Health
-	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h, nil); err != nil {
 		return Health{}, err
 	}
 	return h, nil

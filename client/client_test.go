@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -120,5 +121,114 @@ func TestWaitPollsToTerminalState(t *testing.T) {
 	}
 	if st.State != StateDone || calls.Load() < 3 {
 		t.Fatalf("state=%s after %d polls", st.State, calls.Load())
+	}
+}
+
+func TestRetryDelayFullJitterBounds(t *testing.T) {
+	c := New("http://x", WithBackoff(100*time.Millisecond, 2*time.Second))
+	for attempt := 1; attempt <= 8; attempt++ {
+		ceil := 100 * time.Millisecond << (attempt - 1)
+		if ceil > 2*time.Second {
+			ceil = 2 * time.Second
+		}
+		for i := 0; i < 50; i++ {
+			d := c.retryDelay(attempt, nil)
+			if d < 0 || d > ceil {
+				t.Fatalf("attempt %d: delay %v outside [0,%v]", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+func TestRetryDelayHonorsRetryAfterFloor(t *testing.T) {
+	c := New("http://x", WithBackoff(time.Millisecond, 2*time.Millisecond))
+	hint := &APIError{StatusCode: 429, RetryAfter: 250 * time.Millisecond}
+	for i := 0; i < 20; i++ {
+		if d := c.retryDelay(1, hint); d < 250*time.Millisecond {
+			t.Fatalf("delay %v below server Retry-After floor", d)
+		}
+	}
+	// An absurd server hint is capped so clients can't be parked for hours.
+	parked := &APIError{StatusCode: 503, RetryAfter: time.Hour}
+	if d := c.retryDelay(1, parked); d != maxRetryAfter {
+		t.Fatalf("got %v, want Retry-After capped at %v", d, maxRetryAfter)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"2", 2 * time.Second},
+		{"0.5", 500 * time.Millisecond},
+		{"-3", 0},
+		{"garbage", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// HTTP-date form: a date ~2s out parses to a positive duration <= 2s.
+	date := time.Now().Add(2 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(date); d <= 0 || d > 2*time.Second {
+		t.Errorf("parseRetryAfter(date) = %v, want (0, 2s]", d)
+	}
+	// A date in the past means "now", not a negative wait.
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(past); d != 0 {
+		t.Errorf("parseRetryAfter(past date) = %v, want 0", d)
+	}
+}
+
+func TestSubmitRetryAfterSlowsRetry(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0.2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "shedding"})
+			return
+		}
+		json.NewEncoder(w).Encode(JobStatus{ID: "j1", State: StateQueued})
+	})
+	start := time.Now()
+	st, err := c.Submit(context.Background(), JobRequest{Benchmark: "BP", Org: "SAC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j1" {
+		t.Fatalf("got id %q", st.ID)
+	}
+	if since := time.Since(start); since < 200*time.Millisecond {
+		t.Fatalf("retried after %v; Retry-After 0.2s not honored", since)
+	}
+}
+
+func TestSubmitPropagatesContextDeadlineHeader(t *testing.T) {
+	var gotHeader atomic.Value
+	c, _ := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		gotHeader.Store(r.Header.Get(TimeoutHeader))
+		json.NewEncoder(w).Encode(JobStatus{ID: "j1", State: StateQueued})
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Submit(ctx, JobRequest{Benchmark: "BP", Org: "SAC"}); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := gotHeader.Load().(string)
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms <= 0 || ms > 5000 {
+		t.Fatalf("timeout header %q, want integer ms in (0, 5000]", h)
+	}
+
+	// An explicit TimeoutMS wins: the header is not sent.
+	if _, err := c.Submit(ctx, JobRequest{Benchmark: "BP", Org: "SAC", TimeoutMS: 123}); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := gotHeader.Load().(string); h != "" {
+		t.Fatalf("header %q sent alongside explicit timeout_ms", h)
 	}
 }

@@ -16,9 +16,14 @@
 //	GET  /v1/healthz          daemon health and queue depth
 //	GET  /metrics             Prometheus metrics
 //
-// SIGTERM or SIGINT drains gracefully: in-flight simulations finish, queued
-// jobs are persisted to <cache-dir>/requeue.json and resume on the next
-// start, and the daemon exits 0.
+// Every accepted job is recorded in a durable journal
+// (<cache-dir>/journal.wal by default) before the client is acknowledged, so
+// a crashed daemon — panic, OOM, kill -9 — re-enqueues exactly its
+// accepted-but-unfinished jobs on the next start. Set REPRO_JOURNAL_SYNC=1
+// to fsync every journal append (durability across power loss, not just
+// process death). SIGTERM or SIGINT drains gracefully: in-flight
+// simulations finish, queued jobs stay live in the journal, a clean
+// shutdown mark is written, and the daemon exits 0.
 package main
 
 import (
@@ -47,45 +52,61 @@ func main() {
 		workers     = flag.Int("workers", 0, "max simulations in flight (0 = all cores)")
 		chipWorkers = flag.Int("chip-workers", 0, "intra-run chip parallelism per simulation, bit-identical at any value (0 = auto-budget against -workers, 1 = serial)")
 		queueCap    = flag.Int("queue", 256, "max queued jobs before submissions get 429")
+		journalPath = flag.String("journal", "", "durable job journal path (default <cache-dir>/journal.wal; \"off\" disables)")
 		drainGrace  = flag.Duration("drain-grace", 10*time.Minute, "how long a shutdown signal waits for in-flight jobs")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the API address")
 		quiet       = flag.Bool("q", false, "suppress per-job log lines")
 	)
 	flag.Parse()
-	if err := run(*addr, *cacheDir, *cacheMax, *workers, *chipWorkers, *queueCap, *drainGrace, *pprofOn, *quiet); err != nil {
+	if err := run(*addr, *cacheDir, *cacheMax, *workers, *chipWorkers, *queueCap, *journalPath, *drainGrace, *pprofOn, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "sacd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, cacheDir string, cacheMax int64, workers, chipWorkers, queueCap int, drainGrace time.Duration, pprofOn, quiet bool) error {
+func run(addr, cacheDir string, cacheMax int64, workers, chipWorkers, queueCap int, journalPath string, drainGrace time.Duration, pprofOn, quiet bool) error {
 	cfg := server.Config{
 		Workers:     workers,
 		ChipWorkers: chipWorkers,
 		QueueCap:    queueCap,
 		EnablePprof: pprofOn,
+		JournalSync: journalSyncEnabled(),
 		Registry:    obs.NewRegistry(),
 	}
 	if !quiet {
 		cfg.Log = os.Stderr
 	}
+	// Content-hash failures on store reads quarantine the object; count them
+	// so a decaying disk shows up on /metrics before it shows up as rerun
+	// simulations.
+	corrupt := cfg.Registry.Counter("sacd_store_corrupt_total",
+		"Store objects quarantined for failing content-hash verification.")
 	if cacheDir != "" {
-		st, err := store.Open(cacheDir, store.Options{MaxBytes: cacheMax})
+		st, err := store.Open(cacheDir, store.Options{
+			MaxBytes:  cacheMax,
+			OnCorrupt: func(string) { corrupt.Inc() },
+		})
 		if err != nil {
 			return err
 		}
 		defer st.Close()
 		cfg.Store = st
 		cfg.RequeuePath = filepath.Join(cacheDir, "requeue.json")
+		if journalPath == "" {
+			journalPath = filepath.Join(cacheDir, "journal.wal")
+		}
+	}
+	if journalPath != "" && journalPath != "off" {
+		cfg.JournalPath = journalPath
 	}
 
 	s := server.New(cfg)
-	s.Start()
-	if n, err := s.LoadRequeued(); err != nil {
+	if n, err := s.Recover(); err != nil {
 		fmt.Fprintln(os.Stderr, "sacd:", err)
 	} else if n > 0 {
-		fmt.Fprintf(os.Stderr, "sacd: resumed %d jobs drained by the previous run\n", n)
+		fmt.Fprintf(os.Stderr, "sacd: resumed %d jobs from the previous run\n", n)
 	}
+	s.Start()
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -113,9 +134,10 @@ func run(addr, cacheDir string, cacheMax int64, workers, chipWorkers, queueCap i
 	}
 
 	// Drain order matters: stop the workers first (in-flight jobs finish,
-	// queued jobs spill to the requeue file) and only then close the HTTP
-	// server, so status polls on finishing jobs keep answering during the
-	// drain. New submissions get 503 the moment the drain starts.
+	// queued jobs stay live in the journal, and a clean shutdown mark is
+	// written) and only then close the HTTP server, so status polls on
+	// finishing jobs keep answering during the drain. New submissions get
+	// 503 the moment the drain starts.
 	ctx, cancel := context.WithTimeout(context.Background(), drainGrace)
 	defer cancel()
 	if err := s.Drain(ctx); err != nil {
@@ -127,4 +149,16 @@ func run(addr, cacheDir string, cacheMax int64, workers, chipWorkers, queueCap i
 	}
 	fmt.Fprintln(os.Stderr, "sacd: drained, bye")
 	return nil
+}
+
+// journalSyncEnabled reads the REPRO_JOURNAL_SYNC gate: unset, "0", or
+// "off" keep fsync off (appends still survive process death via the OS page
+// cache — the crash mode the daemon defends against); anything else fsyncs
+// every append for durability across power loss.
+func journalSyncEnabled() bool {
+	switch os.Getenv("REPRO_JOURNAL_SYNC") {
+	case "", "0", "off", "false":
+		return false
+	}
+	return true
 }

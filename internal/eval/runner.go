@@ -169,6 +169,12 @@ type RunRequest struct {
 	Spec workload.Spec
 	// Faults overrides the Runner's fault plan for this cell; nil inherits.
 	Faults *fault.Plan
+	// Ctx overrides the Runner's context for this cell (nil inherits):
+	// the sacd daemon passes each job's deadline through here so an
+	// expired job aborts its own simulation without cancelling the sweep.
+	// The context binds to the cell's *leader*; duplicate requests joining
+	// the same in-flight cell share the leader's cancellation.
+	Ctx context.Context
 }
 
 // plan resolves the effective fault plan of a request.
@@ -177,6 +183,14 @@ func (r *Runner) plan(q RunRequest) *fault.Plan {
 		return q.Faults
 	}
 	return r.Faults
+}
+
+// ctx resolves the effective context of a request.
+func (r *Runner) ctx(q RunRequest) context.Context {
+	if q.Ctx != nil {
+		return q.Ctx
+	}
+	return r.Ctx
 }
 
 // NewRunner returns a Runner over the scaled baseline configuration.
@@ -289,14 +303,15 @@ func (r *Runner) sim() func(gpu.Config, workload.Spec, gpu.RunOpts) (*stats.Run,
 // execute runs one simulation on behalf of entry e, bounded by the worker
 // pool, and publishes the result to all waiters. A panicking simulation is
 // contained: the entry fails with a CellError and the sweep continues.
-func (r *Runner) execute(e *runEntry, cfg gpu.Config, spec workload.Spec, plan *fault.Plan) {
+func (r *Runner) execute(e *runEntry, cfg gpu.Config, spec workload.Spec, plan *fault.Plan, ctx context.Context) {
 	defer close(e.done)
 	sem := r.workers()
 	sem <- struct{}{}
 	defer func() { <-sem }()
-	// Canceled sweep: queued cells fail fast instead of simulating.
-	if r.Ctx != nil {
-		if err := r.Ctx.Err(); err != nil {
+	// Canceled sweep (or expired job deadline): queued cells fail fast
+	// instead of simulating.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
 			e.err = &CellError{Benchmark: spec.Name, Org: cfg.Org.String(), Faults: plan.Key(), Err: err}
 			r.cellDone(e, spec, cfg, plan)
 			return
@@ -334,7 +349,7 @@ func (r *Runner) execute(e *runEntry, cfg gpu.Config, spec workload.Spec, plan *
 		}
 		r.cellDone(e, spec, cfg, plan)
 	}()
-	res, err := r.sim()(cfg, spec, gpu.RunOpts{Faults: plan, Ctx: r.Ctx, Workers: r.chipWorkers()})
+	res, err := r.sim()(cfg, spec, gpu.RunOpts{Faults: plan, Ctx: ctx, Workers: r.chipWorkers()})
 	if err != nil {
 		e.err = &CellError{Benchmark: spec.Name, Org: cfg.Org.String(), Faults: plan.Key(), Err: err}
 		return
@@ -388,11 +403,34 @@ func (r *Runner) runReq(q RunRequest) (*stats.Run, error) {
 	plan := r.plan(q)
 	e, lead := r.lookup(runKey{q.Cfg, q.Spec.Name, plan.Key()})
 	if lead {
-		r.execute(e, q.Cfg, q.Spec, plan)
+		r.execute(e, q.Cfg, q.Spec, plan, r.ctx(q))
 	} else {
 		<-e.done
 	}
 	return e.res, e.err
+}
+
+// Forget drops the memo entry for q if it has completed with an error, so
+// the next submission of the cell re-executes instead of recalling the
+// failure forever. The sacd daemon calls this after a failed job: a cell
+// that failed under injected chaos (or a since-lifted deadline) must be
+// retryable within the same daemon life. In-flight and successful entries
+// are left alone.
+func (r *Runner) Forget(q RunRequest) {
+	key := runKey{q.Cfg, q.Spec.Name, r.plan(q).Key()}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.memo[key]
+	if !ok {
+		return
+	}
+	select {
+	case <-e.done:
+		if e.err != nil {
+			delete(r.memo, key)
+		}
+	default:
+	}
 }
 
 // Prefetch submits a run-set to the worker pool without waiting. Keys
@@ -402,7 +440,7 @@ func (r *Runner) Prefetch(reqs []RunRequest) {
 	for _, q := range reqs {
 		plan := r.plan(q)
 		if e, lead := r.lookup(runKey{q.Cfg, q.Spec.Name, plan.Key()}); lead {
-			go r.execute(e, q.Cfg, q.Spec, plan)
+			go r.execute(e, q.Cfg, q.Spec, plan, r.ctx(q))
 		}
 	}
 }

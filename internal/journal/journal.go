@@ -1,0 +1,466 @@
+// Package journal is the sacd daemon's durable job journal: an append-only
+// write-ahead log that records the lifecycle of every accepted job so a
+// crashed daemon — OOM-killed, panicked, kill -9'd — loses nothing it
+// acknowledged. Each record is one line, a CRC-32C checksum over a compact
+// JSON payload, and appends are fsync'd (gated by Options.Sync) before the
+// caller proceeds, so an acknowledged accept is on disk before the client
+// sees its 202.
+//
+// Replay semantics: a job is *live* — and must be re-enqueued by the next
+// daemon life — iff an accept record exists with no matching done record.
+// Start records only annotate (a live job with a start record was mid-run
+// at the crash); a clean shutdown appends a mark record, which replay
+// reports so operators can tell a crash from a graceful drain. Corrupt or
+// torn records never wedge recovery: a torn tail (the crash interrupted the
+// last write) is truncated away, a corrupt interior record is skipped and
+// counted, and both surface in Replay.Corrupt so silent data loss is
+// observable rather than silent.
+//
+// The journal compacts itself: opening rewrites the file down to exactly
+// the live set (dead accept/start/done triples and shutdown marks drop
+// out), and ShouldCompact tells the owner when the live set is small
+// relative to the record count so it can Compact during operation.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op is a record type.
+type Op string
+
+// Record operations, in lifecycle order.
+const (
+	// OpAccept records a job entering the queue; Req carries the full
+	// request so replay can reconstruct it.
+	OpAccept Op = "accept"
+	// OpStart records a worker beginning execution.
+	OpStart Op = "start"
+	// OpDone records a terminal state (State: done/failed/expired).
+	OpDone Op = "done"
+	// OpMark is a non-job annotation; State "shutdown" marks a clean drain.
+	OpMark Op = "mark"
+)
+
+// MarkShutdown is the State of a clean-shutdown mark record.
+const MarkShutdown = "shutdown"
+
+// Record is one journal entry.
+type Record struct {
+	Op Op     `json:"op"`
+	ID string `json:"id,omitempty"`
+	// State carries the terminal state on done records ("done", "failed",
+	// "expired"), "started" on compacted accept records for jobs that were
+	// mid-run, and the mark kind on mark records.
+	State string `json:"state,omitempty"`
+	// Req is the accepted request, opaque to the journal.
+	Req json.RawMessage `json:"req,omitempty"`
+	// Deadline is the job's absolute deadline in unix milliseconds (0 =
+	// none); preserved across restarts so a crash does not extend an SLO.
+	Deadline int64 `json:"deadline,omitempty"`
+	// Unix is the record time in unix milliseconds.
+	Unix int64 `json:"ts,omitempty"`
+}
+
+// LiveJob is one accepted-but-unfinished job reconstructed by replay.
+type LiveJob struct {
+	ID       string
+	Req      json.RawMessage
+	Deadline int64 // unix ms, 0 = none
+	Started  bool  // the job was mid-run when the previous life ended
+}
+
+// Replay is the result of reading a journal at Open.
+type Replay struct {
+	// Live lists accepted-but-unfinished jobs in accept order.
+	Live []LiveJob
+	// Records counts valid records read (before compaction).
+	Records int
+	// Corrupt counts records dropped: checksum mismatches, undecodable
+	// payloads, and a torn final line.
+	Corrupt int
+	// CleanShutdown reports whether the previous life ended with a
+	// shutdown mark (graceful drain) rather than a crash.
+	CleanShutdown bool
+	// Compacted reports whether Open rewrote the file down to the live set.
+	Compacted bool
+}
+
+// Options tune a Journal.
+type Options struct {
+	// Sync fsyncs the file after every append, making acknowledged records
+	// durable across a hard crash. Off, appends still reach the OS page
+	// cache (surviving process death, not power loss) — the fast mode for
+	// CI, gated by REPRO_JOURNAL_SYNC in the daemon.
+	Sync bool
+	// SyncHook, when set, replaces the fsync entirely (chaos injection:
+	// return an error to model a failing disk, return nil to model a
+	// dropped sync). Called only when Sync is true.
+	SyncHook func() error
+	// NoCompact disables the rewrite at Open (tests that want to inspect
+	// the raw record stream).
+	NoCompact bool
+}
+
+// Journal is an open write-ahead log. All methods are safe for concurrent
+// use; callers that need append/compact atomicity with their own state
+// (the server's queue) serialize externally.
+type Journal struct {
+	path string
+	opt  Options
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	records int
+	live    int
+	closed  bool
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encode renders one record line: "<crc32c-hex8> <json>\n".
+func encode(rec Record) ([]byte, error) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: marshal record: %w", err)
+	}
+	sum := crc32.Checksum(b, crcTable)
+	line := make([]byte, 0, len(b)+10)
+	line = append(line, fmt.Sprintf("%08x ", sum)...)
+	line = append(line, b...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// decode parses one line; ok=false means the line is corrupt.
+func decode(line []byte) (Record, bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return Record{}, false
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
+		return Record{}, false
+	}
+	payload := line[9:]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Open reads (replaying) and opens the journal at path, creating it if
+// absent. Unless Options.NoCompact is set, the file is rewritten down to
+// the live set — so the returned journal starts with Records() ==
+// len(Replay.Live) and the caller must NOT re-append accepts for the live
+// jobs it re-enqueues.
+func Open(path string, opt Options) (*Journal, *Replay, error) {
+	if path == "" {
+		return nil, nil, fmt.Errorf("journal: empty path")
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	rep, err := replayFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{path: path, opt: opt}
+
+	if !opt.NoCompact && (rep.Records != len(rep.Live) || rep.Corrupt > 0) {
+		if err := j.rewrite(rep.Live); err != nil {
+			return nil, nil, err
+		}
+		rep.Compacted = true
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	if rep.Compacted {
+		j.records, j.live = len(rep.Live), len(rep.Live)
+	} else {
+		j.records, j.live = rep.Records, len(rep.Live)
+	}
+	return j, rep, nil
+}
+
+// replayFile reads every record of the file at path. A torn final line is
+// healed by truncating the file to the last good offset.
+func replayFile(path string) (*Replay, error) {
+	rep := &Replay{}
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return rep, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+
+	type state struct {
+		live *LiveJob
+		idx  int
+	}
+	jobs := make(map[string]*state)
+	var order []string
+	lastIsMark := false
+	goodEnd := 0 // offset just past the last well-formed line
+
+	for off := 0; off < len(b); {
+		nl := bytes.IndexByte(b[off:], '\n')
+		if nl < 0 {
+			// Torn tail: the crash interrupted the final append.
+			rep.Corrupt++
+			break
+		}
+		line := b[off : off+nl]
+		off += nl + 1
+		rec, ok := decode(line)
+		if !ok {
+			rep.Corrupt++
+			// A corrupt interior record is skipped, not fatal: later
+			// records still parse, and losing a done record only re-runs
+			// a job the store already answers for.
+			goodEnd = off
+			continue
+		}
+		goodEnd = off
+		rep.Records++
+		lastIsMark = false
+		switch rec.Op {
+		case OpAccept:
+			if _, dup := jobs[rec.ID]; dup || rec.ID == "" {
+				break
+			}
+			jobs[rec.ID] = &state{live: &LiveJob{
+				ID: rec.ID, Req: rec.Req, Deadline: rec.Deadline,
+				Started: rec.State == "started",
+			}}
+			order = append(order, rec.ID)
+		case OpStart:
+			if st := jobs[rec.ID]; st != nil && st.live != nil {
+				st.live.Started = true
+			}
+		case OpDone:
+			if st := jobs[rec.ID]; st != nil {
+				st.live = nil
+			}
+		case OpMark:
+			lastIsMark = rec.State == MarkShutdown
+		}
+	}
+	rep.CleanShutdown = lastIsMark
+	if goodEnd < len(b) {
+		// Heal the tail so the next append starts on a clean line.
+		if err := os.Truncate(path, int64(goodEnd)); err != nil {
+			return nil, fmt.Errorf("journal: healing torn tail: %w", err)
+		}
+	}
+	for _, id := range order {
+		if st := jobs[id]; st.live != nil {
+			rep.Live = append(rep.Live, *st.live)
+		}
+	}
+	return rep, nil
+}
+
+// rewrite atomically replaces the file with accept records for live.
+func (j *Journal) rewrite(live []LiveJob) error {
+	tmp := j.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	now := time.Now().UnixMilli()
+	for _, lj := range live {
+		rec := Record{Op: OpAccept, ID: lj.ID, Req: lj.Req, Deadline: lj.Deadline, Unix: now}
+		if lj.Started {
+			rec.State = "started"
+		}
+		line, err := encode(rec)
+		if err == nil {
+			_, err = w.Write(line)
+		}
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: %w", err)
+	}
+	if j.opt.Sync {
+		if err := j.syncFile(f); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// syncFile runs the configured fsync (or its chaos replacement) on f.
+func (j *Journal) syncFile(f *os.File) error {
+	if j.opt.SyncHook != nil {
+		if err := j.opt.SyncHook(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	return nil
+}
+
+// Append writes one record and (with Sync) makes it durable before
+// returning. An Append error means the record may not be durable; the owner
+// should stop acknowledging work that depends on it.
+func (j *Journal) Append(rec Record) error {
+	if rec.Unix == 0 {
+		rec.Unix = time.Now().UnixMilli()
+	}
+	line, err := encode(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	if _, err := j.w.Write(line); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if j.opt.Sync {
+		if err := j.syncFile(j.f); err != nil {
+			return err
+		}
+	}
+	j.records++
+	switch rec.Op {
+	case OpAccept:
+		j.live++
+	case OpDone:
+		if j.live > 0 {
+			j.live--
+		}
+	}
+	return nil
+}
+
+// Records returns the record count of the current file.
+func (j *Journal) Records() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records
+}
+
+// Live returns the journal's running estimate of accepted-but-unfinished
+// jobs (exact while all appends go through this process).
+func (j *Journal) Live() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.live
+}
+
+// ShouldCompact reports whether dead records dominate the file: compaction
+// pays off once the file holds 4x more records than live jobs (with a floor
+// so small journals never churn).
+func (j *Journal) ShouldCompact() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records > 64 && j.records > 4*j.live
+}
+
+// Compact rewrites the journal to exactly the supplied live set. The caller
+// owns consistency between live and any records it appended concurrently —
+// the server compacts under the same lock it appends under.
+func (j *Journal) Compact(live []LiveJob) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.rewrite(live); err != nil {
+		// The old fd is gone; reopen in append mode regardless so the
+		// journal stays usable even if the rewrite failed.
+		f, ferr := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr == nil {
+			j.f, j.w = f, bufio.NewWriter(f)
+		}
+		return err
+	}
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.f, j.w = f, bufio.NewWriter(f)
+	j.records, j.live = len(live), len(live)
+	return nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close flushes and closes the file. Appends after Close fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	var errs []string
+	if err := j.w.Flush(); err != nil {
+		errs = append(errs, err.Error())
+	}
+	if j.opt.Sync {
+		if err := j.syncFile(j.f); err != nil {
+			errs = append(errs, err.Error())
+		}
+	}
+	if err := j.f.Close(); err != nil {
+		errs = append(errs, err.Error())
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("journal: close: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openFresh(t *testing.T, opt Options) (*Journal, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, rep, err := Open(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Live) != 0 || rep.Records != 0 || rep.Corrupt != 0 {
+		t.Fatalf("fresh journal replay %+v, want empty", rep)
+	}
+	return j, path
+}
+
+func accept(id string) Record {
+	return Record{Op: OpAccept, ID: id, Req: json.RawMessage(fmt.Sprintf(`{"benchmark":%q}`, id))}
+}
+
+func TestReplayLiveSet(t *testing.T) {
+	j, path := openFresh(t, Options{})
+	for _, rec := range []Record{
+		accept("j1"),
+		accept("j2"),
+		{Op: OpStart, ID: "j1"},
+		{Op: OpDone, ID: "j1", State: "done"},
+		accept("j3"),
+		{Op: OpStart, ID: "j3"},
+	} {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Live() != 2 {
+		t.Fatalf("live estimate %d, want 2", j.Live())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rep, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(rep.Live) != 2 {
+		t.Fatalf("replay found %d live jobs, want 2: %+v", len(rep.Live), rep.Live)
+	}
+	if rep.Live[0].ID != "j2" || rep.Live[1].ID != "j3" {
+		t.Fatalf("live order %v, want [j2 j3]", rep.Live)
+	}
+	if rep.Live[0].Started || !rep.Live[1].Started {
+		t.Fatalf("started flags wrong: %+v", rep.Live)
+	}
+	if string(rep.Live[0].Req) != `{"benchmark":"j2"}` {
+		t.Fatalf("request payload lost: %s", rep.Live[0].Req)
+	}
+	if rep.CleanShutdown {
+		t.Fatal("no shutdown mark was written but replay reports a clean shutdown")
+	}
+	// Open compacted 6 records down to the 2 live ones.
+	if !rep.Compacted || j2.Records() != 2 {
+		t.Fatalf("compacted=%v records=%d, want true/2", rep.Compacted, j2.Records())
+	}
+}
+
+func TestCleanShutdownMark(t *testing.T) {
+	j, path := openFresh(t, Options{})
+	if err := j.Append(accept("j1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Op: OpDone, ID: "j1", State: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Op: OpMark, State: MarkShutdown}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, rep, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !rep.CleanShutdown || len(rep.Live) != 0 {
+		t.Fatalf("replay %+v, want clean shutdown with no live jobs", rep)
+	}
+}
+
+func TestTornTailHealed(t *testing.T) {
+	j, path := openFresh(t, Options{})
+	j.Append(accept("j1"))
+	j.Append(accept("j2"))
+	j.Close()
+	// Simulate a crash mid-append: a partial line with no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`deadbeef {"op":"done","id":"j`)
+	f.Close()
+
+	j2, rep, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupt != 1 || len(rep.Live) != 2 {
+		t.Fatalf("replay corrupt=%d live=%d, want 1/2", rep.Corrupt, len(rep.Live))
+	}
+	// The healed journal accepts appends and replays cleanly afterwards.
+	if err := j2.Append(Record{Op: OpDone, ID: "j1", State: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, rep2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Corrupt != 0 || len(rep2.Live) != 1 || rep2.Live[0].ID != "j2" {
+		t.Fatalf("post-heal replay %+v, want clean with j2 live", rep2)
+	}
+}
+
+func TestCorruptInteriorRecordSkipped(t *testing.T) {
+	j, path := openFresh(t, Options{NoCompact: true})
+	j.Append(accept("j1"))
+	j.Append(accept("j2"))
+	j.Append(Record{Op: OpDone, ID: "j1", State: "done"})
+	j.Close()
+
+	// Flip a byte in the middle record (j2's accept): its checksum fails,
+	// replay skips it, and only that job is affected.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(b), "\n")
+	lines[1] = strings.Replace(lines[1], "j2", "jX", 1)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rep, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rep.Corrupt != 1 {
+		t.Fatalf("corrupt=%d, want 1", rep.Corrupt)
+	}
+	if len(rep.Live) != 0 {
+		t.Fatalf("live=%v, want none (j1 done, j2's accept corrupted away)", rep.Live)
+	}
+}
+
+func TestRuntimeCompaction(t *testing.T) {
+	j, path := openFresh(t, Options{})
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("j%d", i)
+		j.Append(accept(id))
+		j.Append(Record{Op: OpDone, ID: id, State: "done"})
+	}
+	j.Append(accept("live1"))
+	if !j.ShouldCompact() {
+		t.Fatalf("201 records, 1 live: ShouldCompact=false")
+	}
+	if err := j.Compact([]LiveJob{{ID: "live1", Req: json.RawMessage(`{}`)}}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Records() != 1 || j.ShouldCompact() {
+		t.Fatalf("post-compact records=%d shouldCompact=%v", j.Records(), j.ShouldCompact())
+	}
+	// Appends keep working after the rewrite swapped the fd.
+	if err := j.Append(Record{Op: OpDone, ID: "live1", State: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, rep, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Live) != 0 || rep.Corrupt != 0 {
+		t.Fatalf("replay after compaction %+v, want empty", rep)
+	}
+}
+
+func TestSyncHookFailureSurfaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	boom := errors.New("disk on fire")
+	calls := 0
+	j, _, err := Open(path, Options{Sync: true, SyncHook: func() error {
+		calls++
+		return boom
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(accept("j1")); !errors.Is(err, boom) {
+		t.Fatalf("append with failing sync returned %v, want %v", err, boom)
+	}
+	if calls == 0 {
+		t.Fatal("sync hook never called")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j, _ := openFresh(t, Options{})
+	j.Close()
+	if err := j.Append(accept("j1")); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}
+
+func TestDeadlinePreserved(t *testing.T) {
+	j, path := openFresh(t, Options{})
+	rec := accept("j1")
+	rec.Deadline = 1234567890123
+	j.Append(rec)
+	j.Close()
+	// Two reopens: the second replays the compacted file, proving the
+	// deadline survives compaction too.
+	for i := 0; i < 2; i++ {
+		j2, rep, err := Open(path, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Live) != 1 || rep.Live[0].Deadline != 1234567890123 {
+			t.Fatalf("reopen %d: deadline lost: %+v", i, rep.Live)
+		}
+		j2.Close()
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"repro/client"
 	"repro/internal/obs"
@@ -23,7 +24,8 @@ import (
 //
 // Every error response is JSON: {"error": "..."} with the status code
 // carrying the semantics (400 invalid request, 404 unknown job, 409 result
-// not ready, 429 queue full, 503 draining).
+// not ready, 410 job expired, 429 queue full or shedding, 503 draining or
+// unhealthy). 429 and 503 carry a Retry-After header sized to the backlog.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -63,11 +65,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
 		return
 	}
+	// The X-Sacd-Timeout-Ms header is how a client propagates its context
+	// deadline; an explicit timeout_ms in the body wins.
+	if req.TimeoutMS == 0 {
+		if v := r.Header.Get(client.TimeoutHeader); v != "" {
+			ms, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || ms <= 0 {
+				writeError(w, http.StatusBadRequest, "invalid %s header %q", client.TimeoutHeader, v)
+				return
+			}
+			req.TimeoutMS = ms
+		}
+	}
 	st, err := s.Submit(req)
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShedding):
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterHint()))
 		writeError(w, http.StatusTooManyRequests, "%v", err)
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining) || errors.Is(err, ErrUnhealthy):
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterHint()))
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -96,6 +112,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	switch st.State {
 	case client.StateFailed:
 		writeError(w, http.StatusInternalServerError, "job %s failed: %s", id, st.Error)
+	case client.StateExpired:
+		writeError(w, http.StatusGone, "job %s expired: %s", id, st.Error)
 	case client.StateDone:
 		writeJSON(w, http.StatusOK, res)
 	default:

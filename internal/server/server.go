@@ -2,8 +2,10 @@
 // priority lanes and 429 backpressure, a worker pool that executes
 // simulations through the eval Runner's parallel engine, singleflight
 // deduplication across clients on the persistent store's content-addressed
-// cache key, and graceful drain — in-flight jobs finish, queued jobs are
-// requeued to disk and resume on the next daemon start.
+// cache key, and crash-safe job durability — every accepted job is recorded
+// in an append-only journal (internal/journal) before the client sees its
+// 202, so a daemon that dies by panic, OOM, or kill -9 re-enqueues exactly
+// the accepted-but-unfinished set on its next start.
 //
 // The execution path layers three caches, cheapest first: a per-process
 // flight table (jobs for a key already completed or in flight this process
@@ -11,6 +13,14 @@
 // sacsweep runs and earlier daemon lives), and finally a fresh simulation
 // through the shared eval.Runner. All three produce byte-identical results
 // to an in-process sac.Run of the same cell.
+//
+// Jobs may carry an end-to-end deadline (client.JobRequest.TimeoutMS or the
+// X-Sacd-Timeout-Ms header): a job still queued past its deadline fails
+// fast with state "expired" instead of burning a worker, a running job has
+// its simulation cancelled, and the absolute deadline survives restarts via
+// the journal. Admission is governed by a health-state machine (health.go):
+// a degraded daemon sheds batch-lane traffic, an unhealthy one sheds
+// everything, and both attach Retry-After so clients pace their comeback.
 package server
 
 import (
@@ -30,6 +40,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/fault"
 	"repro/internal/gpu"
+	"repro/internal/journal"
 	"repro/internal/llc"
 	"repro/internal/obs"
 	"repro/internal/stats"
@@ -43,15 +54,32 @@ var (
 	ErrQueueFull = errors.New("server: job queue full")
 	// ErrDraining reports a draining daemon (HTTP 503).
 	ErrDraining = errors.New("server: draining, not accepting jobs")
+	// ErrShedding reports a degraded daemon shedding batch-lane work
+	// (HTTP 429 with Retry-After).
+	ErrShedding = errors.New("server: degraded, shedding batch-lane jobs")
+	// ErrUnhealthy reports a daemon that cannot guarantee durability or
+	// progress (HTTP 503 with Retry-After).
+	ErrUnhealthy = errors.New("server: unhealthy, not accepting jobs")
 )
 
 // Config parameterizes a Server.
 type Config struct {
 	// Store is the persistent result cache; nil runs memo-only.
 	Store *store.Store
-	// RequeuePath, when non-empty, is where Drain persists queued jobs so a
-	// restarted daemon can resume them (LoadRequeued). With no path, Drain
-	// executes the queue to completion instead of persisting it.
+	// JournalPath, when non-empty, is the durable job journal. Every accept
+	// is journaled before the client is acknowledged; Recover replays the
+	// journal so a crashed daemon resumes accepted-but-unfinished jobs
+	// under their original IDs. Empty runs unjournaled (accepted jobs die
+	// with the process).
+	JournalPath string
+	// JournalSync fsyncs every journal append (the REPRO_JOURNAL_SYNC
+	// gate). Off, appends still reach the OS page cache — surviving
+	// process death, which is what the chaos harness exercises — but not
+	// power loss.
+	JournalSync bool
+	// RequeuePath is the legacy (pre-journal) drain spill file. Recover
+	// still imports and deletes it so an upgraded daemon loses nothing;
+	// Drain only writes it when running unjournaled.
 	RequeuePath string
 	// Workers bounds concurrent simulations; 0 means GOMAXPROCS.
 	Workers int
@@ -67,6 +95,14 @@ type Config struct {
 	// QueueCap bounds queued-but-not-started jobs across all lanes; a full
 	// queue rejects submissions with ErrQueueFull. 0 means 256.
 	QueueCap int
+	// DegradedQueueAge is how long the oldest queued job may wait before
+	// the daemon turns degraded and sheds batch-lane traffic; 0 means 30s.
+	DegradedQueueAge time.Duration
+	// StallAfter is how long one job may run before its worker counts as
+	// stalled (degraded; unhealthy when every worker is); 0 means 5m.
+	StallAfter time.Duration
+	// Chaos injects faults for the chaos harness; zero injects nothing.
+	Chaos Chaos
 	// Registry receives serving metrics (queue depth, cache hit/miss, job
 	// latency, inflight workers); nil disables them.
 	Registry *obs.Registry
@@ -101,6 +137,12 @@ type job struct {
 	plan *fault.Plan
 	key  string
 
+	// rawReq is the request as journaled, kept for runtime compaction.
+	// deadline is the absolute end-to-end deadline (zero = none). Both are
+	// written once before the job is published and read-only after.
+	rawReq   json.RawMessage
+	deadline time.Time
+
 	mu        sync.Mutex
 	state     string
 	source    string
@@ -114,7 +156,7 @@ type job struct {
 // flight is one singleflight execution of a cache key. The first job to
 // reach a key becomes the leader and executes; concurrent jobs for the same
 // key wait on done (source "dedup"), later jobs find the completed flight
-// (source "memo").
+// (source "memo"). Failed flights are evicted so a resubmission retries.
 type flight struct {
 	done   chan struct{}
 	res    *stats.Run
@@ -124,19 +166,27 @@ type flight struct {
 
 // metrics are the server's obs series.
 type metrics struct {
-	queueDepth  [3]*obs.Metric
-	inflight    *obs.Metric
-	accepted    *obs.Metric
-	rejected    *obs.Metric
-	done        *obs.Metric
-	failed      *obs.Metric
-	hits        *obs.Metric
-	misses      *obs.Metric
-	dedup       *obs.Metric
-	memo        *obs.Metric
-	requeued    *obs.Metric
-	jobLatency  *obs.Histogram
-	waitLatency *obs.Histogram
+	queueDepth        [3]*obs.Metric
+	inflight          *obs.Metric
+	accepted          *obs.Metric
+	rejected          *obs.Metric
+	done              *obs.Metric
+	failed            *obs.Metric
+	expired           *obs.Metric
+	shed              *obs.Metric
+	hits              *obs.Metric
+	misses            *obs.Metric
+	dedup             *obs.Metric
+	memo              *obs.Metric
+	requeued          *obs.Metric
+	recoveryErrs      *obs.Metric
+	jnlAppends        *obs.Metric
+	jnlCompactions    *obs.Metric
+	jnlRecords        *obs.Metric
+	healthState       *obs.Metric
+	healthTransitions *obs.Metric
+	jobLatency        *obs.Histogram
+	waitLatency       *obs.Histogram
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -145,18 +195,26 @@ func newMetrics(reg *obs.Registry) *metrics {
 	}
 	latency := []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}
 	m := &metrics{
-		inflight:    reg.Gauge("sacd_inflight_workers", "Jobs currently executing."),
-		accepted:    reg.Counter("sacd_jobs_accepted_total", "Jobs accepted into the queue."),
-		rejected:    reg.Counter("sacd_jobs_rejected_total", "Jobs rejected by backpressure or drain."),
-		done:        reg.Counter("sacd_jobs_done_total", "Jobs that finished successfully."),
-		failed:      reg.Counter("sacd_jobs_failed_total", "Jobs that finished with an error."),
-		hits:        reg.Counter("sacd_cache_hits_total", "Jobs served from the persistent result store."),
-		misses:      reg.Counter("sacd_cache_misses_total", "Jobs that missed the store and simulated."),
-		dedup:       reg.Counter("sacd_dedup_joins_total", "Jobs that joined another job's in-flight simulation."),
-		memo:        reg.Counter("sacd_memo_recalls_total", "Jobs recalled from a result completed earlier this process."),
-		requeued:    reg.Counter("sacd_jobs_requeued_total", "Queued jobs persisted to disk by a drain."),
-		jobLatency:  reg.Histogram("sacd_job_latency_seconds", "Submit-to-finish latency.", latency),
-		waitLatency: reg.Histogram("sacd_job_run_seconds", "Start-to-finish execution latency.", latency),
+		inflight:          reg.Gauge("sacd_inflight_workers", "Jobs currently executing."),
+		accepted:          reg.Counter("sacd_jobs_accepted_total", "Jobs accepted into the queue."),
+		rejected:          reg.Counter("sacd_jobs_rejected_total", "Jobs rejected by backpressure, shedding, or drain."),
+		done:              reg.Counter("sacd_jobs_done_total", "Jobs that finished successfully."),
+		failed:            reg.Counter("sacd_jobs_failed_total", "Jobs that finished with an error."),
+		expired:           reg.Counter("sacd_jobs_expired_total", "Jobs that missed their end-to-end deadline."),
+		shed:              reg.Counter("sacd_jobs_shed_total", "Batch-lane jobs shed while degraded."),
+		hits:              reg.Counter("sacd_cache_hits_total", "Jobs served from the persistent result store."),
+		misses:            reg.Counter("sacd_cache_misses_total", "Jobs that missed the store and simulated."),
+		dedup:             reg.Counter("sacd_dedup_joins_total", "Jobs that joined another job's in-flight simulation."),
+		memo:              reg.Counter("sacd_memo_recalls_total", "Jobs recalled from a result completed earlier this process."),
+		requeued:          reg.Counter("sacd_jobs_requeued_total", "Queued jobs carried across a drain for the next daemon life."),
+		recoveryErrs:      reg.Counter("sacd_recovery_errors_total", "Data-loss signals at startup recovery: corrupt journal records and unrestorable jobs."),
+		jnlAppends:        reg.Counter("sacd_journal_appends_total", "Journal records appended."),
+		jnlCompactions:    reg.Counter("sacd_journal_compactions_total", "Runtime journal compactions."),
+		jnlRecords:        reg.Gauge("sacd_journal_records", "Records in the journal file."),
+		healthState:       reg.Gauge("sacd_health_state", "Health state: 0 healthy, 1 degraded, 2 draining, 3 unhealthy."),
+		healthTransitions: reg.Counter("sacd_health_transitions_total", "Health-state machine transitions."),
+		jobLatency:        reg.Histogram("sacd_job_latency_seconds", "Submit-to-finish latency.", latency),
+		waitLatency:       reg.Histogram("sacd_job_run_seconds", "Start-to-finish execution latency.", latency),
 	}
 	for i, lane := range lanes {
 		m.queueDepth[i] = reg.Gauge("sacd_queue_depth", "Queued jobs per priority lane.", obs.L("lane", lane))
@@ -170,20 +228,26 @@ type Server struct {
 	runner *eval.Runner
 	m      *metrics
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queues   [3][]*job
-	queued   int
-	jobs     map[string]*job
-	flights  map[string]*flight
-	inflight int
-	draining bool
-	closed   bool
+	mu             sync.Mutex
+	cond           *sync.Cond
+	queues         [3][]*job
+	queued         int
+	jobs           map[string]*job
+	running        map[string]*job
+	flights        map[string]*flight
+	jnl            *journal.Journal
+	journalErr     error
+	recoveryErrors int
+	inflight       int
+	draining       bool
+	closed         bool
+	lastHealth     string
 
 	wg sync.WaitGroup
 }
 
-// New builds a Server; call Start to launch its workers.
+// New builds a Server; call Recover to restore previous lives' jobs, then
+// Start to launch its workers.
 func New(cfg Config) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -204,12 +268,14 @@ func New(cfg Config) *Server {
 			Store:       cfg.Store,
 			Obs:         observer,
 		},
-		m:    newMetrics(cfg.Registry),
-		jobs: make(map[string]*job),
+		m:       newMetrics(cfg.Registry),
+		jobs:    make(map[string]*job),
+		running: make(map[string]*job),
 		// flights deduplicate on the store key across clients; the runner
 		// memo beneath would too, but the flight table lets the server
 		// distinguish dedup joins from memo recalls and count them.
-		flights: make(map[string]*flight),
+		flights:    make(map[string]*flight),
+		lastHealth: client.HealthHealthy,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -226,7 +292,7 @@ func (s *Server) Start() {
 				if j == nil {
 					return
 				}
-				s.execute(j)
+				s.runJob(j)
 			}
 		}()
 	}
@@ -290,23 +356,34 @@ func resolve(req client.JobRequest) (gpu.Config, workload.Spec, *fault.Plan, err
 }
 
 // Submit validates and enqueues one job. Validation failures come back as
-// plain errors (HTTP 400); ErrQueueFull and ErrDraining signal
-// backpressure and drain.
+// plain errors (HTTP 400); ErrQueueFull, ErrShedding, ErrDraining, and
+// ErrUnhealthy signal backpressure, load shedding, and drain.
 func (s *Server) Submit(req client.JobRequest) (client.JobStatus, error) {
-	return s.submit(req, "")
+	return s.submit(req, "", time.Time{}, false)
 }
 
-// submit enqueues with an optional pinned id (requeued jobs keep theirs).
-// Requeued jobs bypass the queue cap: they were accepted by a previous
-// daemon life and must not be dropped by a full queue on restart.
-func (s *Server) submit(req client.JobRequest, pinnedID string) (client.JobStatus, error) {
+// submit enqueues with an optional pinned id and absolute deadline (both
+// used by recovery: restored jobs keep their identity and their original
+// deadline — a crash must not extend an SLO). Pinned jobs were accepted by
+// a previous daemon life, so they bypass the queue cap and load shedding:
+// dropping them now would be the data loss the journal exists to prevent.
+// journaled marks jobs already on disk (journal compaction at Open keeps
+// exactly the live set), whose accepts must not be re-appended.
+func (s *Server) submit(req client.JobRequest, pinnedID string, deadline time.Time, journaled bool) (client.JobStatus, error) {
 	lane, err := laneIndex(req.Priority)
 	if err != nil {
 		return client.JobStatus{}, err
 	}
+	if req.TimeoutMS < 0 {
+		return client.JobStatus{}, fmt.Errorf("negative timeout_ms %d", req.TimeoutMS)
+	}
 	cfg, spec, plan, err := resolve(req)
 	if err != nil {
 		return client.JobStatus{}, err
+	}
+	now := time.Now()
+	if deadline.IsZero() && req.TimeoutMS > 0 {
+		deadline = now.Add(time.Duration(req.TimeoutMS) * time.Millisecond)
 	}
 	j := &job{
 		id:        pinnedID,
@@ -316,27 +393,54 @@ func (s *Server) submit(req client.JobRequest, pinnedID string) (client.JobStatu
 		spec:      spec,
 		plan:      plan,
 		key:       store.Key(cfg, spec.Name, plan.Key()),
+		deadline:  deadline,
 		state:     client.StateQueued,
-		submitted: time.Now(),
+		submitted: now,
 	}
 	if j.id == "" {
 		j.id = newJobID()
 	}
 
 	s.mu.Lock()
-	if s.draining || s.closed {
+	if err := s.admitLocked(j, pinnedID != ""); err != nil {
 		s.mu.Unlock()
 		if s.m != nil {
 			s.m.rejected.Inc()
+			if errors.Is(err, ErrShedding) {
+				s.m.shed.Inc()
+			}
 		}
-		return client.JobStatus{}, ErrDraining
+		return client.JobStatus{}, err
 	}
-	if pinnedID == "" && s.queued >= s.cfg.QueueCap {
-		s.mu.Unlock()
-		if s.m != nil {
-			s.m.rejected.Inc()
+	if s.jnl != nil {
+		raw, merr := json.Marshal(req)
+		if merr != nil {
+			s.mu.Unlock()
+			return client.JobStatus{}, fmt.Errorf("server: encoding request: %w", merr)
 		}
-		return client.JobStatus{}, ErrQueueFull
+		j.rawReq = raw
+		if !journaled {
+			rec := journal.Record{Op: journal.OpAccept, ID: j.id, Req: raw}
+			if !deadline.IsZero() {
+				rec.Deadline = deadline.UnixMilli()
+			}
+			if jerr := s.jnl.Append(rec); jerr != nil {
+				// The accept may not be durable: refuse to acknowledge it.
+				// journalErr flips the health state to unhealthy so the
+				// client's retry meets a 503 instead of a broken promise.
+				s.journalErr = jerr
+				s.mu.Unlock()
+				if s.m != nil {
+					s.m.rejected.Inc()
+				}
+				return client.JobStatus{}, fmt.Errorf("%w: %v", ErrUnhealthy, jerr)
+			}
+			s.journalErr = nil
+			if s.m != nil {
+				s.m.jnlAppends.Inc()
+				s.m.jnlRecords.Set(float64(s.jnl.Records()))
+			}
+		}
 	}
 	s.queues[lane] = append(s.queues[lane], j)
 	s.queued++
@@ -352,19 +456,60 @@ func (s *Server) submit(req client.JobRequest, pinnedID string) (client.JobStatu
 	return st, nil
 }
 
-// pop blocks for the next job in priority order; nil means shut down.
+// admitLocked applies the health-state machine to one submission: draining
+// and unhealthy daemons accept nothing, degraded daemons shed the batch
+// lane, and the queue cap backpressures the rest. Restored jobs bypass
+// shedding and the cap (see submit).
+func (s *Server) admitLocked(j *job, restored bool) error {
+	if s.draining || s.closed {
+		return ErrDraining
+	}
+	state, _ := s.healthLocked(time.Now())
+	if restored {
+		return nil
+	}
+	switch state {
+	case client.HealthUnhealthy:
+		// Journal-driven unhealthiness is not a reject here: the accept
+		// append below retries the disk, and its success is what heals
+		// journalErr — otherwise an idle daemon would stay unhealthy
+		// forever after a transient disk error.
+		if s.journalErr == nil {
+			return ErrUnhealthy
+		}
+	case client.HealthDegraded:
+		if j.lane == 2 { // batch
+			return ErrShedding
+		}
+	}
+	if s.queued >= s.cfg.QueueCap {
+		return ErrQueueFull
+	}
+	return nil
+}
+
+// pop blocks for the next job in priority order; nil means shut down. Jobs
+// whose deadline passed while queued are expired here — terminal state,
+// journaled, no worker time burned — and the scan continues.
 func (s *Server) pop() *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
 		for lane := range s.queues {
-			if q := s.queues[lane]; len(q) > 0 {
-				j := q[0]
-				s.queues[lane] = q[1:]
+			for len(s.queues[lane]) > 0 {
+				j := s.queues[lane][0]
+				s.queues[lane] = s.queues[lane][1:]
 				s.queued--
-				s.inflight++
 				if s.m != nil {
 					s.m.queueDepth[lane].Add(-1)
+				}
+				if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+					s.expireLocked(j)
+					continue
+				}
+				s.inflight++
+				s.running[j.id] = j
+				if s.m != nil {
 					s.m.inflight.Add(1)
 				}
 				return j
@@ -377,6 +522,61 @@ func (s *Server) pop() *job {
 	}
 }
 
+// expireLocked marks a job expired (deadline passed before it could run),
+// journals the terminal state, and counts it. The caller holds s.mu.
+func (s *Server) expireLocked(j *job) {
+	now := time.Now()
+	j.mu.Lock()
+	j.state = client.StateExpired
+	j.finished = now
+	j.err = fmt.Errorf("deadline %s passed", j.deadline.Format(time.RFC3339Nano))
+	total := now.Sub(j.submitted).Seconds()
+	j.mu.Unlock()
+	if s.m != nil {
+		s.m.expired.Inc()
+		s.m.jobLatency.Observe(total)
+	}
+	s.journalLocked(journal.Record{Op: journal.OpDone, ID: j.id, State: "expired"})
+	s.maybeCompactLocked()
+	s.logf("expired %s after %.3fs", j.id, total)
+}
+
+// runJob executes one popped job and contains any panic that escapes the
+// execution path, so a single poisoned job cannot take a worker (or the
+// daemon) down with it.
+func (s *Server) runJob(j *job) {
+	defer func() {
+		if r := recover(); r != nil {
+			marked := false
+			j.mu.Lock()
+			if j.state == client.StateRunning {
+				j.state = client.StateFailed
+				j.err = fmt.Errorf("server: worker panic: %v", r)
+				j.finished = time.Now()
+				marked = true
+			}
+			j.mu.Unlock()
+			s.logf("worker: recovered panic executing %s: %v", j.id, r)
+			if marked {
+				if s.m != nil {
+					s.m.failed.Inc()
+				}
+				s.mu.Lock()
+				s.journalLocked(journal.Record{Op: journal.OpDone, ID: j.id, State: "failed"})
+				s.mu.Unlock()
+			}
+		}
+		s.mu.Lock()
+		s.inflight--
+		delete(s.running, j.id)
+		if s.m != nil {
+			s.m.inflight.Add(-1)
+		}
+		s.mu.Unlock()
+	}()
+	s.execute(j)
+}
+
 // execute runs one job through the flight table / store / runner stack.
 func (s *Server) execute(j *job) {
 	j.mu.Lock()
@@ -385,50 +585,83 @@ func (s *Server) execute(j *job) {
 	j.mu.Unlock()
 
 	s.mu.Lock()
-	f, leads := s.flights[j.key]
-	if !leads {
+	s.journalLocked(journal.Record{Op: journal.OpStart, ID: j.id})
+	f, joins := s.flights[j.key]
+	if !joins {
 		// No flight yet: this job leads the execution for its key.
 		f = &flight{done: make(chan struct{})}
 		s.flights[j.key] = f
 		s.mu.Unlock()
 		s.lead(f, j)
+		if f.err != nil {
+			// Evict the failed flight and the runner's memo of it so a
+			// resubmission retries instead of recalling the failure
+			// forever. In-RunAll memoization (one report per failing cell
+			// in a sweep) is unaffected: eviction happens after the run.
+			s.mu.Lock()
+			delete(s.flights, j.key)
+			s.mu.Unlock()
+			s.runner.Forget(eval.RunRequest{Cfg: j.cfg, Spec: j.spec, Faults: j.plan})
+		}
 		j.finish(s, f, f.source)
-	} else {
-		completed := false
-		select {
-		case <-f.done:
-			completed = true
-		default:
-		}
-		s.mu.Unlock()
-		if completed {
-			// The key finished earlier in this process: instant recall.
-			j.finish(s, f, client.SourceMemo)
-			if s.m != nil {
-				s.m.memo.Inc()
-			}
-		} else {
-			// Another client's identical cell is simulating right now:
-			// join it instead of simulating twice.
-			<-f.done
-			j.finish(s, f, client.SourceDedup)
-			if s.m != nil {
-				s.m.dedup.Inc()
-			}
-		}
+		return
 	}
-
-	s.mu.Lock()
-	s.inflight--
-	if s.m != nil {
-		s.m.inflight.Add(-1)
+	completed := false
+	select {
+	case <-f.done:
+		completed = true
+	default:
 	}
 	s.mu.Unlock()
+	if completed {
+		// The key finished earlier in this process: instant recall.
+		j.finish(s, f, client.SourceMemo)
+		if s.m != nil {
+			s.m.memo.Inc()
+		}
+		return
+	}
+	// Another client's identical cell is simulating right now: join it
+	// instead of simulating twice — but only for as long as this job's own
+	// deadline allows.
+	if !j.deadline.IsZero() {
+		t := time.NewTimer(time.Until(j.deadline))
+		select {
+		case <-f.done:
+			t.Stop()
+		case <-t.C:
+			s.mu.Lock()
+			s.expireLocked(j)
+			s.mu.Unlock()
+			return
+		}
+	} else {
+		<-f.done
+	}
+	j.finish(s, f, client.SourceDedup)
+	if s.m != nil {
+		s.m.dedup.Inc()
+	}
 }
 
-// lead executes the simulation (or store load) on behalf of a flight.
+// lead executes the simulation (or store load) on behalf of a flight. A
+// panic in the execution path (chaos injection, poisoned input) is caught
+// here so f.done always closes with f.err set — joiners see a failed job,
+// never a bogus success.
 func (s *Server) lead(f *flight, j *job) {
-	defer close(f.done)
+	defer func() {
+		if r := recover(); r != nil {
+			f.res = nil
+			f.err = fmt.Errorf("server: panic executing %s: %v", j.id, r)
+		}
+		close(f.done)
+	}()
+	if hook := s.cfg.Chaos.BeforeRun; hook != nil {
+		hook(j.id)
+	}
+	if d := s.cfg.Chaos.RunDelay; d > 0 {
+		time.Sleep(d)
+	}
 	if res, ok := s.cfg.Store.Get(j.key); ok {
 		f.res, f.source = res, client.SourceStore
 		if s.m != nil {
@@ -439,11 +672,17 @@ func (s *Server) lead(f *flight, j *job) {
 	if s.cfg.Store != nil && s.m != nil {
 		s.m.misses.Inc()
 	}
+	ctx := context.Background()
+	if !j.deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, j.deadline)
+		defer cancel()
+	}
 	// The runner executes through its worker pool (sized to ours, so it
 	// never queues beneath us), memoizes, and — when a store is attached —
 	// writes the result back for the next daemon life. Its own store check
 	// re-misses (we just checked), which is one cheap stat call.
-	runs, err := s.runner.RunAll([]eval.RunRequest{{Cfg: j.cfg, Spec: j.spec, Faults: j.plan}})
+	runs, err := s.runner.RunAll([]eval.RunRequest{{Cfg: j.cfg, Spec: j.spec, Faults: j.plan, Ctx: ctx}})
 	if err != nil {
 		f.err = err
 		return
@@ -451,13 +690,30 @@ func (s *Server) lead(f *flight, j *job) {
 	f.res, f.source = runs[0], client.SourceSim
 }
 
-// finish publishes a flight's outcome to the job and the metrics.
+// journalState maps a terminal client state to its journal done-state.
+func journalState(state string) string {
+	switch state {
+	case client.StateFailed:
+		return "failed"
+	case client.StateExpired:
+		return "expired"
+	}
+	return "done"
+}
+
+// finish publishes a flight's outcome to the job, the journal, and the
+// metrics. A deadline-exceeded error terminates as "expired", anything else
+// as "failed".
 func (j *job) finish(s *Server, f *flight, source string) {
 	j.mu.Lock()
 	j.finished = time.Now()
 	j.source = source
 	if f.err != nil {
-		j.state = client.StateFailed
+		if errors.Is(f.err, context.DeadlineExceeded) {
+			j.state = client.StateExpired
+		} else {
+			j.state = client.StateFailed
+		}
 		j.err = f.err
 	} else {
 		j.state = client.StateDone
@@ -469,15 +725,78 @@ func (j *job) finish(s *Server, f *flight, source string) {
 	j.mu.Unlock()
 
 	if s.m != nil {
-		if state == client.StateFailed {
+		switch state {
+		case client.StateFailed:
 			s.m.failed.Inc()
-		} else {
+		case client.StateExpired:
+			s.m.expired.Inc()
+		default:
 			s.m.done.Inc()
 		}
 		s.m.jobLatency.Observe(total)
 		s.m.waitLatency.Observe(run)
 	}
+	s.mu.Lock()
+	s.journalLocked(journal.Record{Op: journal.OpDone, ID: j.id, State: journalState(state)})
+	s.maybeCompactLocked()
+	s.mu.Unlock()
 	s.logf("%s %s source=%s total=%.3fs", state, j.id, source, total)
+}
+
+// journalLocked appends one non-accept record best-effort: a failure flips
+// the server unhealthy (durability is compromised) but does not block the
+// job — its terminal state is already decided, and the store still carries
+// results. A later successful append heals journalErr. The caller holds
+// s.mu; journal appends are serialized under it so runtime compaction's
+// live-set snapshot can never race a done record.
+func (s *Server) journalLocked(rec journal.Record) {
+	if s.jnl == nil {
+		return
+	}
+	if err := s.jnl.Append(rec); err != nil {
+		s.journalErr = err
+		s.logf("journal: append %s %s: %v", rec.Op, rec.ID, err)
+		return
+	}
+	s.journalErr = nil
+	if s.m != nil {
+		s.m.jnlAppends.Inc()
+		s.m.jnlRecords.Set(float64(s.jnl.Records()))
+	}
+}
+
+// maybeCompactLocked rewrites the journal down to the live set once dead
+// records dominate it, so a long-lived daemon's journal stays proportional
+// to its backlog instead of its history. The caller holds s.mu.
+func (s *Server) maybeCompactLocked() {
+	if s.jnl == nil || !s.jnl.ShouldCompact() {
+		return
+	}
+	var live []journal.LiveJob
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		state := j.state
+		j.mu.Unlock()
+		switch state {
+		case client.StateQueued, client.StateRunning, client.StateRequeued:
+			lj := journal.LiveJob{ID: j.id, Req: j.rawReq, Started: state == client.StateRunning}
+			if !j.deadline.IsZero() {
+				lj.Deadline = j.deadline.UnixMilli()
+			}
+			live = append(live, lj)
+		}
+	}
+	if err := s.jnl.Compact(live); err != nil {
+		s.journalErr = err
+		s.logf("journal: compact: %v", err)
+		return
+	}
+	s.journalErr = nil
+	if s.m != nil {
+		s.m.jnlCompactions.Inc()
+		s.m.jnlRecords.Set(float64(s.jnl.Records()))
+	}
+	s.logf("journal: compacted to %d live records", len(live))
 }
 
 // statusLocked renders a job status snapshot; the server lock must be held
@@ -504,6 +823,10 @@ func (s *Server) statusLocked(j *job) client.JobStatus {
 	if !j.finished.IsZero() {
 		t := j.finished
 		st.FinishedAt = &t
+	}
+	if !j.deadline.IsZero() {
+		t := j.deadline
+		st.DeadlineAt = &t
 	}
 	if j.res != nil {
 		st.Cycles = j.res.Cycles
@@ -554,27 +877,34 @@ func (s *Server) Result(id string) (*stats.Run, client.JobStatus, bool) {
 
 // HealthSnapshot summarizes the server for /v1/healthz.
 func (s *Server) HealthSnapshot() client.Health {
+	now := time.Now()
 	s.mu.Lock()
+	state, reasons := s.healthLocked(now)
 	h := client.Health{
-		Status:     "ok",
-		Draining:   s.draining,
-		Workers:    s.cfg.Workers,
-		Inflight:   s.inflight,
-		QueueDepth: s.queued,
-		Jobs:       len(s.jobs),
+		Status:         state,
+		Reasons:        reasons,
+		Draining:       s.draining,
+		Workers:        s.cfg.Workers,
+		Inflight:       s.inflight,
+		QueueDepth:     s.queued,
+		Jobs:           len(s.jobs),
+		OldestQueuedMS: s.oldestQueuedLocked(now).Milliseconds(),
+		RecoveryErrors: s.recoveryErrors,
+	}
+	if s.jnl != nil {
+		h.JournalRecords = s.jnl.Records()
+		h.JournalLive = s.jnl.Live()
 	}
 	s.mu.Unlock()
-	if s.draining {
-		h.Status = "draining"
-	}
 	if st := s.cfg.Store; st != nil {
 		h.StoreObjects = st.Len()
 		h.StoreBytes = st.SizeBytes()
+		h.StoreCorrupt = st.Corrupt()
 	}
 	return h
 }
 
-// requeueFile is the on-disk drain format.
+// requeueFile is the legacy (pre-journal) on-disk drain format.
 type requeueFile struct {
 	Jobs []requeuedJob `json:"jobs"`
 }
@@ -585,9 +915,14 @@ type requeuedJob struct {
 }
 
 // Drain stops accepting jobs, lets in-flight jobs finish, and deals with
-// the queue: with a RequeuePath the queued jobs are persisted to disk
-// (state "requeued") for the next daemon life; without one they execute to
-// completion. Drain returns once the workers are idle or ctx expires.
+// the queue: under a journal the queued jobs simply stay live in it (state
+// "requeued"; the next life's Recover re-enqueues them) and a clean
+// shutdown mark is appended once the workers are idle, so replay can tell a
+// graceful drain from a crash. Unjournaled with a RequeuePath, the queue
+// spills to the legacy requeue file; with neither, it executes to
+// completion. Drain returns once the workers are idle or ctx expires — an
+// expired drain writes no shutdown mark, which is the truth: jobs were
+// still in flight.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -597,7 +932,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.draining = true
 
 	var spill []*job
-	if s.cfg.RequeuePath != "" {
+	if s.jnl != nil || s.cfg.RequeuePath != "" {
 		for lane := range s.queues {
 			for _, j := range s.queues[lane] {
 				spill = append(spill, j)
@@ -610,24 +945,31 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.queued = 0
 	}
 	s.closed = true
+	journaled := s.jnl != nil
 	s.cond.Broadcast()
 	s.mu.Unlock()
 
+	for _, j := range spill {
+		j.mu.Lock()
+		j.state = client.StateRequeued
+		j.mu.Unlock()
+	}
 	if len(spill) > 0 {
-		f := requeueFile{Jobs: make([]requeuedJob, len(spill))}
-		for i, j := range spill {
-			f.Jobs[i] = requeuedJob{ID: j.id, Req: j.req}
-			j.mu.Lock()
-			j.state = client.StateRequeued
-			j.mu.Unlock()
-		}
-		if err := writeJSONAtomic(s.cfg.RequeuePath, f); err != nil {
-			return fmt.Errorf("server: persisting %d queued jobs: %w", len(spill), err)
+		if !journaled {
+			f := requeueFile{Jobs: make([]requeuedJob, len(spill))}
+			for i, j := range spill {
+				f.Jobs[i] = requeuedJob{ID: j.id, Req: j.req}
+			}
+			if err := writeJSONAtomic(s.cfg.RequeuePath, f); err != nil {
+				return fmt.Errorf("server: persisting %d queued jobs: %w", len(spill), err)
+			}
+			s.logf("drain: requeued %d queued jobs to %s", len(spill), s.cfg.RequeuePath)
+		} else {
+			s.logf("drain: %d queued jobs stay live in the journal", len(spill))
 		}
 		if s.m != nil {
 			s.m.requeued.Add(float64(len(spill)))
 		}
-		s.logf("drain: requeued %d queued jobs to %s", len(spill), s.cfg.RequeuePath)
 	}
 
 	idle := make(chan struct{})
@@ -637,6 +979,15 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-idle:
+		if journaled {
+			s.mu.Lock()
+			s.journalLocked(journal.Record{Op: journal.OpMark, State: journal.MarkShutdown})
+			err := s.jnl.Close()
+			s.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("server: closing journal: %w", err)
+			}
+		}
 		s.logf("drain: workers idle")
 		return nil
 	case <-ctx.Done():
@@ -644,9 +995,83 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// LoadRequeued restores jobs persisted by a previous life's Drain and
-// deletes the file. It must be called after Start.
-func (s *Server) LoadRequeued() (int, error) {
+// Recover restores jobs from previous daemon lives. With a JournalPath it
+// opens the journal (replaying and compacting it) and re-enqueues every
+// accepted-but-unfinished job under its original ID and absolute deadline —
+// this is what makes an accept durable across kill -9. It then imports any
+// legacy requeue file left by a pre-journal drain and deletes it. Corrupt
+// journal records and unrestorable jobs are counted (healthz
+// recovery_errors, sacd_recovery_errors_total) rather than silently
+// dropped. Call Recover once, between New and serving traffic; jobs
+// submitted before it would bypass the journal.
+func (s *Server) Recover() (int, error) {
+	restored := 0
+	if s.cfg.JournalPath != "" {
+		jnl, rep, err := journal.Open(s.cfg.JournalPath, journal.Options{
+			Sync:     s.cfg.JournalSync,
+			SyncHook: s.cfg.Chaos.JournalSync,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("server: opening journal: %w", err)
+		}
+		s.mu.Lock()
+		s.jnl = jnl
+		s.recoveryErrors += rep.Corrupt
+		s.mu.Unlock()
+		if rep.Corrupt > 0 {
+			if s.m != nil {
+				s.m.recoveryErrs.Add(float64(rep.Corrupt))
+			}
+			s.logf("recover: %d corrupt journal records dropped", rep.Corrupt)
+		}
+		for _, lj := range rep.Live {
+			var deadline time.Time
+			if lj.Deadline != 0 {
+				deadline = time.UnixMilli(lj.Deadline)
+			}
+			var req client.JobRequest
+			if err := json.Unmarshal(lj.Req, &req); err != nil {
+				s.dropUnrestorable(lj.ID, fmt.Errorf("undecodable request: %w", err))
+				continue
+			}
+			if _, err := s.submit(req, lj.ID, deadline, true); err != nil {
+				s.dropUnrestorable(lj.ID, err)
+				continue
+			}
+			restored++
+		}
+		if s.m != nil {
+			s.m.jnlRecords.Set(float64(jnl.Records()))
+		}
+		switch {
+		case rep.CleanShutdown:
+			s.logf("recover: clean shutdown, %d jobs resumed", restored)
+		case rep.Records > 0 || rep.Corrupt > 0:
+			s.logf("recover: previous life crashed; %d jobs resumed from journal", restored)
+		}
+	}
+	n, err := s.importLegacyRequeue()
+	return restored + n, err
+}
+
+// dropUnrestorable retires a journaled job that cannot be re-enqueued
+// (undecodable or no-longer-valid request): it is marked done/failed in the
+// journal so it stops being live, and counted as a recovery error so the
+// loss is observable.
+func (s *Server) dropUnrestorable(id string, err error) {
+	s.logf("recover: dropping journaled job %s: %v", id, err)
+	s.mu.Lock()
+	s.recoveryErrors++
+	s.journalLocked(journal.Record{Op: journal.OpDone, ID: id, State: "failed"})
+	s.mu.Unlock()
+	if s.m != nil {
+		s.m.recoveryErrs.Inc()
+	}
+}
+
+// importLegacyRequeue restores jobs persisted by a pre-journal Drain and
+// deletes the file.
+func (s *Server) importLegacyRequeue() (int, error) {
 	path := s.cfg.RequeuePath
 	if path == "" {
 		return 0, nil
@@ -663,18 +1088,26 @@ func (s *Server) LoadRequeued() (int, error) {
 		// A corrupt requeue file must not wedge startup; the jobs it held
 		// are lost but the store may still carry their results.
 		os.Remove(path)
+		s.mu.Lock()
+		s.recoveryErrors++
+		s.mu.Unlock()
+		if s.m != nil {
+			s.m.recoveryErrs.Inc()
+		}
 		return 0, fmt.Errorf("server: corrupt requeue file %s dropped: %w", path, err)
 	}
 	os.Remove(path)
 	n := 0
 	for _, rj := range f.Jobs {
-		if _, err := s.submit(rj.Req, rj.ID); err != nil {
+		if _, err := s.submit(rj.Req, rj.ID, time.Time{}, false); err != nil {
 			s.logf("requeue: dropping %s: %v", rj.ID, err)
 			continue
 		}
 		n++
 	}
-	s.logf("requeue: restored %d jobs from %s", n, path)
+	if n > 0 {
+		s.logf("requeue: restored %d jobs from %s", n, path)
+	}
 	return n, nil
 }
 

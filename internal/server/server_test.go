@@ -351,7 +351,7 @@ func TestDrainRequeuesQueuedJobs(t *testing.T) {
 	}
 
 	s2, _ := testDaemon(t, Config{Workers: 2, QueueCap: 16, RequeuePath: requeue})
-	n, err := s2.LoadRequeued()
+	n, err := s2.Recover()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +399,7 @@ func TestHealthAndMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.Status != "ok" || h.Workers != 3 || h.Jobs != 1 {
+	if h.Status != client.HealthHealthy || h.Workers != 3 || h.Jobs != 1 {
 		t.Fatalf("health %+v", h)
 	}
 	if h.StoreObjects != 1 {

@@ -7,11 +7,15 @@
 //
 // Durability model: objects are written to a temp file in the store
 // directory and renamed into place, so a reader never observes a torn
-// write. The index (sizes + recency for the LRU cap) is rewritten on every
-// Put; recency bumps from Get are flushed by Close and otherwise lost on a
-// crash, which only weakens eviction order, never correctness. A missing or
-// corrupt index is rebuilt by scanning the object directory; a corrupt or
-// mismatched object is deleted and reported as a miss. The store is safe
+// write. Every object embeds a SHA-256 of its result payload, verified on
+// Get: bit rot, a torn write that still parses, or a hand-edited file is
+// caught before it deserializes into plausible garbage. The index (sizes +
+// recency for the LRU cap) is rewritten on every Put; recency bumps from
+// Get are flushed by Close and otherwise lost on a crash, which only
+// weakens eviction order, never correctness. A missing or corrupt index is
+// rebuilt by scanning the object directory; a corrupt or mismatched object
+// is quarantined (renamed to .corrupt, preserved for forensics), counted,
+// and reported as a miss. The store is safe
 // for concurrent use by multiple goroutines of one process; concurrent
 // processes sharing a directory stay correct (atomic renames) but may
 // double-simulate on a racing miss.
@@ -34,9 +38,11 @@ import (
 )
 
 // schemaVersion is baked into every cache key: bump it when the meaning of
-// a stored result changes (simulator semantics, stats layout), so stale
-// entries become unreachable instead of wrong.
-const schemaVersion = 1
+// a stored result changes (simulator semantics, stats layout, envelope
+// integrity fields), so stale entries become unreachable instead of wrong.
+// v2 added the content hash (envelope.Sum); v1 objects are simply never
+// addressed again and age out through LRU eviction.
+const schemaVersion = 2
 
 // KeyMaterial is the canonical identity of one simulation. Hashing its
 // deterministic JSON encoding yields the cache key.
@@ -70,7 +76,20 @@ func keyOf(m KeyMaterial) string {
 type envelope struct {
 	Version int         `json:"version"`
 	Key     KeyMaterial `json:"key"`
-	Result  *stats.Run  `json:"result"`
+	// Sum is the hex SHA-256 of the canonical Result JSON, written at Put
+	// and verified at Get so corruption is caught rather than served.
+	Sum    string     `json:"sum"`
+	Result *stats.Run `json:"result"`
+}
+
+// resultSum computes the content hash stored in envelope.Sum.
+func resultSum(res *stats.Run) (string, error) {
+	b, err := json.Marshal(res)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // Options tune a Store.
@@ -78,6 +97,10 @@ type Options struct {
 	// MaxBytes caps the total object bytes; the least-recently-used entries
 	// are evicted when a Put exceeds it. 0 means unbounded.
 	MaxBytes int64
+	// OnCorrupt, when set, is called (possibly concurrently) with the key
+	// of every object quarantined by Get — the sacd daemon counts these
+	// into sacd_store_corrupt_total.
+	OnCorrupt func(key string)
 }
 
 // indexEntry is the per-object index record.
@@ -94,16 +117,18 @@ type indexFile struct {
 
 // Store is an open result cache rooted at one directory.
 type Store struct {
-	dir string
-	max int64
+	dir       string
+	max       int64
+	onCorrupt func(string)
 
 	mu    sync.Mutex
 	idx   map[string]indexEntry
 	clock int64
 	total int64
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits    atomic.Int64
+	misses  atomic.Int64
+	corrupt atomic.Int64
 }
 
 // Open opens (creating if necessary) the store rooted at dir.
@@ -114,7 +139,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, max: opts.MaxBytes, idx: make(map[string]indexEntry)}
+	s := &Store{dir: dir, max: opts.MaxBytes, onCorrupt: opts.OnCorrupt, idx: make(map[string]indexEntry)}
 	if err := s.loadIndex(); err != nil {
 		// Corrupt or missing index: rebuild from the objects on disk.
 		s.rebuildIndex()
@@ -200,7 +225,10 @@ func (s *Store) saveIndexLocked() {
 }
 
 // Get returns the stored result for key, or ok=false on a miss. Corrupt or
-// mismatched objects are deleted and reported as misses.
+// mismatched objects — bad JSON, wrong schema, a key that does not address
+// the embedded material, or a result whose SHA-256 no longer matches its
+// recorded Sum — are quarantined as .corrupt files and reported as misses,
+// never deserialized into a caller's hands.
 func (s *Store) Get(key string) (*stats.Run, bool) {
 	if s == nil {
 		return nil, false
@@ -214,8 +242,15 @@ func (s *Store) Get(key string) (*stats.Run, bool) {
 	var env envelope
 	if err := json.Unmarshal(b, &env); err != nil ||
 		env.Version != schemaVersion || env.Result == nil || keyOf(env.Key) != key {
-		// Torn, corrupt, or foreign object: drop it so the slot heals.
-		s.drop(key)
+		s.quarantine(key)
+		s.misses.Add(1)
+		return nil, false
+	}
+	if sum, err := resultSum(env.Result); err != nil || sum != env.Sum {
+		// The payload parsed but its content hash does not check out:
+		// bit rot or tampering that would otherwise be served as a
+		// plausible-looking result.
+		s.quarantine(key)
 		s.misses.Add(1)
 		return nil, false
 	}
@@ -243,7 +278,11 @@ func (s *Store) Put(key string, m KeyMaterial, res *stats.Run) error {
 	if keyOf(m) != key {
 		return fmt.Errorf("store: key %.12s does not address the supplied material", key)
 	}
-	b, err := json.Marshal(envelope{Version: schemaVersion, Key: m, Result: res})
+	sum, err := resultSum(res)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	b, err := json.Marshal(envelope{Version: schemaVersion, Key: m, Sum: sum, Result: res})
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -314,15 +353,27 @@ func (s *Store) evictLocked() {
 	}
 }
 
-// drop removes one object and its index entry (corruption healing).
-func (s *Store) drop(key string) {
-	os.Remove(s.objectPath(key))
+// quarantine sidelines one corrupt object: renamed to <object>.corrupt so
+// the evidence survives for forensics (rebuildIndex and Get both ignore
+// the suffix), dropped from the index so the slot heals, counted, and
+// reported through the OnCorrupt hook.
+func (s *Store) quarantine(key string) {
+	path := s.objectPath(key)
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		// Rename failed (exotic filesystem, permissions): fall back to
+		// removal — a corrupt object must never stay addressable.
+		os.Remove(path)
+	}
 	s.mu.Lock()
 	if e, ok := s.idx[key]; ok {
 		s.total -= e.Size
 		delete(s.idx, key)
 	}
 	s.mu.Unlock()
+	s.corrupt.Add(1)
+	if s.onCorrupt != nil {
+		s.onCorrupt(key)
+	}
 }
 
 // Len returns the number of stored objects.
@@ -350,6 +401,14 @@ func (s *Store) Hits() int64 { return s.hits.Load() }
 
 // Misses returns the number of Get calls that found nothing usable.
 func (s *Store) Misses() int64 { return s.misses.Load() }
+
+// Corrupt returns the number of objects quarantined by Get since Open.
+func (s *Store) Corrupt() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.corrupt.Load()
+}
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }

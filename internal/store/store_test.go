@@ -113,10 +113,11 @@ func TestReopenSeesEntries(t *testing.T) {
 	}
 }
 
-func TestCorruptObjectIsAMissAndHeals(t *testing.T) {
+func TestCorruptObjectQuarantinedAndHeals(t *testing.T) {
 	dir := t.TempDir()
 	cfg := testConfig()
-	s, err := Open(dir, Options{})
+	var reported []string
+	s, err := Open(dir, Options{OnCorrupt: func(key string) { reported = append(reported, key) }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,17 +134,69 @@ func TestCorruptObjectIsAMissAndHeals(t *testing.T) {
 		t.Fatal("corrupt object served as a hit")
 	}
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
-		t.Fatal("corrupt object not deleted")
+		t.Fatal("corrupt object still addressable")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt object not quarantined for forensics: %v", err)
+	}
+	if s.Corrupt() != 1 || len(reported) != 1 || reported[0] != key {
+		t.Fatalf("corruption accounting: Corrupt=%d reported=%v", s.Corrupt(), reported)
 	}
 	if s.Len() != 0 {
 		t.Fatalf("index still holds %d entries after healing", s.Len())
 	}
-	// The slot is writable again.
+	// The slot is writable again, and the quarantined sibling is invisible
+	// to a reopened store's index rebuild.
 	if err := s.PutRun(cfg, "BP", "", testRun("BP", 7)); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.Get(key); !ok {
 		t.Fatal("healed slot still misses")
+	}
+	s.Close()
+	os.Remove(filepath.Join(dir, "index.json"))
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("rebuilt index counts %d entries, want 1 (quarantine file leaked in)", s2.Len())
+	}
+}
+
+func TestContentHashMismatchQuarantined(t *testing.T) {
+	// A result payload silently altered on disk still parses as valid JSON
+	// under the right key — only the content hash catches it.
+	dir := t.TempDir()
+	cfg := testConfig()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(cfg, "BP", "")
+	if err := s.PutRun(cfg, "BP", "", testRun("BP", 7)); err != nil {
+		t.Fatal(err)
+	}
+	path := s.objectPath(key)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(b), `"Cycles":7`, `"Cycles":8`, 1)
+	if tampered == string(b) {
+		t.Fatal("test setup: cycles field not found in object JSON")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("tampered result served as a hit")
+	}
+	if s.Corrupt() != 1 {
+		t.Fatalf("Corrupt=%d after tampered Get, want 1", s.Corrupt())
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("tampered object not quarantined: %v", err)
 	}
 }
 
@@ -211,7 +264,7 @@ func TestLRUEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	objSize := probe.SizeBytes()
-	probe.drop(Key(cfg, "BP", ""))
+	probe.quarantine(Key(cfg, "BP", ""))
 
 	s, err := Open(dir, Options{MaxBytes: objSize*2 + objSize/2})
 	if err != nil {
@@ -247,7 +300,7 @@ func TestGetBumpsRecency(t *testing.T) {
 		t.Fatal(err)
 	}
 	objSize := probe.SizeBytes()
-	probe.drop(Key(cfg, "BP", ""))
+	probe.quarantine(Key(cfg, "BP", ""))
 
 	s, err := Open(dir, Options{MaxBytes: objSize*2 + objSize/2})
 	if err != nil {
