@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race shuffle smoke chaossmoke fuzz vuln fieldalign check bench benchsmoke benchguard fig8 fmt
+.PHONY: build test vet race shuffle smoke chaossmoke fidelitysmoke fuzz vuln fieldalign check bench benchsmoke benchguard fig8 fmt
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,16 @@ chaossmoke:
 		./internal/server
 	REPRO_JOURNAL_SYNC=1 $(GO) test -race -count=1 -run 'TestCrashRecoveryE2E' ./cmd/sacd
 
+# fidelitysmoke is the fidelity-ladder gate: the estimate and sampled rungs
+# must reproduce the cycle-exact SAC org decision on all 16 Table-4
+# workloads, the sampled rung must stay byte-identical across chip-worker
+# counts, exact runs must stay unlabelled (byte-identical to pre-ladder
+# output), and the 16-workload estimate sweep must finish in well under a
+# second.
+fidelitysmoke:
+	$(GO) test -count=1 \
+		-run 'TestCrossFidelityDecisions|TestSampledDeterminism|TestEstimateLatency|TestFidelityRoundTrip' .
+
 # fuzz is a short smoke of the untrusted-input parsers (the trace reader).
 # An exec-count budget keeps the wall time stable on single-core CI runners;
 # long campaigns run the same target with a time budget instead.
@@ -73,13 +83,13 @@ fieldalign:
 # detector and again in shuffled order, the sacd daemon smoke, the chaos /
 # crash-recovery smoke, a fuzz smoke of the parsers, a one-iteration
 # benchmark smoke, and an advisory vulnerability scan.
-check: vet fieldalign race shuffle smoke chaossmoke fuzz benchsmoke vuln
+check: vet fieldalign race shuffle smoke chaossmoke fidelitysmoke fuzz benchsmoke vuln
 
 # benchsmoke compiles and executes the throughput-critical benchmarks for a
 # single iteration — it catches benchmarks broken by API drift without
 # paying for a measurement run.
 benchsmoke:
-	$(GO) test -run '^$$' -bench 'StepParallel|SimulatorThroughput$$|IdleFastForward|LLCLookup' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'StepParallel|SimulatorThroughput$$|IdleFastForward|LLCLookup|Estimate$$|SampledRun$$' -benchtime 1x .
 
 # benchguard is the perf-regression gate: a full Fig 8 sweep with no
 # observer attached must stay within 1% of the newest recorded allocation

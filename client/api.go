@@ -55,6 +55,16 @@ const (
 	PriorityBatch  = "batch"
 )
 
+// Fidelity rungs a job may request (sac.Fidelity values). Exact is the
+// default and the only rung whose results are bit-exact; estimate jobs are
+// answered synchronously on the accept path (the submission response is
+// already terminal), while sampled and exact jobs flow through the queue.
+const (
+	FidelityEstimate = string(sac.FidelityEstimate)
+	FidelitySampled  = string(sac.FidelitySampled)
+	FidelityExact    = string(sac.FidelityExact)
+)
+
 // JobRequest names one simulation cell to run.
 type JobRequest struct {
 	// Benchmark is a Table-4 workload name (sac.BenchmarkNames).
@@ -72,6 +82,11 @@ type JobRequest struct {
 	Faults string `json:"faults,omitempty"`
 	// Priority selects the queue lane; "" means normal.
 	Priority string `json:"priority,omitempty"`
+	// Fidelity selects the simulation rung: "estimate", "sampled", or
+	// "exact" ("" = exact). Unknown values are rejected with HTTP 400.
+	// Estimate jobs never queue — the daemon answers them synchronously and
+	// the submission response is already in a terminal state.
+	Fidelity string `json:"fidelity,omitempty"`
 	// TimeoutMS is the end-to-end deadline budget in milliseconds measured
 	// from acceptance (0 = none): a job still queued past it fails fast
 	// with state "expired" instead of burning a worker, and a running job
@@ -86,6 +101,8 @@ type JobStatus struct {
 	Benchmark string `json:"benchmark"`
 	Org       string `json:"org"`
 	Priority  string `json:"priority"`
+	// Fidelity is the rung the job ran at ("estimate", "sampled", "exact").
+	Fidelity string `json:"fidelity"`
 	// Key is the content address of the job's cell in the result store.
 	Key string `json:"key,omitempty"`
 	// Source reports how the result was obtained (done jobs only).

@@ -52,26 +52,28 @@ func main() {
 		workers     = flag.Int("workers", 0, "max simulations in flight (0 = all cores)")
 		chipWorkers = flag.Int("chip-workers", 0, "intra-run chip parallelism per simulation, bit-identical at any value (0 = auto-budget against -workers, 1 = serial)")
 		queueCap    = flag.Int("queue", 256, "max queued jobs before submissions get 429")
+		fidelity    = flag.String("fidelity", "", "fidelity applied to jobs that name none: estimate | sampled | exact (default exact)")
 		journalPath = flag.String("journal", "", "durable job journal path (default <cache-dir>/journal.wal; \"off\" disables)")
 		drainGrace  = flag.Duration("drain-grace", 10*time.Minute, "how long a shutdown signal waits for in-flight jobs")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the API address")
 		quiet       = flag.Bool("q", false, "suppress per-job log lines")
 	)
 	flag.Parse()
-	if err := run(*addr, *cacheDir, *cacheMax, *workers, *chipWorkers, *queueCap, *journalPath, *drainGrace, *pprofOn, *quiet); err != nil {
+	if err := run(*addr, *cacheDir, *cacheMax, *workers, *chipWorkers, *queueCap, *fidelity, *journalPath, *drainGrace, *pprofOn, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "sacd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, cacheDir string, cacheMax int64, workers, chipWorkers, queueCap int, journalPath string, drainGrace time.Duration, pprofOn, quiet bool) error {
+func run(addr, cacheDir string, cacheMax int64, workers, chipWorkers, queueCap int, fidelity, journalPath string, drainGrace time.Duration, pprofOn, quiet bool) error {
 	cfg := server.Config{
-		Workers:     workers,
-		ChipWorkers: chipWorkers,
-		QueueCap:    queueCap,
-		EnablePprof: pprofOn,
-		JournalSync: journalSyncEnabled(),
-		Registry:    obs.NewRegistry(),
+		Workers:         workers,
+		ChipWorkers:     chipWorkers,
+		QueueCap:        queueCap,
+		DefaultFidelity: fidelity,
+		EnablePprof:     pprofOn,
+		JournalSync:     journalSyncEnabled(),
+		Registry:        obs.NewRegistry(),
 	}
 	if !quiet {
 		cfg.Log = os.Stderr

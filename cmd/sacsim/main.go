@@ -35,6 +35,7 @@ func main() {
 		scale       = flag.String("scale", "scaled", "machine scale: scaled | full")
 		parallel    = flag.Int("parallel", 0, "max simulations in flight for -org lists (0 = all cores)")
 		chipWorkers = flag.Int("chip-workers", 0, "intra-run chip parallelism, bit-identical at any value (0 = auto: one worker per chip capped at GOMAXPROCS, 1 = serial)")
+		fidelity    = flag.String("fidelity", "", "simulation fidelity: estimate | sampled | exact (default exact)")
 		sectored    = flag.Bool("sectored", false, "use a sectored LLC (4 sectors/line)")
 		hardware    = flag.Bool("hw-coherence", false, "use hardware (directory) coherence")
 		inputFactor = flag.Float64("input", 1, "input-set scale factor (Fig 13 axis)")
@@ -103,7 +104,7 @@ func main() {
 		if *traceOut != "" {
 			fatal(fmt.Errorf("-trace-out requires a single -org (got %d)", len(orgs)))
 		}
-		compareOrgs(ctx, cfg, spec, orgs, plan, *parallel, *chipWorkers, *scale, *metricsAddr, *pprofOn)
+		compareOrgs(ctx, cfg, spec, orgs, plan, *parallel, *chipWorkers, *fidelity, *scale, *metricsAddr, *pprofOn)
 		return
 	}
 
@@ -123,12 +124,14 @@ func main() {
 		}
 	}
 
-	fmt.Printf("running %s under %s (%s scale)...\n", spec.Name, cfg.Org, *scale)
+	fmt.Printf("running %s under %s (%s scale, %s fidelity)...\n",
+		spec.Name, cfg.Org, *scale, displayFidelity(*fidelity))
 	run, err := sac.Run(cfg, spec,
 		sac.WithFaults(plan),
 		sac.WithObserver(observer),
 		sac.WithMetricsWindow(*metricsWin),
 		sac.WithWorkers(*chipWorkers),
+		sac.WithFidelity(sac.Fidelity(*fidelity)),
 		sac.WithContext(ctx))
 	if err != nil {
 		fatal(err)
@@ -171,6 +174,14 @@ func main() {
 	}
 }
 
+// displayFidelity renders a fidelity flag value for banners ("" = exact).
+func displayFidelity(f string) string {
+	if f == "" {
+		return "exact"
+	}
+	return f
+}
+
 // parseOrg resolves an organization name, accepting the upper-case "SAC"
 // spelling alongside llc.ParseOrg's canonical forms.
 func parseOrg(name string) llc.Org {
@@ -186,11 +197,12 @@ func parseOrg(name string) llc.Org {
 
 // compareOrgs runs one benchmark under several organizations through the
 // parallel experiment engine and prints them side by side.
-func compareOrgs(ctx context.Context, cfg sac.Config, spec sac.Spec, orgs []llc.Org, plan *sac.FaultPlan, parallel, chipWorkers int, scale string, metricsAddr string, pprofOn bool) {
+func compareOrgs(ctx context.Context, cfg sac.Config, spec sac.Spec, orgs []llc.Org, plan *sac.FaultPlan, parallel, chipWorkers int, fidelity, scale string, metricsAddr string, pprofOn bool) {
 	r := sac.NewRunner()
 	r.Parallelism = parallel
 	r.ChipWorkers = chipWorkers
 	r.Faults = plan
+	r.Fidelity = fidelity
 	r.Ctx = ctx
 	if metricsAddr != "" {
 		r.Obs = sac.NewObserver(0)

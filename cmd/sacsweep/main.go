@@ -34,6 +34,7 @@ func main() {
 		set         = flag.String("set", "all", "benchmark set: all | fast | comma-separated names")
 		parallel    = flag.Int("parallel", 0, "max simulations in flight (0 = all cores, 1 = serial)")
 		chipWorkers = flag.Int("chip-workers", 0, "intra-run chip parallelism per simulation, bit-identical at any value (0 = auto-budget against -parallel, 1 = serial)")
+		fidelity    = flag.String("fidelity", "", "simulation fidelity for every cell: estimate | sampled | exact (default exact)")
 		verbose     = flag.Bool("v", false, "log each completed simulation")
 		jsonOut     = flag.Bool("json", false, "emit results as JSON instead of tables")
 		faults      = flag.String("faults", "", "fault plan injected into every simulation: JSON file path or inline DSL")
@@ -57,6 +58,7 @@ func main() {
 	r := sac.NewRunner()
 	r.Parallelism = *parallel
 	r.ChipWorkers = *chipWorkers
+	r.Fidelity = *fidelity
 	r.Verbose = *verbose
 	r.Log = os.Stderr
 	r.Ctx = ctx
@@ -97,8 +99,12 @@ func main() {
 			if c.Err != nil {
 				status = "FAILED"
 			}
-			fmt.Fprintf(os.Stderr, "# cell %-10s %-12s %-8s cycles=%d\n",
-				c.Benchmark, c.Org, status, c.Cycles)
+			fid := c.Fidelity
+			if fid == "" {
+				fid = "exact"
+			}
+			fmt.Fprintf(os.Stderr, "# cell %-10s %-12s %-8s %-8s cycles=%d\n",
+				c.Benchmark, c.Org, fid, status, c.Cycles)
 		}
 	}
 	if *maxCycles > 0 {

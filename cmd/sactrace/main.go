@@ -148,7 +148,7 @@ func runTrace(args []string) {
 			fatal(err)
 		}
 	}
-	run, err := sac.RunWithFaults(cfg, rep, plan)
+	run, err := sac.Run(cfg, rep, sac.WithFaults(plan))
 	if err != nil {
 		fatal(err)
 	}

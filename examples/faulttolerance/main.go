@@ -49,7 +49,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	faulted, err := sac.RunWithFaults(cfg, spec, plan)
+	faulted, err := sac.Run(cfg, spec, sac.WithFaults(plan))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func main() {
 	fmt.Printf("the topology changes under it.\n")
 
 	// Reproducibility is the contract: same plan, same statistics.
-	again, err := sac.RunWithFaults(cfg, spec, plan)
+	again, err := sac.Run(cfg, spec, sac.WithFaults(plan))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func main() {
 	}
 	wcfg := cfg
 	wcfg.WatchdogCycles = 50_000
-	_, err = sac.RunWithFaults(wcfg, spec, wedge)
+	_, err = sac.Run(wcfg, spec, sac.WithFaults(wedge))
 	var stall *sac.StallError
 	if !errors.As(err, &stall) {
 		log.Fatalf("expected a watchdog abort, got %v", err)

@@ -59,7 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	replayed, err := sac.RunWorkload(cfg.WithOrg(sac.SAC), replay)
+	replayed, err := sac.Run(cfg.WithOrg(sac.SAC), replay)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/backend"
 	"repro/internal/fault"
 	"repro/internal/gpu"
 	"repro/internal/llc"
@@ -55,6 +56,12 @@ type Runner struct {
 	// (per-request plans in RunRequest override it). Plans key the memo, so
 	// faulted and healthy runs of the same cell never collide.
 	Faults *fault.Plan
+	// Fidelity selects the backend rung every cell runs on ("estimate",
+	// "sampled", or ""/"exact" for the cycle-exact default; per-request
+	// values in RunRequest override it). Like fault plans, fidelity keys
+	// both the memo and the persistent store, so a fast rung's result is
+	// never recalled for an exact cell.
+	Fidelity string
 	// Verbose, when set, streams one line per completed run to Log.
 	Verbose bool
 	Log     io.Writer
@@ -107,6 +114,7 @@ type CellResult struct {
 	Benchmark string
 	Org       string
 	Faults    string // fault-plan fingerprint ("" = healthy)
+	Fidelity  string // backend rung the cell ran on ("exact", "sampled", "estimate")
 	Cycles    int64  // simulated cycles (0 on failure)
 	Err       error  // nil on success
 }
@@ -145,9 +153,10 @@ func (r *Runner) sweep() *sweepMetrics {
 // slice, map, or function field to Config will fail to build here rather
 // than silently panic (or stop deduplicating) at run time.
 type runKey struct {
-	cfg    gpu.Config
-	name   string
-	faults string // canonical fault-plan fingerprint ("" = healthy)
+	cfg      gpu.Config
+	name     string
+	faults   string // canonical fault-plan fingerprint ("" = healthy)
+	fidelity string // canonical backend rung ("" = cycle-exact)
 }
 
 // mustBeComparable exists only to be instantiated with runKey below.
@@ -175,6 +184,10 @@ type RunRequest struct {
 	// The context binds to the cell's *leader*; duplicate requests joining
 	// the same in-flight cell share the leader's cancellation.
 	Ctx context.Context
+	// Fidelity overrides the Runner's backend rung for this cell ("" =
+	// inherit; use "exact" to force cycle-exact on a Runner defaulted to a
+	// fast rung).
+	Fidelity string
 }
 
 // plan resolves the effective fault plan of a request.
@@ -191,6 +204,22 @@ func (r *Runner) ctx(q RunRequest) context.Context {
 		return q.Ctx
 	}
 	return r.Ctx
+}
+
+// fidelity resolves the effective backend rung of a request: per-request
+// wins, then the Runner default, canonicalised ("exact" → "") so memo and
+// store keys never split on spelling. Unknown names pass through unchanged
+// — they form their own (never-stored) cell and fail in the backend with a
+// clear error rather than silently aliasing the exact rung.
+func (r *Runner) fidelity(q RunRequest) string {
+	f := q.Fidelity
+	if f == "" {
+		f = r.Fidelity
+	}
+	if n, err := backend.Normalize(f); err == nil {
+		return n
+	}
+	return f
 }
 
 // NewRunner returns a Runner over the scaled baseline configuration.
@@ -290,20 +319,21 @@ func (c *CellError) Error() string {
 // Unwrap exposes the simulation error to errors.Is/As chains.
 func (c *CellError) Unwrap() error { return c.Err }
 
-// sim returns the simulation entry point (gpu.RunWith by default).
+// sim returns the simulation entry point (the fidelity-dispatching
+// backend.Run by default; the exact rung is a plain gpu.RunWith call).
 func (r *Runner) sim() func(gpu.Config, workload.Spec, gpu.RunOpts) (*stats.Run, error) {
 	if r.simulate != nil {
 		return r.simulate
 	}
 	return func(cfg gpu.Config, spec workload.Spec, o gpu.RunOpts) (*stats.Run, error) {
-		return gpu.RunWith(cfg, spec, o)
+		return backend.Run(cfg, spec, o)
 	}
 }
 
 // execute runs one simulation on behalf of entry e, bounded by the worker
 // pool, and publishes the result to all waiters. A panicking simulation is
 // contained: the entry fails with a CellError and the sweep continues.
-func (r *Runner) execute(e *runEntry, cfg gpu.Config, spec workload.Spec, plan *fault.Plan, ctx context.Context) {
+func (r *Runner) execute(e *runEntry, cfg gpu.Config, spec workload.Spec, plan *fault.Plan, ctx context.Context, fid string) {
 	defer close(e.done)
 	sem := r.workers()
 	sem <- struct{}{}
@@ -313,19 +343,21 @@ func (r *Runner) execute(e *runEntry, cfg gpu.Config, spec workload.Spec, plan *
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			e.err = &CellError{Benchmark: spec.Name, Org: cfg.Org.String(), Faults: plan.Key(), Err: err}
-			r.cellDone(e, spec, cfg, plan)
+			r.cellDone(e, spec, cfg, plan, fid)
 			return
 		}
 	}
 	// Persistent cache: a stored result short-circuits the simulation.
+	// Fidelity is part of the address, so an estimate can never be recalled
+	// for an exact cell (or vice versa).
 	if r.Store != nil {
-		if res, ok := r.Store.Get(store.Key(cfg, spec.Name, plan.Key())); ok {
+		if res, ok := r.Store.Get(store.KeyAt(cfg, spec.Name, plan.Key(), fid)); ok {
 			r.storeHits.Add(1)
 			if m := r.sweep(); m != nil {
 				m.storeHit.Inc()
 			}
 			e.res = res
-			r.cellDone(e, spec, cfg, plan)
+			r.cellDone(e, spec, cfg, plan, fid)
 			return
 		}
 		r.storeMisses.Add(1)
@@ -347,9 +379,9 @@ func (r *Runner) execute(e *runEntry, cfg gpu.Config, spec workload.Spec, plan *
 		if m := r.sweep(); m != nil {
 			m.inflight.Add(-1)
 		}
-		r.cellDone(e, spec, cfg, plan)
+		r.cellDone(e, spec, cfg, plan, fid)
 	}()
-	res, err := r.sim()(cfg, spec, gpu.RunOpts{Faults: plan, Ctx: ctx, Workers: r.chipWorkers()})
+	res, err := r.sim()(cfg, spec, gpu.RunOpts{Faults: plan, Ctx: ctx, Workers: r.chipWorkers(), Fidelity: fid})
 	if err != nil {
 		e.err = &CellError{Benchmark: spec.Name, Org: cfg.Org.String(), Faults: plan.Key(), Err: err}
 		return
@@ -359,7 +391,7 @@ func (r *Runner) execute(e *runEntry, cfg gpu.Config, spec workload.Spec, plan *
 	r.simCycles.Add(res.Cycles)
 	if r.Store != nil {
 		// Best-effort write-back; a full disk must not fail the sweep.
-		_ = r.Store.PutRun(cfg, spec.Name, plan.Key(), res)
+		_ = r.Store.PutRunAt(cfg, spec.Name, plan.Key(), fid, res)
 	}
 	if r.Verbose && r.Log != nil {
 		r.mu.Lock()
@@ -371,7 +403,7 @@ func (r *Runner) execute(e *runEntry, cfg gpu.Config, spec workload.Spec, plan *
 
 // cellDone publishes one finished cell to the sweep metrics and the
 // progress callback.
-func (r *Runner) cellDone(e *runEntry, spec workload.Spec, cfg gpu.Config, plan *fault.Plan) {
+func (r *Runner) cellDone(e *runEntry, spec workload.Spec, cfg gpu.Config, plan *fault.Plan, fid string) {
 	var cycles int64
 	if e.res != nil {
 		cycles = e.res.Cycles
@@ -387,7 +419,8 @@ func (r *Runner) cellDone(e *runEntry, spec workload.Spec, cfg gpu.Config, plan 
 	if r.OnCellDone != nil {
 		r.OnCellDone(CellResult{
 			Benchmark: spec.Name, Org: cfg.Org.String(), Faults: plan.Key(),
-			Cycles: cycles, Err: e.err,
+			Fidelity: backend.Display(fid),
+			Cycles:   cycles, Err: e.err,
 		})
 	}
 }
@@ -401,9 +434,10 @@ func (r *Runner) run(cfg gpu.Config, spec workload.Spec) (*stats.Run, error) {
 // runReq executes (or recalls, or joins in-flight) one request.
 func (r *Runner) runReq(q RunRequest) (*stats.Run, error) {
 	plan := r.plan(q)
-	e, lead := r.lookup(runKey{q.Cfg, q.Spec.Name, plan.Key()})
+	fid := r.fidelity(q)
+	e, lead := r.lookup(runKey{q.Cfg, q.Spec.Name, plan.Key(), fid})
 	if lead {
-		r.execute(e, q.Cfg, q.Spec, plan, r.ctx(q))
+		r.execute(e, q.Cfg, q.Spec, plan, r.ctx(q), fid)
 	} else {
 		<-e.done
 	}
@@ -417,7 +451,7 @@ func (r *Runner) runReq(q RunRequest) (*stats.Run, error) {
 // retryable within the same daemon life. In-flight and successful entries
 // are left alone.
 func (r *Runner) Forget(q RunRequest) {
-	key := runKey{q.Cfg, q.Spec.Name, r.plan(q).Key()}
+	key := runKey{q.Cfg, q.Spec.Name, r.plan(q).Key(), r.fidelity(q)}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, ok := r.memo[key]
@@ -439,8 +473,9 @@ func (r *Runner) Forget(q RunRequest) {
 func (r *Runner) Prefetch(reqs []RunRequest) {
 	for _, q := range reqs {
 		plan := r.plan(q)
-		if e, lead := r.lookup(runKey{q.Cfg, q.Spec.Name, plan.Key()}); lead {
-			go r.execute(e, q.Cfg, q.Spec, plan, r.ctx(q))
+		fid := r.fidelity(q)
+		if e, lead := r.lookup(runKey{q.Cfg, q.Spec.Name, plan.Key(), fid}); lead {
+			go r.execute(e, q.Cfg, q.Spec, plan, r.ctx(q), fid)
 		}
 	}
 }

@@ -33,6 +33,12 @@ type RunOpts struct {
 	// GOMAXPROCS); 1 = serial. Hardware-coherence configurations always run
 	// serially regardless.
 	Workers int
+	// Fidelity selects the backend rung ("estimate", "sampled", or
+	// "exact"/""). The cycle-exact engine itself ignores it — dispatch
+	// happens in internal/backend, which strips the field before handing an
+	// exact run to RunWith. It lives here so the public option plumbing
+	// (sac.WithFidelity) needs no second options struct.
+	Fidelity string
 }
 
 // RunWith builds a system, applies the options and runs it. Every package

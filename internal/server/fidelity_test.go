@@ -1,0 +1,193 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/client"
+	"repro/internal/store"
+)
+
+// TestEstimateAnswersOnAcceptPath pins the estimate rung's daemon contract:
+// the submission response is already terminal — no worker ever started, so
+// a queued job could only hang. The result is fetchable immediately and
+// carries its fidelity provenance.
+func TestEstimateAnswersOnAcceptPath(t *testing.T) {
+	s := New(Config{Workers: 1}) // workers deliberately never started
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	c := client.New(hs.URL, client.WithRetries(0))
+	ctx := context.Background()
+
+	req := tinyRequest("RN", "SAC")
+	req.Fidelity = client.FidelityEstimate
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != client.StateDone {
+		t.Fatalf("estimate submit returned state %q, want terminal %q", st.State, client.StateDone)
+	}
+	if st.Fidelity != "estimate" {
+		t.Fatalf("estimate job status Fidelity = %q", st.Fidelity)
+	}
+	if st.Source != client.SourceSim {
+		t.Fatalf("cold estimate source = %q, want %q", st.Source, client.SourceSim)
+	}
+	res, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "RN" || res.Fidelity != "estimate" {
+		t.Fatalf("estimate result benchmark=%q fidelity=%q", res.Benchmark, res.Fidelity)
+	}
+}
+
+// TestEstimateUsesStore proves the synchronous path still rides the
+// content-addressed store: a repeated estimate submission answers from the
+// cache, and the estimate object never shadows the exact cell.
+func TestEstimateUsesStore(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, c := testDaemon(t, Config{Workers: 1, Store: st})
+	ctx := context.Background()
+
+	req := tinyRequest("RN", "SAC")
+	req.Fidelity = client.FidelityEstimate
+	first, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Source != client.SourceSim {
+		t.Fatalf("cold estimate source = %q", first.Source)
+	}
+	second, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Source != client.SourceStore {
+		t.Fatalf("warm estimate source = %q, want %q", second.Source, client.SourceStore)
+	}
+	if second.Key != first.Key {
+		t.Fatalf("same estimate cell keyed differently: %.12s vs %.12s", second.Key, first.Key)
+	}
+
+	// The exact flavour of the same cell must be a different object: a warm
+	// estimate answering an exact request would silently downgrade fidelity.
+	sub, err := c.Submit(ctx, tinyRequest("RN", "SAC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := c.Wait(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Key == first.Key {
+		t.Fatal("exact job shares the estimate's store key")
+	}
+	if done.Source != client.SourceSim {
+		t.Fatalf("exact run after estimate answered from %q; fidelity confusion in the store", done.Source)
+	}
+}
+
+// TestFidelityValidation pins the HTTP error contract: unknown rungs and
+// estimate-with-faults are client errors (400), not queue states.
+func TestFidelityValidation(t *testing.T) {
+	_, c := testDaemon(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	bad := tinyRequest("RN", "SAC")
+	bad.Fidelity = "cheap"
+	_, err := c.Submit(ctx, bad)
+	var apiErr *client.APIError
+	if !asAPIError(err, &apiErr) || apiErr.StatusCode != 400 {
+		t.Fatalf("unknown fidelity: want 400, got %v", err)
+	}
+
+	faulted := tinyRequest("RN", "SAC")
+	faulted.Fidelity = client.FidelityEstimate
+	faulted.Faults = "dram:0.5@100*0.5"
+	_, err = c.Submit(ctx, faulted)
+	if !asAPIError(err, &apiErr) || apiErr.StatusCode != 400 {
+		t.Fatalf("estimate with faults: want 400, got %v", err)
+	}
+}
+
+// TestFidelityProvenanceAndKeys checks that queued rungs carry their
+// fidelity through JobStatus and that the same cell at different rungs
+// resolves to distinct dedup/store keys.
+func TestFidelityProvenanceAndKeys(t *testing.T) {
+	_, c := testDaemon(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	sampled := tinyRequest("RN", "SAC")
+	sampled.Fidelity = client.FidelitySampled
+	sub, err := c.Submit(ctx, sampled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := c.Wait(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Fidelity != "sampled" {
+		t.Fatalf("sampled job Fidelity = %q", ss.Fidelity)
+	}
+
+	sub, err = c.Submit(ctx, tinyRequest("RN", "SAC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := c.Wait(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Fidelity != "exact" {
+		t.Fatalf("default job Fidelity = %q, want %q", es.Fidelity, "exact")
+	}
+	if es.Key == ss.Key {
+		t.Fatal("exact and sampled runs of the same cell share a key; dedup would cross fidelities")
+	}
+}
+
+// TestDefaultFidelityConfig pins the sacd -fidelity flag's semantics: jobs
+// that name no rung inherit the daemon default, jobs that do name one keep
+// it, and a bogus default fails at submit rather than silently running
+// exact.
+func TestDefaultFidelityConfig(t *testing.T) {
+	_, c := testDaemon(t, Config{Workers: 1, DefaultFidelity: "estimate"})
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, tinyRequest("RN", "SAC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fidelity != "estimate" || st.State != client.StateDone {
+		t.Fatalf("defaulted job fidelity=%q state=%q, want estimate/done", st.Fidelity, st.State)
+	}
+
+	named := tinyRequest("RN", "SAC")
+	named.Fidelity = client.FidelityExact
+	sub, err := c.Submit(ctx, named)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := c.Wait(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.Fidelity != "exact" {
+		t.Fatalf("explicit exact overridden by daemon default: %q", ns.Fidelity)
+	}
+
+	_, cBad := testDaemon(t, Config{Workers: 1, DefaultFidelity: "cheap"})
+	_, err = cBad.Submit(ctx, tinyRequest("RN", "SAC"))
+	var apiErr *client.APIError
+	if !asAPIError(err, &apiErr) || apiErr.StatusCode != 400 {
+		t.Fatalf("bogus DefaultFidelity: want 400 at submit, got %v", err)
+	}
+}

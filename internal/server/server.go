@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/client"
+	"repro/internal/backend"
 	"repro/internal/eval"
 	"repro/internal/fault"
 	"repro/internal/gpu"
@@ -83,6 +84,9 @@ type Config struct {
 	RequeuePath string
 	// Workers bounds concurrent simulations; 0 means GOMAXPROCS.
 	Workers int
+	// DefaultFidelity is the rung applied to jobs that name none (the sacd
+	// -fidelity flag); "" means exact. Unknown values fail at Submit.
+	DefaultFidelity string
 	// ChipWorkers sets each simulation's intra-run chip parallelism
 	// (bit-identical at any value). 0 auto-budgets against Workers so chip
 	// workers × concurrent simulations never oversubscribes cores; a daemon
@@ -131,11 +135,14 @@ type job struct {
 	req  client.JobRequest
 	lane int
 
-	// Resolved simulation identity.
-	cfg  gpu.Config
-	spec workload.Spec
-	plan *fault.Plan
-	key  string
+	// Resolved simulation identity. fidelity is the normalized rung ("" =
+	// exact) and is part of key, so runs of the same cell at different rungs
+	// never dedup onto each other or alias in the store.
+	cfg      gpu.Config
+	spec     workload.Spec
+	plan     *fault.Plan
+	fidelity string
+	key      string
 
 	// rawReq is the request as journaled, kept for runtime compaction.
 	// deadline is the absolute end-to-end deadline (zero = none). Both are
@@ -377,9 +384,21 @@ func (s *Server) submit(req client.JobRequest, pinnedID string, deadline time.Ti
 	if req.TimeoutMS < 0 {
 		return client.JobStatus{}, fmt.Errorf("negative timeout_ms %d", req.TimeoutMS)
 	}
+	reqFid := req.Fidelity
+	if reqFid == "" {
+		reqFid = s.cfg.DefaultFidelity
+	}
+	fid, err := backend.Normalize(reqFid)
+	if err != nil {
+		return client.JobStatus{}, err
+	}
 	cfg, spec, plan, err := resolve(req)
 	if err != nil {
 		return client.JobStatus{}, err
+	}
+	if fid == backend.Estimate && !plan.Empty() {
+		return client.JobStatus{}, fmt.Errorf("fidelity %q cannot apply a fault plan; use %q or %q",
+			backend.Estimate, backend.Sampled, backend.Exact)
 	}
 	now := time.Now()
 	if deadline.IsZero() && req.TimeoutMS > 0 {
@@ -392,13 +411,20 @@ func (s *Server) submit(req client.JobRequest, pinnedID string, deadline time.Ti
 		cfg:       cfg,
 		spec:      spec,
 		plan:      plan,
-		key:       store.Key(cfg, spec.Name, plan.Key()),
+		fidelity:  fid,
+		key:       store.KeyAt(cfg, spec.Name, plan.Key(), fid),
 		deadline:  deadline,
 		state:     client.StateQueued,
 		submitted: now,
 	}
 	if j.id == "" {
 		j.id = newJobID()
+	}
+	if fid == backend.Estimate {
+		// The estimate rung answers in microseconds: run it synchronously on
+		// the accept path — no queue slot, no journal record, no worker — and
+		// hand the client a terminal status in the submission response.
+		return s.runInline(j)
 	}
 
 	s.mu.Lock()
@@ -452,7 +478,96 @@ func (s *Server) submit(req client.JobRequest, pinnedID string, deadline time.Ti
 	s.cond.Signal()
 	st := s.statusLocked(j)
 	s.mu.Unlock()
-	s.logf("accepted %s %s/%s lane=%s key=%.12s", j.id, spec.Name, cfg.Org, lanes[lane], j.key)
+	s.logf("accepted %s %s/%s lane=%s fidelity=%s key=%.12s",
+		j.id, spec.Name, cfg.Org, lanes[lane], backend.Display(fid), j.key)
+	return st, nil
+}
+
+// runInline executes an estimate job synchronously on the accept path: the
+// rung answers in microseconds, so it takes no queue slot, no journal record
+// and no worker, and the submission response already carries the terminal
+// state. Only drain gates admission — shedding and the queue cap protect
+// workers and queue slots, neither of which this path consumes.
+func (s *Server) runInline(j *job) (client.JobStatus, error) {
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		if s.m != nil {
+			s.m.rejected.Inc()
+		}
+		return client.JobStatus{}, ErrDraining
+	}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	if s.m != nil {
+		s.m.accepted.Inc()
+	}
+
+	j.mu.Lock()
+	j.state = client.StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	var (
+		res    *stats.Run
+		source string
+		err    error
+	)
+	func() {
+		// Contain panics (chaos injection, poisoned input) exactly like the
+		// worker path: a failed estimate is a failed job, not a dead daemon.
+		defer func() {
+			if r := recover(); r != nil {
+				res, err = nil, fmt.Errorf("server: panic executing %s: %v", j.id, r)
+			}
+		}()
+		if hook := s.cfg.Chaos.BeforeRun; hook != nil {
+			hook(j.id)
+		}
+		if cached, ok := s.cfg.Store.Get(j.key); ok {
+			res, source = cached, client.SourceStore
+			if s.m != nil {
+				s.m.hits.Inc()
+			}
+			return
+		}
+		if s.cfg.Store != nil && s.m != nil {
+			s.m.misses.Inc()
+		}
+		res, err = backend.Run(j.cfg, j.spec, gpu.RunOpts{Faults: j.plan, Fidelity: j.fidelity})
+		source = client.SourceSim
+		if err == nil && s.cfg.Store != nil {
+			if perr := s.cfg.Store.PutRunAt(j.cfg, j.spec.Name, j.plan.Key(), j.fidelity, res); perr != nil {
+				s.logf("store: put %s: %v", j.id, perr)
+			}
+		}
+	}()
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.source = source
+	if err != nil {
+		j.state = client.StateFailed
+		j.err = err
+	} else {
+		j.state = client.StateDone
+		j.res = res
+	}
+	total := j.finished.Sub(j.submitted).Seconds()
+	state := j.state
+	j.mu.Unlock()
+	if s.m != nil {
+		if err != nil {
+			s.m.failed.Inc()
+		} else {
+			s.m.done.Inc()
+		}
+		s.m.jobLatency.Observe(total)
+	}
+	s.mu.Lock()
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	s.logf("%s %s fidelity=estimate source=%s total=%.6fs", state, j.id, source, total)
 	return st, nil
 }
 
@@ -601,7 +716,7 @@ func (s *Server) execute(j *job) {
 			s.mu.Lock()
 			delete(s.flights, j.key)
 			s.mu.Unlock()
-			s.runner.Forget(eval.RunRequest{Cfg: j.cfg, Spec: j.spec, Faults: j.plan})
+			s.runner.Forget(eval.RunRequest{Cfg: j.cfg, Spec: j.spec, Faults: j.plan, Fidelity: j.fidelity})
 		}
 		j.finish(s, f, f.source)
 		return
@@ -682,7 +797,7 @@ func (s *Server) lead(f *flight, j *job) {
 	// never queues beneath us), memoizes, and — when a store is attached —
 	// writes the result back for the next daemon life. Its own store check
 	// re-misses (we just checked), which is one cheap stat call.
-	runs, err := s.runner.RunAll([]eval.RunRequest{{Cfg: j.cfg, Spec: j.spec, Faults: j.plan, Ctx: ctx}})
+	runs, err := s.runner.RunAll([]eval.RunRequest{{Cfg: j.cfg, Spec: j.spec, Faults: j.plan, Fidelity: j.fidelity, Ctx: ctx}})
 	if err != nil {
 		f.err = err
 		return
@@ -809,6 +924,7 @@ func (s *Server) statusLocked(j *job) client.JobStatus {
 		Benchmark:   j.spec.Name,
 		Org:         j.cfg.Org.String(),
 		Priority:    lanes[j.lane],
+		Fidelity:    backend.Display(j.fidelity),
 		Key:         j.key,
 		Source:      j.source,
 		SubmittedAt: j.submitted,

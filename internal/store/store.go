@@ -51,13 +51,33 @@ type KeyMaterial struct {
 	Config    gpu.Config `json:"config"`
 	Benchmark string     `json:"benchmark"`
 	Faults    string     `json:"faults,omitempty"`
+	// Fidelity is the backend rung that produced the result ("estimate",
+	// "sampled"; "" = cycle-exact). It is part of the identity so results
+	// from different rungs can never alias: an estimate must never be
+	// served for an exact request. Empty (exact) omits the field entirely,
+	// keeping every pre-ladder exact key — and therefore every existing
+	// store object — addressable without a schema bump.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
-// Key returns the content address of one simulation cell: a hex SHA-256 of
-// the canonical (config, workload, fault plan) encoding. faults is the
-// fault-plan fingerprint from fault.Plan.Key ("" = healthy).
+// Key returns the content address of one cycle-exact simulation cell: a hex
+// SHA-256 of the canonical (config, workload, fault plan) encoding. faults
+// is the fault-plan fingerprint from fault.Plan.Key ("" = healthy).
 func Key(cfg gpu.Config, benchmark, faults string) string {
-	return keyOf(KeyMaterial{Schema: schemaVersion, Config: cfg, Benchmark: benchmark, Faults: faults})
+	return KeyAt(cfg, benchmark, faults, "")
+}
+
+// KeyAt is Key with an explicit fidelity rung. "" and "exact" address the
+// same (legacy) exact keys; other rungs get distinct addresses.
+func KeyAt(cfg gpu.Config, benchmark, faults, fidelity string) string {
+	return keyOf(materialAt(cfg, benchmark, faults, fidelity))
+}
+
+func materialAt(cfg gpu.Config, benchmark, faults, fidelity string) KeyMaterial {
+	if fidelity == "exact" {
+		fidelity = ""
+	}
+	return KeyMaterial{Schema: schemaVersion, Config: cfg, Benchmark: benchmark, Faults: faults, Fidelity: fidelity}
 }
 
 func keyOf(m KeyMaterial) string {
@@ -322,9 +342,16 @@ func (s *Store) Put(key string, m KeyMaterial, res *stats.Run) error {
 	return nil
 }
 
-// PutRun derives the key from the cell identity and stores res under it.
+// PutRun derives the key from the cycle-exact cell identity and stores res
+// under it.
 func (s *Store) PutRun(cfg gpu.Config, benchmark, faults string, res *stats.Run) error {
-	m := KeyMaterial{Schema: schemaVersion, Config: cfg, Benchmark: benchmark, Faults: faults}
+	return s.PutRunAt(cfg, benchmark, faults, "", res)
+}
+
+// PutRunAt is PutRun with an explicit fidelity rung ("" or "exact" = the
+// cycle-exact default).
+func (s *Store) PutRunAt(cfg gpu.Config, benchmark, faults, fidelity string, res *stats.Run) error {
+	m := materialAt(cfg, benchmark, faults, fidelity)
 	return s.Put(keyOf(m), m, res)
 }
 

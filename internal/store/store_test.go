@@ -59,6 +59,47 @@ func TestKeyDeterministicAndSensitive(t *testing.T) {
 	}
 }
 
+// TestFidelityKeysDistinct pins the fidelity ladder's store contract: the
+// same cell cached at two fidelities is two distinct objects (a warm
+// estimate must never answer an exact request), while "" and "exact"
+// address the same legacy keys so pre-ladder caches stay warm.
+func TestFidelityKeysDistinct(t *testing.T) {
+	cfg := testConfig()
+	exact := KeyAt(cfg, "BP", "", "exact")
+	if exact != Key(cfg, "BP", "") {
+		t.Fatal(`"exact" does not address the legacy exact key; pre-ladder caches would go cold`)
+	}
+	est := KeyAt(cfg, "BP", "", "estimate")
+	smp := KeyAt(cfg, "BP", "", "sampled")
+	if est == exact || smp == exact || est == smp {
+		t.Fatalf("fidelity rungs collide: exact=%.12s estimate=%.12s sampled=%.12s", exact, est, smp)
+	}
+
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRunAt(cfg, "BP", "", "estimate", testRun("BP", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRunAt(cfg, "BP", "", "sampled", testRun("BP", 200)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("same cell at two fidelities stored %d objects, want 2", s.Len())
+	}
+	if _, ok := s.Get(exact); ok {
+		t.Fatal("fast-fidelity result answered an exact lookup")
+	}
+	got, ok := s.Get(est)
+	if !ok {
+		t.Fatal("estimate put is a miss")
+	}
+	if got.Cycles != 100 {
+		t.Fatalf("estimate lookup returned cycles=%d, want the estimate object (100)", got.Cycles)
+	}
+}
+
 func TestPutGetRoundTrip(t *testing.T) {
 	s, err := Open(t.TempDir(), Options{})
 	if err != nil {

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/fault"
@@ -112,10 +113,43 @@ func guard(err *error) {
 // Specs and trace replays (package repro/internal/trace) both implement it.
 type Workload = gpu.Workload
 
+// Fidelity selects one rung of the simulation fidelity ladder: how much
+// accuracy a Run buys with how much time. All three rungs are deterministic
+// and share the decision contract pinned by the cross-fidelity tests: the
+// fast rungs predict the exact engine's SAC org decision on all 16 Table-4
+// workloads.
+type Fidelity string
+
+// The fidelity rungs, cheapest first.
+const (
+	// FidelityEstimate evaluates the paper's EAB analytical model over a
+	// short profiled stream prefix — no cycle loop at all, microseconds to
+	// low milliseconds per workload. Cycle counts are closed-form estimates;
+	// fault plans are not supported.
+	FidelityEstimate Fidelity = backend.Estimate
+	// FidelitySampled cycle-simulates each kernel's opening interval on the
+	// real engine (covering SAC's profiling window, so decisions are taken
+	// by the genuine controller) and extrapolates the remainder
+	// analytically. Typically one to two orders of magnitude faster than
+	// exact.
+	FidelitySampled Fidelity = backend.Sampled
+	// FidelityExact is the unmodified cycle-exact simulator — the default,
+	// byte-identical to a Run without WithFidelity.
+	FidelityExact Fidelity = backend.Exact
+)
+
 // RunOption configures one Run call. Options compose; later options win on
 // conflict. A Run with no options is a plain healthy, unobserved,
 // uncancellable simulation.
 type RunOption func(*gpu.RunOpts)
+
+// WithFidelity selects the backend rung a Run executes on ("" keeps the
+// cycle-exact default). Results carry their rung in Stats.Fidelity, and the
+// result cache keys estimate/sampled/exact results separately, so a fast
+// rung's answer is never served for an exact request.
+func WithFidelity(f Fidelity) RunOption {
+	return func(o *gpu.RunOpts) { o.Fidelity = string(f) }
+}
 
 // WithFaults injects a deterministic fault plan (nil or empty plan is
 // exactly a healthy run).
@@ -168,7 +202,7 @@ func Run(cfg Config, w Workload, opts ...RunOption) (st *Stats, err error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	st, err = gpu.RunWith(cfg, w, o)
+	st, err = backend.Run(cfg, w, o)
 	if err != nil && o.Ctx != nil &&
 		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		err = &CellError{Benchmark: w.SourceName(), Org: cfg.Org.String(), Err: err}
@@ -313,6 +347,14 @@ func OpenResultCache(dir string, maxBytes int64) (*ResultCache, error) {
 // configuration, benchmark, or fault plan yields a different key.
 func CacheKey(cfg Config, benchmark string, plan *FaultPlan) string {
 	return store.Key(cfg, benchmark, plan.Key())
+}
+
+// CacheKeyAt is CacheKey with an explicit fidelity rung. "" and
+// FidelityExact address the same keys CacheKey does (exact results keep
+// their pre-ladder addresses); estimate and sampled results live under
+// distinct keys and can never alias an exact one.
+func CacheKeyAt(cfg Config, benchmark string, plan *FaultPlan, f Fidelity) string {
+	return store.KeyAt(cfg, benchmark, plan.Key(), string(f))
 }
 
 // FastSet is a representative 6-benchmark subset for expensive sweeps.
