@@ -49,6 +49,15 @@ fidelitysmoke:
 	$(GO) test -count=1 \
 		-run 'TestCrossFidelityDecisions|TestSampledDeterminism|TestEstimateLatency|TestFidelityRoundTrip' .
 
+# clustersmoke is the fleet gate: the ring property tests (placement balance
+# within bound, minimal key movement on join/leave), the in-process
+# coordinator + two real workers with one induced worker kill (zero lost
+# cells), and the real-binary fleet e2e (saccoord + 2 sacd + sacsweep
+# -remote byte-identity, SIGKILL steal, fleet-wide exactly-once).
+clustersmoke:
+	$(GO) test -race -count=1 ./internal/cluster
+	$(GO) test -count=1 -run TestFleetEndToEnd ./cmd/saccoord
+
 # fuzz is a short smoke of the untrusted-input parsers (the trace reader).
 # An exec-count budget keeps the wall time stable on single-core CI runners;
 # long campaigns run the same target with a time budget instead.
@@ -83,7 +92,7 @@ fieldalign:
 # detector and again in shuffled order, the sacd daemon smoke, the chaos /
 # crash-recovery smoke, a fuzz smoke of the parsers, a one-iteration
 # benchmark smoke, and an advisory vulnerability scan.
-check: vet fieldalign race shuffle smoke chaossmoke fidelitysmoke fuzz benchsmoke vuln
+check: vet fieldalign race shuffle smoke chaossmoke fidelitysmoke clustersmoke fuzz benchsmoke vuln
 
 # benchsmoke compiles and executes the throughput-critical benchmarks for a
 # single iteration — it catches benchmarks broken by API drift without

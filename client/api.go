@@ -22,6 +22,7 @@ const (
 	StateDone     = "done"
 	StateFailed   = "failed"
 	StateExpired  = "expired"  // deadline passed before the job could finish
+	StateCanceled = "canceled" // canceled by a client (or a coordinator steal)
 	StateRequeued = "requeued" // journaled live; resumes on daemon restart
 )
 
@@ -123,7 +124,11 @@ type JobStatus struct {
 
 // Done reports whether the job reached a terminal state.
 func (s JobStatus) Done() bool {
-	return s.State == StateDone || s.State == StateFailed || s.State == StateExpired
+	switch s.State {
+	case StateDone, StateFailed, StateExpired, StateCanceled:
+		return true
+	}
+	return false
 }
 
 // Health is the /v1/healthz payload.
@@ -153,6 +158,56 @@ type Health struct {
 	// StoreCorrupt counts objects quarantined for failing content-hash
 	// verification since the store opened.
 	StoreCorrupt int64 `json:"store_corrupt,omitempty"`
+}
+
+// WorkerInfo identifies one sacd worker to a saccoord coordinator: a stable
+// ID (ring placement hashes it) and the base URL the coordinator dispatches
+// jobs to.
+type WorkerInfo struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// RegisterResponse is the coordinator's answer to a worker registration: the
+// heartbeat cadence the worker must keep and the lapse after which a silent
+// worker is declared dead and its jobs are stolen.
+type RegisterResponse struct {
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+	LapseMS     int64 `json:"lapse_ms"`
+}
+
+// WorkerStatus is the coordinator's view of one registered worker.
+type WorkerStatus struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+	// Health is the worker's last self-reported health state (Health*
+	// constants); "gone" once its heartbeats lapsed or it deregistered.
+	Health string `json:"health"`
+	// LastBeatMS is how long ago the last heartbeat arrived.
+	LastBeatMS int64 `json:"last_beat_ms"`
+	// Inflight counts coordinator dispatches currently running on the worker.
+	Inflight int `json:"inflight"`
+	// Dispatched counts jobs the coordinator has ever sent to the worker.
+	Dispatched int64 `json:"dispatched"`
+}
+
+// FleetStatus is the /v1/fleet payload: the coordinator's worker table plus
+// its fleet-wide counters.
+type FleetStatus struct {
+	Workers []WorkerStatus `json:"workers"`
+	// Live is the number of workers currently in the placement ring.
+	Live int `json:"live"`
+	// Jobs is the number of jobs the coordinator has accepted this life.
+	Jobs int `json:"jobs"`
+	// Flights is the number of distinct cache keys ever led (the global
+	// singleflight table size).
+	Flights int `json:"flights"`
+	// Steals counts dispatches re-routed to another worker after the first
+	// missed its deadline, died, or errored.
+	Steals int64 `json:"steals"`
+	// DedupHits counts jobs that joined another job's in-flight execution
+	// fleet-wide (the global singleflight).
+	DedupHits int64 `json:"dedup_hits"`
 }
 
 // errorBody is the JSON error payload every non-2xx API response carries.

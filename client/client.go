@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -74,11 +75,35 @@ func WithBackoff(first, max time.Duration) Option {
 // WithPollInterval sets how often Wait polls job status (default 50ms).
 func WithPollInterval(d time.Duration) Option { return func(c *Client) { c.poll = d } }
 
+// DefaultTransport returns the tuned *http.Transport New installs when no
+// WithHTTPClient override is given. Every phase of a round trip that can
+// hang on a dead or wedged daemon is bounded — dial, TLS handshake, and the
+// wait for response headers — so a vanished host fails fast into the retry
+// loop instead of parking a sweep, and the idle-connection pool is sized for
+// coordinator fan-out: a saccoord polling many jobs across a handful of
+// worker hosts reuses connections instead of burning a dial (and an
+// ephemeral port) per status check.
+func DefaultTransport() *http.Transport {
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout:   5 * time.Second,
+		ResponseHeaderTimeout: 60 * time.Second,
+		ExpectContinueTimeout: time.Second,
+		MaxIdleConns:          512,
+		MaxIdleConnsPerHost:   64,
+		IdleConnTimeout:       90 * time.Second,
+	}
+}
+
 // New returns a client for the daemon at baseURL (e.g. "http://127.0.0.1:8080").
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
 		base:    strings.TrimRight(baseURL, "/"),
-		hc:      &http.Client{},
+		hc:      &http.Client{Transport: DefaultTransport()},
 		retries: 4,
 		backoff: 100 * time.Millisecond,
 		maxWait: 2 * time.Second,
@@ -304,4 +329,60 @@ func (c *Client) Health(ctx context.Context) (Health, error) {
 		return Health{}, err
 	}
 	return h, nil
+}
+
+// Cancel asks the daemon to stop a job: a queued job terminates without
+// running, a running job has its simulation context canceled. Canceling a
+// job already in a terminal state is a no-op that returns its status. The
+// coordinator uses this as the steal-cancel: when a job is re-dispatched to
+// another worker, the original worker stops burning cycles on it.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &st, nil); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Register announces a worker to a saccoord coordinator and returns the
+// heartbeat cadence the coordinator expects. Registration is idempotent:
+// re-registering an existing ID updates its URL and revives a worker whose
+// heartbeats had lapsed.
+func (c *Client) Register(ctx context.Context, info WorkerInfo) (RegisterResponse, error) {
+	b, err := json.Marshal(info)
+	if err != nil {
+		return RegisterResponse{}, err
+	}
+	var r RegisterResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/workers", b, &r, nil); err != nil {
+		return RegisterResponse{}, err
+	}
+	return r, nil
+}
+
+// Heartbeat reports a worker's liveness and health to the coordinator. A
+// 404 *APIError means the coordinator does not know the worker (it restarted
+// or the registration lapsed); the caller should Register again.
+func (c *Client) Heartbeat(ctx context.Context, id string, h Health) error {
+	b, err := json.Marshal(h)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, "/v1/workers/"+url.PathEscape(id)+"/heartbeat", b, nil, nil)
+}
+
+// Deregister removes a worker from the coordinator's placement ring — the
+// graceful goodbye a draining worker sends so no new jobs land on it while
+// its in-flight work finishes.
+func (c *Client) Deregister(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/workers/"+url.PathEscape(id), nil, nil, nil)
+}
+
+// Fleet fetches a coordinator's worker table and fleet counters.
+func (c *Client) Fleet(ctx context.Context) (FleetStatus, error) {
+	var f FleetStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/fleet", nil, &f, nil); err != nil {
+		return FleetStatus{}, err
+	}
+	return f, nil
 }

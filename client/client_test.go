@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -230,5 +231,46 @@ func TestSubmitPropagatesContextDeadlineHeader(t *testing.T) {
 	}
 	if h, _ := gotHeader.Load().(string); h != "" {
 		t.Fatalf("header %q sent alongside explicit timeout_ms", h)
+	}
+}
+
+// TestDefaultTransportTuned pins the default-transport satellite: a bare
+// New must install the tuned transport (bounded dial/header phases, pooled
+// idle connections for coordinator fan-out), and WithHTTPClient must still
+// override it entirely.
+func TestDefaultTransportTuned(t *testing.T) {
+	c := New("http://example.invalid")
+	tr, ok := c.hc.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("default client transport is %T, want *http.Transport", c.hc.Transport)
+	}
+	if tr.ResponseHeaderTimeout <= 0 || tr.TLSHandshakeTimeout <= 0 {
+		t.Fatalf("hangable phases unbounded: header=%v tls=%v", tr.ResponseHeaderTimeout, tr.TLSHandshakeTimeout)
+	}
+	if tr.MaxIdleConnsPerHost < 16 {
+		t.Fatalf("MaxIdleConnsPerHost = %d, too small for coordinator fan-out", tr.MaxIdleConnsPerHost)
+	}
+	custom := &http.Client{}
+	if c2 := New("http://example.invalid", WithHTTPClient(custom)); c2.hc != custom {
+		t.Fatal("WithHTTPClient did not override the default client")
+	}
+}
+
+// TestCancelAPI pins the wire shape of DELETE /v1/jobs/{id}.
+func TestCancelAPI(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodDelete || r.URL.Path != "/v1/jobs/j1" {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"j1","state":"canceled"}`)
+	}))
+	defer srv.Close()
+	st, err := New(srv.URL).Cancel(context.Background(), "j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled || !st.Done() {
+		t.Fatalf("cancel status = %+v, want terminal canceled", st)
 	}
 }

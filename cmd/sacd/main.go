@@ -31,14 +31,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/client"
+
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -57,15 +62,42 @@ func main() {
 		drainGrace  = flag.Duration("drain-grace", 10*time.Minute, "how long a shutdown signal waits for in-flight jobs")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the API address")
 		quiet       = flag.Bool("q", false, "suppress per-job log lines")
+		coord       = flag.String("coordinator", "", "saccoord base URL; set to enroll this daemon as a fleet worker")
+		advertise   = flag.String("advertise", "", "base URL the coordinator dispatches jobs to (default derived from the bound listen address)")
+		workerID    = flag.String("worker-id", "", "stable fleet worker identity; placement hashes it (default host:port of the advertise URL)")
 	)
 	flag.Parse()
-	if err := run(*addr, *cacheDir, *cacheMax, *workers, *chipWorkers, *queueCap, *fidelity, *journalPath, *drainGrace, *pprofOn, *quiet); err != nil {
+	o := options{
+		addr: *addr, cacheDir: *cacheDir, cacheMax: *cacheMax,
+		workers: *workers, chipWorkers: *chipWorkers, queueCap: *queueCap,
+		fidelity: *fidelity, journalPath: *journalPath, drainGrace: *drainGrace,
+		pprofOn: *pprofOn, quiet: *quiet,
+		coordinator: *coord, advertise: *advertise, workerID: *workerID,
+	}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "sacd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, cacheDir string, cacheMax int64, workers, chipWorkers, queueCap int, fidelity, journalPath string, drainGrace time.Duration, pprofOn, quiet bool) error {
+// options carries the parsed flags into run.
+type options struct {
+	addr, cacheDir        string
+	cacheMax              int64
+	workers, chipWorkers  int
+	queueCap              int
+	fidelity, journalPath string
+	drainGrace            time.Duration
+	pprofOn, quiet        bool
+	coordinator           string
+	advertise, workerID   string
+}
+
+func run(o options) error {
+	addr, cacheDir, cacheMax := o.addr, o.cacheDir, o.cacheMax
+	workers, chipWorkers, queueCap := o.workers, o.chipWorkers, o.queueCap
+	fidelity, journalPath := o.fidelity, o.journalPath
+	drainGrace, pprofOn, quiet := o.drainGrace, o.pprofOn, o.quiet
 	cfg := server.Config{
 		Workers:         workers,
 		ChipWorkers:     chipWorkers,
@@ -87,6 +119,7 @@ func run(addr, cacheDir string, cacheMax int64, workers, chipWorkers, queueCap i
 		st, err := store.Open(cacheDir, store.Options{
 			MaxBytes:  cacheMax,
 			OnCorrupt: func(string) { corrupt.Inc() },
+			Registry:  cfg.Registry,
 		})
 		if err != nil {
 			return err
@@ -126,6 +159,36 @@ func run(addr, cacheDir string, cacheMax int64, workers, chipWorkers, queueCap i
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
+	// Fleet enrollment: register with the coordinator once the listener is
+	// bound (the advertise URL must already answer dispatches) and heartbeat
+	// our health so the coordinator steers placement around degradation.
+	var agent *cluster.Agent
+	if o.coordinator != "" {
+		adv := o.advertise
+		if adv == "" {
+			adv = advertiseURL(ln.Addr())
+		}
+		id := o.workerID
+		if id == "" {
+			id = strings.TrimPrefix(adv, "http://")
+		}
+		var alog io.Writer
+		if !quiet {
+			alog = os.Stderr
+		}
+		agent, err = cluster.StartAgent(cluster.AgentConfig{
+			Coordinator: o.coordinator,
+			Info:        client.WorkerInfo{ID: id, URL: adv},
+			Health:      s.HealthSnapshot,
+			Log:         alog,
+		})
+		if err != nil {
+			hs.Close()
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sacd: worker %s enrolling with %s\n", id, o.coordinator)
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	select {
@@ -133,6 +196,13 @@ func run(addr, cacheDir string, cacheMax int64, workers, chipWorkers, queueCap i
 		fmt.Fprintf(os.Stderr, "sacd: %v: draining\n", sig)
 	case err := <-errc:
 		return err
+	}
+
+	// Leave the fleet before draining: the deregistration rebalances the
+	// ring immediately, so the coordinator steers new cells elsewhere while
+	// our in-flight jobs finish.
+	if agent != nil {
+		agent.Close()
 	}
 
 	// Drain order matters: stop the workers first (in-flight jobs finish,
@@ -151,6 +221,20 @@ func run(addr, cacheDir string, cacheMax int64, workers, chipWorkers, queueCap i
 	}
 	fmt.Fprintln(os.Stderr, "sacd: drained, bye")
 	return nil
+}
+
+// advertiseURL derives the URL the coordinator should dial from the bound
+// listen address: an unspecified host (":8341", "0.0.0.0", "[::]") becomes
+// 127.0.0.1 — right for single-host fleets; multi-host ones pass -advertise.
+func advertiseURL(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return "http://" + a.String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }
 
 // journalSyncEnabled reads the REPRO_JOURNAL_SYNC gate: unset, "0", or

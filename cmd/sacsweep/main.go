@@ -22,10 +22,14 @@ import (
 	"time"
 
 	sac "repro"
+	"repro/client"
+	"repro/internal/backend"
 	"repro/internal/fault"
+	"repro/internal/gpu"
 	"repro/internal/noccost"
 	"repro/internal/obs"
 	"repro/internal/store"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -45,6 +49,7 @@ func main() {
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics-addr server")
 		progress    = flag.Bool("progress", false, "print one line per completed sweep cell to stderr")
 		cacheDir    = flag.String("cache-dir", "", "persistent result cache directory (shared with sacd); warm entries skip simulation")
+		remote      = flag.String("remote", "", "execute every cell through the saccoord coordinator (or single sacd) at this base URL instead of simulating in-process")
 		cacheMax    = flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this many bytes (0 = unbounded)")
 	)
 	flag.Parse()
@@ -76,6 +81,10 @@ func main() {
 		}
 		defer ms.Close()
 		fmt.Fprintf(os.Stderr, "sacsweep: serving metrics at http://%s/metrics\n", ms.Addr())
+	}
+	if *remote != "" {
+		r.Simulate = remoteExecutor(ctx, *remote)
+		fmt.Fprintf(os.Stderr, "sacsweep: executing cells remotely via %s\n", *remote)
 	}
 	if *cacheDir != "" {
 		st, err := store.Open(*cacheDir, store.Options{MaxBytes: *cacheMax})
@@ -275,3 +284,33 @@ func runExperiment(r *sac.Runner, id string, jsonOut bool) error {
 
 // printer is the common surface of every experiment result.
 type printer interface{ Print(w io.Writer) }
+
+// remoteExecutor plugs a fleet into the Runner: each cell becomes one job
+// against a saccoord coordinator (or a single sacd daemon — the APIs are
+// identical), shipped with its full explicit config so the remote cache key
+// equals the local one and results come back byte-identical to an
+// in-process sweep. Cells the remote cannot name (ScaleInput variants exist
+// only in this process's catalog) quietly run locally — a sweep is never
+// partial because one experiment synthesizes workloads.
+func remoteExecutor(ctx context.Context, base string) func(gpu.Config, sac.Spec, gpu.RunOpts) (*sac.Stats, error) {
+	rc := client.New(base)
+	return func(cfg gpu.Config, spec sac.Spec, o gpu.RunOpts) (*sac.Stats, error) {
+		if _, err := workload.ByName(spec.Name); err != nil {
+			return backend.Run(cfg, spec, o)
+		}
+		req := client.JobRequest{
+			Benchmark: spec.Name,
+			Org:       cfg.Org.String(),
+			Config:    &cfg,
+			Fidelity:  o.Fidelity,
+		}
+		if !o.Faults.Empty() {
+			req.Faults = o.Faults.String()
+		}
+		cctx := o.Ctx
+		if cctx == nil {
+			cctx = ctx
+		}
+		return rc.Run(cctx, req)
+	}
+}

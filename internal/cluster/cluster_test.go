@@ -1,0 +1,348 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/gpu"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// tinyConfig shrinks the machine so cluster tests simulate in milliseconds
+// (mirrors the server package's shrink).
+func tinyConfig() gpu.Config {
+	cfg := gpu.ScaledConfig()
+	cfg.SMsPerChip = 4
+	cfg.WarpsPerSM = 4
+	cfg.SlicesPerChip = 2
+	cfg.LLCBytesPerChip = 64 << 10
+	cfg.L1BytesPerSM = 4 << 10
+	cfg.ChannelsPerChip = 2
+	cfg.ChannelBW = 32
+	cfg.RingLinkBW = 12
+	cfg.WorkloadScale = 512
+	cfg.SACOpts.WindowCycles = 1500
+	return cfg
+}
+
+// tinyRequest names one cell; scale perturbs the config so each value is a
+// distinct cache key (and therefore a distinct ring placement).
+func tinyRequest(benchmark, org string, scale int) client.JobRequest {
+	cfg := tinyConfig()
+	if scale > 0 {
+		cfg.WorkloadScale = scale
+	}
+	return client.JobRequest{Benchmark: benchmark, Org: org, Config: &cfg}
+}
+
+// testWorker is one in-process sacd worker enrolled in a fleet.
+type testWorker struct {
+	id    string
+	srv   *server.Server
+	hs    *httptest.Server
+	agent *Agent
+}
+
+// kill is the SIGKILL path: HTTP goes dark and heartbeats stop, with no
+// deregistration — the coordinator must find out the hard way.
+func (w *testWorker) kill() {
+	w.agent.abandon()
+	w.hs.CloseClientConnections()
+	w.hs.Close()
+}
+
+// startWorker boots a real server.Server over httptest and enrolls it.
+func startWorker(t *testing.T, coordURL, id string) *testWorker {
+	t.Helper()
+	s := server.New(server.Config{Workers: 2})
+	s.Start()
+	hs := httptest.NewServer(s.Handler())
+	agent, err := StartAgent(AgentConfig{
+		Coordinator: coordURL,
+		Info:        client.WorkerInfo{ID: id, URL: hs.URL},
+		Health:      s.HealthSnapshot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &testWorker{id: id, srv: s, hs: hs, agent: agent}
+	t.Cleanup(func() {
+		w.agent.abandon() // no-op if already closed/killed
+		w.hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	return w
+}
+
+// testCoordinator boots a coordinator with test-speed heartbeats.
+func testCoordinator(t *testing.T, reg *obs.Registry) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	c := New(Config{
+		Heartbeat:   50 * time.Millisecond,
+		Lapse:       250 * time.Millisecond,
+		MaxAttempts: 8,
+		Registry:    reg,
+		Dial: func(url string) *client.Client {
+			return client.New(url,
+				client.WithRetries(1),
+				client.WithBackoff(2*time.Millisecond, 10*time.Millisecond),
+				client.WithPollInterval(2*time.Millisecond))
+		},
+	})
+	hs := httptest.NewServer(c.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		c.Close()
+	})
+	return c, hs
+}
+
+func newClient(url string) *client.Client {
+	return client.New(url,
+		client.WithBackoff(2*time.Millisecond, 20*time.Millisecond),
+		client.WithPollInterval(2*time.Millisecond))
+}
+
+// waitLive polls until n workers are in the ring.
+func waitLive(t *testing.T, c *Coordinator, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Fleet().Live == n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("fleet never reached %d live workers: %+v", n, c.Fleet())
+}
+
+// ownedBy reports which worker the coordinator's ring places a request on.
+func ownedBy(t *testing.T, c *Coordinator, req client.JobRequest) string {
+	t.Helper()
+	rj, err := server.ResolveRequest(req, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := c.ring.Owner(rj.Key)
+	if !ok {
+		t.Fatal("empty ring")
+	}
+	return id
+}
+
+// TestClusterSmoke is the clustersmoke gate: an in-process coordinator with
+// two real workers runs a small grid, then one worker is SIGKILLed (HTTP
+// dark + heartbeats stop, no goodbye) and a second wave of cells placed on
+// the dead worker must all be stolen to the survivor — zero lost cells.
+func TestClusterSmoke(t *testing.T) {
+	reg := obs.NewRegistry()
+	coord, hs := testCoordinator(t, reg)
+	wa := startWorker(t, hs.URL, "worker-a")
+	wb := startWorker(t, hs.URL, "worker-b")
+	_ = wb
+	waitLive(t, coord, 2)
+	cc := newClient(hs.URL)
+
+	// Wave 1: a healthy-fleet grid across both workers.
+	var wave1 []client.JobRequest
+	for _, bench := range []string{"RN", "SN"} {
+		for _, org := range []string{"SAC", "memory-side"} {
+			wave1 = append(wave1, tinyRequest(bench, org, 0))
+		}
+	}
+	runWave(t, cc, wave1)
+
+	// Wave 2: cells the ring places on worker-a, selected before the kill so
+	// every one of them must be stolen. Scale perturbs keys until three land
+	// on the victim.
+	var wave2 []client.JobRequest
+	for scale := 520; len(wave2) < 3 && scale < 2000; scale += 8 {
+		req := tinyRequest("RN", "SAC", scale)
+		if ownedBy(t, coord, req) == wa.id {
+			wave2 = append(wave2, req)
+		}
+	}
+	if len(wave2) < 3 {
+		t.Fatal("could not find cells owned by worker-a")
+	}
+
+	wa.kill()
+	runWave(t, cc, wave2)
+
+	fs := coord.Fleet()
+	if fs.Steals < 1 {
+		t.Fatalf("no steals recorded after worker kill: %+v", fs)
+	}
+	// The lapse sweeper must eventually evict the corpse from the ring.
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.Fleet().Live != 1 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	fs = coord.Fleet()
+	if fs.Live != 1 {
+		t.Fatalf("dead worker still in ring: %+v", fs)
+	}
+	for _, ws := range fs.Workers {
+		if ws.ID == wa.id && ws.Health != "gone" {
+			t.Fatalf("killed worker health = %q, want gone", ws.Health)
+		}
+	}
+}
+
+// runWave submits all cells concurrently and requires every one to finish
+// done with a plausible result.
+func runWave(t *testing.T, cc *client.Client, reqs []client.JobRequest) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, len(reqs))
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req client.JobRequest) {
+			defer wg.Done()
+			res, err := cc.Run(ctx, req)
+			if err == nil && res.Cycles <= 0 {
+				err = fmt.Errorf("cell %d: bogus cycles %d", i, res.Cycles)
+			}
+			errs[i] = err
+		}(i, req)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("cell %d (%s/%s) lost: %v", i, reqs[i].Benchmark, reqs[i].Org, err)
+		}
+	}
+}
+
+// TestClusterGlobalDedup pins the fleet-wide exactly-once property: the same
+// cell submitted concurrently by two clients simulates once (one source
+// "sim"/"store", the other "dedup"), and a later submission recalls it
+// ("memo") without touching the fleet.
+func TestClusterGlobalDedup(t *testing.T) {
+	reg := obs.NewRegistry()
+	coord, hs := testCoordinator(t, reg)
+	startWorker(t, hs.URL, "worker-a")
+	startWorker(t, hs.URL, "worker-b")
+	waitLive(t, coord, 2)
+	ctx := context.Background()
+
+	// A heavier cell so the second submission lands while the first is still
+	// in flight.
+	req := tinyRequest("RN", "SAC", 4096)
+	clients := []*client.Client{newClient(hs.URL), newClient(hs.URL)}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		sources = map[string]int{}
+	)
+	for _, cc := range clients {
+		wg.Add(1)
+		go func(cc *client.Client) {
+			defer wg.Done()
+			st, err := cc.Submit(ctx, req)
+			if err == nil {
+				st, err = cc.Wait(ctx, st.ID)
+			}
+			if err != nil {
+				t.Errorf("submit/wait: %v", err)
+				return
+			}
+			if st.State != client.StateDone {
+				t.Errorf("state = %s (%s)", st.State, st.Error)
+				return
+			}
+			mu.Lock()
+			sources[st.Source]++
+			mu.Unlock()
+		}(cc)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Exactly one execution: one job carries the worker's source (sim, or
+	// store if the worker's warm tier had it), the other joined it.
+	if sources[client.SourceDedup] != 1 || sources[client.SourceSim]+sources[client.SourceStore] != 1 {
+		t.Fatalf("sources = %v, want exactly one sim/store and one dedup", sources)
+	}
+	if fs := coord.Fleet(); fs.DedupHits != 1 {
+		t.Fatalf("fleet dedup hits = %d, want 1: %+v", fs.DedupHits, fs)
+	}
+
+	// Third submission after completion: answered from the flight memo.
+	st, err := clients[0].Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = clients[0].Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Source != client.SourceMemo {
+		t.Fatalf("post-completion source = %q, want memo", st.Source)
+	}
+}
+
+// TestClusterNoWorkers pins the empty-fleet behavior: a deadlined job waits
+// for a worker and expires instead of failing instantly.
+func TestClusterNoWorkers(t *testing.T) {
+	_, hs := testCoordinator(t, nil)
+	cc := newClient(hs.URL)
+	st, err := cc.Submit(context.Background(), func() client.JobRequest {
+		r := tinyRequest("RN", "SAC", 0)
+		r.TimeoutMS = 300
+		return r
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = cc.Wait(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != client.StateExpired {
+		t.Fatalf("state = %s, want expired", st.State)
+	}
+}
+
+// TestClusterKeyAffinity pins placement: with a stable fleet, every
+// submission of the same cell lands on the ring owner, and distinct cells
+// spread across workers.
+func TestClusterKeyAffinity(t *testing.T) {
+	reg := obs.NewRegistry()
+	coord, hs := testCoordinator(t, reg)
+	startWorker(t, hs.URL, "worker-a")
+	startWorker(t, hs.URL, "worker-b")
+	waitLive(t, coord, 2)
+	cc := newClient(hs.URL)
+	ctx := context.Background()
+
+	req := tinyRequest("SN", "static", 0)
+	want := ownedBy(t, coord, req)
+	st, err := cc.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	coord.mu.Lock()
+	j := coord.jobs[st.ID]
+	coord.mu.Unlock()
+	j.mu.Lock()
+	got := j.worker
+	j.mu.Unlock()
+	if got != want {
+		t.Fatalf("cell ran on %s, ring owner is %s", got, want)
+	}
+}

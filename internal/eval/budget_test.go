@@ -16,7 +16,7 @@ import (
 func captureWorkers(r *Runner) *[]int {
 	var mu sync.Mutex
 	var got []int
-	r.simulate = func(cfg gpu.Config, spec workload.Spec, o gpu.RunOpts) (*stats.Run, error) {
+	r.Simulate = func(cfg gpu.Config, spec workload.Spec, o gpu.RunOpts) (*stats.Run, error) {
 		mu.Lock()
 		got = append(got, o.Workers)
 		mu.Unlock()

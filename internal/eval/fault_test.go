@@ -101,7 +101,7 @@ func TestFaultedAndHealthyRunsDoNotCollide(t *testing.T) {
 func TestSweepSurvivesPanickingCell(t *testing.T) {
 	r := testRunner("RN", "BP")
 	r.Parallelism = 4
-	r.simulate = func(cfg gpu.Config, spec workload.Spec, o gpu.RunOpts) (*stats.Run, error) {
+	r.Simulate = func(cfg gpu.Config, spec workload.Spec, o gpu.RunOpts) (*stats.Run, error) {
 		if spec.Name == "RN" && cfg.Org == llc.SAC {
 			panic("injected cell failure")
 		}
@@ -148,7 +148,7 @@ func TestSweepSurvivesPanickingCell(t *testing.T) {
 // hitting the same failed memo entry produce one joined CellError.
 func TestSweepReportsFailingCellOnce(t *testing.T) {
 	r := testRunner("BP")
-	r.simulate = func(cfg gpu.Config, spec workload.Spec, o gpu.RunOpts) (*stats.Run, error) {
+	r.Simulate = func(cfg gpu.Config, spec workload.Spec, o gpu.RunOpts) (*stats.Run, error) {
 		return nil, fmt.Errorf("boom")
 	}
 	spec, err := workload.ByName("BP")

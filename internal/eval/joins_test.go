@@ -18,7 +18,7 @@ func failingRunner(t *testing.T, fail map[string]string) *Runner {
 	t.Helper()
 	r := testRunner()
 	r.Parallelism = 4
-	r.simulate = func(cfg gpu.Config, spec workload.Spec, o gpu.RunOpts) (*stats.Run, error) {
+	r.Simulate = func(cfg gpu.Config, spec workload.Spec, o gpu.RunOpts) (*stats.Run, error) {
 		switch fail[spec.Name] {
 		case "error":
 			return nil, fmt.Errorf("synthetic failure in %s", spec.Name)

@@ -104,9 +104,12 @@ type Runner struct {
 	obsOnce sync.Once
 	obsM    *sweepMetrics
 
-	// simulate is the simulation entry point; tests swap it to model
-	// panicking or failing cells. nil selects gpu.RunWith.
-	simulate func(gpu.Config, workload.Spec, gpu.RunOpts) (*stats.Run, error)
+	// Simulate is the simulation entry point; nil selects the in-process
+	// gpu.RunWith. Tests swap it to model panicking or failing cells, and
+	// sacsweep -remote swaps it for an executor that ships each cell to a
+	// saccoord coordinator. Whatever it returns still flows through the
+	// runner's memo, store, and accounting layers unchanged.
+	Simulate func(gpu.Config, workload.Spec, gpu.RunOpts) (*stats.Run, error)
 }
 
 // CellResult is the per-cell progress record passed to OnCellDone.
@@ -322,8 +325,8 @@ func (c *CellError) Unwrap() error { return c.Err }
 // sim returns the simulation entry point (the fidelity-dispatching
 // backend.Run by default; the exact rung is a plain gpu.RunWith call).
 func (r *Runner) sim() func(gpu.Config, workload.Spec, gpu.RunOpts) (*stats.Run, error) {
-	if r.simulate != nil {
-		return r.simulate
+	if r.Simulate != nil {
+		return r.Simulate
 	}
 	return func(cfg gpu.Config, spec workload.Spec, o gpu.RunOpts) (*stats.Run, error) {
 		return backend.Run(cfg, spec, o)

@@ -30,6 +30,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	if s.cfg.Registry != nil {
@@ -102,6 +103,19 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// handleCancel is the steal-cancel endpoint: DELETE /v1/jobs/{id} stops a
+// queued or running job and answers with its (possibly already terminal)
+// status — cancellation is idempotent.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	res, st, ok := s.Result(id)
@@ -114,6 +128,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "job %s failed: %s", id, st.Error)
 	case client.StateExpired:
 		writeError(w, http.StatusGone, "job %s expired: %s", id, st.Error)
+	case client.StateCanceled:
+		writeError(w, http.StatusGone, "job %s canceled: %s", id, st.Error)
 	case client.StateDone:
 		writeJSON(w, http.StatusOK, res)
 	default:

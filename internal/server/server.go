@@ -150,7 +150,14 @@ type job struct {
 	rawReq   json.RawMessage
 	deadline time.Time
 
+	// cancelCh closes when a client cancels the job; queued jobs are skipped
+	// at pop, joiners detach from their flight, and the flight leader's
+	// simulation context (cancel, set while leading) is canceled.
+	cancelCh   chan struct{}
+	cancelOnce sync.Once
+
 	mu        sync.Mutex
+	cancel    context.CancelFunc
 	state     string
 	source    string
 	err       error
@@ -180,6 +187,7 @@ type metrics struct {
 	done              *obs.Metric
 	failed            *obs.Metric
 	expired           *obs.Metric
+	canceled          *obs.Metric
 	shed              *obs.Metric
 	hits              *obs.Metric
 	misses            *obs.Metric
@@ -208,6 +216,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		done:              reg.Counter("sacd_jobs_done_total", "Jobs that finished successfully."),
 		failed:            reg.Counter("sacd_jobs_failed_total", "Jobs that finished with an error."),
 		expired:           reg.Counter("sacd_jobs_expired_total", "Jobs that missed their end-to-end deadline."),
+		canceled:          reg.Counter("sacd_jobs_canceled_total", "Jobs canceled by a client or a coordinator steal."),
 		shed:              reg.Counter("sacd_jobs_shed_total", "Batch-lane jobs shed while degraded."),
 		hits:              reg.Counter("sacd_cache_hits_total", "Jobs served from the persistent result store."),
 		misses:            reg.Counter("sacd_cache_misses_total", "Jobs that missed the store and simulated."),
@@ -317,6 +326,51 @@ func newJobID() string {
 	return "j" + hex.EncodeToString(b[:])
 }
 
+// ResolvedJob is a job request validated and resolved to its full
+// simulation identity: the concrete configuration, workload, fault plan,
+// normalized fidelity rung, and the content address the result is filed
+// under. The cluster coordinator resolves submissions through this to
+// validate them and to compute consistent-hash placement on Key without
+// running a Server of its own.
+type ResolvedJob struct {
+	Cfg      gpu.Config
+	Spec     workload.Spec
+	Plan     *fault.Plan
+	Fidelity string // normalized rung ("" = exact)
+	Key      string // store.KeyAt content address
+}
+
+// ResolveRequest validates req and resolves its simulation identity.
+// defaultFidelity applies when the request names no rung ("" = exact).
+func ResolveRequest(req client.JobRequest, defaultFidelity string) (ResolvedJob, error) {
+	if _, err := laneIndex(req.Priority); err != nil {
+		return ResolvedJob{}, err
+	}
+	if req.TimeoutMS < 0 {
+		return ResolvedJob{}, fmt.Errorf("negative timeout_ms %d", req.TimeoutMS)
+	}
+	reqFid := req.Fidelity
+	if reqFid == "" {
+		reqFid = defaultFidelity
+	}
+	fid, err := backend.Normalize(reqFid)
+	if err != nil {
+		return ResolvedJob{}, err
+	}
+	cfg, spec, plan, err := resolve(req)
+	if err != nil {
+		return ResolvedJob{}, err
+	}
+	if fid == backend.Estimate && !plan.Empty() {
+		return ResolvedJob{}, fmt.Errorf("fidelity %q cannot apply a fault plan; use %q or %q",
+			backend.Estimate, backend.Sampled, backend.Exact)
+	}
+	return ResolvedJob{
+		Cfg: cfg, Spec: spec, Plan: plan, Fidelity: fid,
+		Key: store.KeyAt(cfg, spec.Name, plan.Key(), fid),
+	}, nil
+}
+
 // resolve validates a request and resolves its simulation identity.
 func resolve(req client.JobRequest) (gpu.Config, workload.Spec, *fault.Plan, error) {
 	spec, err := workload.ByName(req.Benchmark)
@@ -377,29 +431,11 @@ func (s *Server) Submit(req client.JobRequest) (client.JobStatus, error) {
 // journaled marks jobs already on disk (journal compaction at Open keeps
 // exactly the live set), whose accepts must not be re-appended.
 func (s *Server) submit(req client.JobRequest, pinnedID string, deadline time.Time, journaled bool) (client.JobStatus, error) {
-	lane, err := laneIndex(req.Priority)
+	rj, err := ResolveRequest(req, s.cfg.DefaultFidelity)
 	if err != nil {
 		return client.JobStatus{}, err
 	}
-	if req.TimeoutMS < 0 {
-		return client.JobStatus{}, fmt.Errorf("negative timeout_ms %d", req.TimeoutMS)
-	}
-	reqFid := req.Fidelity
-	if reqFid == "" {
-		reqFid = s.cfg.DefaultFidelity
-	}
-	fid, err := backend.Normalize(reqFid)
-	if err != nil {
-		return client.JobStatus{}, err
-	}
-	cfg, spec, plan, err := resolve(req)
-	if err != nil {
-		return client.JobStatus{}, err
-	}
-	if fid == backend.Estimate && !plan.Empty() {
-		return client.JobStatus{}, fmt.Errorf("fidelity %q cannot apply a fault plan; use %q or %q",
-			backend.Estimate, backend.Sampled, backend.Exact)
-	}
+	lane, _ := laneIndex(req.Priority) // validated by ResolveRequest
 	now := time.Now()
 	if deadline.IsZero() && req.TimeoutMS > 0 {
 		deadline = now.Add(time.Duration(req.TimeoutMS) * time.Millisecond)
@@ -408,19 +444,20 @@ func (s *Server) submit(req client.JobRequest, pinnedID string, deadline time.Ti
 		id:        pinnedID,
 		req:       req,
 		lane:      lane,
-		cfg:       cfg,
-		spec:      spec,
-		plan:      plan,
-		fidelity:  fid,
-		key:       store.KeyAt(cfg, spec.Name, plan.Key(), fid),
+		cfg:       rj.Cfg,
+		spec:      rj.Spec,
+		plan:      rj.Plan,
+		fidelity:  rj.Fidelity,
+		key:       rj.Key,
 		deadline:  deadline,
+		cancelCh:  make(chan struct{}),
 		state:     client.StateQueued,
 		submitted: now,
 	}
 	if j.id == "" {
 		j.id = newJobID()
 	}
-	if fid == backend.Estimate {
+	if rj.Fidelity == backend.Estimate {
 		// The estimate rung answers in microseconds: run it synchronously on
 		// the accept path — no queue slot, no journal record, no worker — and
 		// hand the client a terminal status in the submission response.
@@ -479,7 +516,7 @@ func (s *Server) submit(req client.JobRequest, pinnedID string, deadline time.Ti
 	st := s.statusLocked(j)
 	s.mu.Unlock()
 	s.logf("accepted %s %s/%s lane=%s fidelity=%s key=%.12s",
-		j.id, spec.Name, cfg.Org, lanes[lane], backend.Display(fid), j.key)
+		j.id, j.spec.Name, j.cfg.Org, lanes[lane], backend.Display(j.fidelity), j.key)
 	return st, nil
 }
 
@@ -618,6 +655,14 @@ func (s *Server) pop() *job {
 				if s.m != nil {
 					s.m.queueDepth[lane].Add(-1)
 				}
+				j.mu.Lock()
+				canceled := j.state == client.StateCanceled
+				j.mu.Unlock()
+				if canceled {
+					// Canceled while queued: Cancel already journaled the
+					// terminal state, the slot just frees here.
+					continue
+				}
 				if !j.deadline.IsZero() && time.Now().After(j.deadline) {
 					s.expireLocked(j)
 					continue
@@ -654,6 +699,69 @@ func (s *Server) expireLocked(j *job) {
 	s.journalLocked(journal.Record{Op: journal.OpDone, ID: j.id, State: "expired"})
 	s.maybeCompactLocked()
 	s.logf("expired %s after %.3fs", j.id, total)
+}
+
+// closeCancel trips the job's cancel channel exactly once.
+func (j *job) closeCancel() { j.cancelOnce.Do(func() { close(j.cancelCh) }) }
+
+// cancelLocked marks a job canceled (it never ran, or detached from its
+// flight as a joiner), journals the terminal state, and counts it. The
+// caller holds s.mu.
+func (s *Server) cancelLocked(j *job) {
+	now := time.Now()
+	j.mu.Lock()
+	j.state = client.StateCanceled
+	j.finished = now
+	j.err = errors.New("canceled by client")
+	total := now.Sub(j.submitted).Seconds()
+	j.mu.Unlock()
+	j.closeCancel()
+	if s.m != nil {
+		s.m.canceled.Inc()
+		s.m.jobLatency.Observe(total)
+	}
+	s.journalLocked(journal.Record{Op: journal.OpDone, ID: j.id, State: "canceled"})
+	s.maybeCompactLocked()
+	s.logf("canceled %s after %.3fs", j.id, total)
+}
+
+// Cancel terminates one job: still queued, it reaches state "canceled"
+// without burning a worker; running, the flight leader's simulation context
+// is canceled (joiners merely detach). Jobs already terminal are untouched —
+// Cancel returns their status as-is, so it is safe to race a finishing job.
+// The coordinator issues this as the steal-cancel after re-dispatching a job
+// to another worker; because results are content-addressed and idempotent, a
+// cancel that loses the race costs nothing but the duplicate work it failed
+// to save. Note that canceling a flight leader cancels the flight: other
+// jobs joined to the same cache key fail canceled with it (resubmissions
+// retry — failed flights are evicted).
+func (s *Server) Cancel(id string) (client.JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return client.JobStatus{}, false
+	}
+	j.mu.Lock()
+	state := j.state
+	cancel := j.cancel
+	j.mu.Unlock()
+	_, popped := s.running[j.id]
+	switch {
+	case state == client.StateQueued && !popped:
+		// Still sitting in a lane (pop moves a job into s.running under
+		// s.mu before it can start, so this check cannot race a worker).
+		s.cancelLocked(j)
+	case state == client.StateQueued || state == client.StateRunning:
+		// The terminal state publishes through the normal finish path: the
+		// leader's context aborts the simulation, a joiner detaches on
+		// cancelCh.
+		j.closeCancel()
+		if cancel != nil {
+			cancel()
+		}
+	}
+	return s.statusLocked(j), true
 }
 
 // runJob executes one popped job and contains any panic that escapes the
@@ -738,20 +846,26 @@ func (s *Server) execute(j *job) {
 	}
 	// Another client's identical cell is simulating right now: join it
 	// instead of simulating twice — but only for as long as this job's own
-	// deadline allows.
+	// deadline allows, and only until this job is canceled (the flight keeps
+	// running for its remaining waiters).
+	var deadlineC <-chan time.Time
 	if !j.deadline.IsZero() {
 		t := time.NewTimer(time.Until(j.deadline))
-		select {
-		case <-f.done:
-			t.Stop()
-		case <-t.C:
-			s.mu.Lock()
-			s.expireLocked(j)
-			s.mu.Unlock()
-			return
-		}
-	} else {
-		<-f.done
+		defer t.Stop()
+		deadlineC = t.C
+	}
+	select {
+	case <-f.done:
+	case <-deadlineC:
+		s.mu.Lock()
+		s.expireLocked(j)
+		s.mu.Unlock()
+		return
+	case <-j.cancelCh:
+		s.mu.Lock()
+		s.cancelLocked(j)
+		s.mu.Unlock()
+		return
 	}
 	j.finish(s, f, client.SourceDedup)
 	if s.m != nil {
@@ -787,11 +901,24 @@ func (s *Server) lead(f *flight, j *job) {
 	if s.cfg.Store != nil && s.m != nil {
 		s.m.misses.Inc()
 	}
-	ctx := context.Background()
+	// The leader's context is cancelable (Server.Cancel, the steal-cancel)
+	// and bounded by the job's deadline when it has one.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	if !j.deadline.IsZero() {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithDeadline(ctx, j.deadline)
-		defer cancel()
+		var cancelDL context.CancelFunc
+		ctx, cancelDL = context.WithDeadline(ctx, j.deadline)
+		defer cancelDL()
+	}
+	j.mu.Lock()
+	j.cancel = cancel
+	j.mu.Unlock()
+	select {
+	case <-j.cancelCh:
+		// Canceled between pop and lead: don't start the simulation.
+		f.err = context.Canceled
+		return
+	default:
 	}
 	// The runner executes through its worker pool (sized to ours, so it
 	// never queues beneath us), memoizes, and — when a store is attached —
@@ -812,6 +939,8 @@ func journalState(state string) string {
 		return "failed"
 	case client.StateExpired:
 		return "expired"
+	case client.StateCanceled:
+		return "canceled"
 	}
 	return "done"
 }
@@ -824,9 +953,12 @@ func (j *job) finish(s *Server, f *flight, source string) {
 	j.finished = time.Now()
 	j.source = source
 	if f.err != nil {
-		if errors.Is(f.err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(f.err, context.DeadlineExceeded):
 			j.state = client.StateExpired
-		} else {
+		case errors.Is(f.err, context.Canceled):
+			j.state = client.StateCanceled
+		default:
 			j.state = client.StateFailed
 		}
 		j.err = f.err
@@ -845,6 +977,8 @@ func (j *job) finish(s *Server, f *flight, source string) {
 			s.m.failed.Inc()
 		case client.StateExpired:
 			s.m.expired.Inc()
+		case client.StateCanceled:
+			s.m.canceled.Inc()
 		default:
 			s.m.done.Inc()
 		}

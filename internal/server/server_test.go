@@ -422,3 +422,118 @@ func TestHealthAndMetrics(t *testing.T) {
 		t.Fatalf("inflight gauge nonzero at rest: %v", snap)
 	}
 }
+
+// slowTestRequest is a cell heavy enough (hundreds of ms) that a cancel
+// reliably lands while it is queued or running.
+func slowTestRequest(benchmark, org string) client.JobRequest {
+	cfg := tinyConfig()
+	cfg.WorkloadScale = 64
+	return client.JobRequest{Benchmark: benchmark, Org: org, Config: &cfg}
+}
+
+// TestCancelQueuedJob pins the steal-cancel endpoint's queued path: a job
+// canceled before a worker picks it up turns terminal "canceled" without
+// ever running, its result answers 410, and cancellation is idempotent.
+func TestCancelQueuedJob(t *testing.T) {
+	_, c := testDaemon(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	// One slow job occupies the single worker; the second stays queued.
+	running, err := c.Submit(ctx, slowTestRequest("RN", "SAC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := c.Submit(ctx, slowTestRequest("SN", "SAC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Cancel(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != client.StateCanceled {
+		t.Fatalf("canceled queued job state = %s, want canceled", st.State)
+	}
+	if st.StartedAt != nil {
+		t.Fatal("canceled-while-queued job claims to have started")
+	}
+	if _, err := c.Result(ctx, queued.ID); err == nil {
+		t.Fatal("result of a canceled job did not error")
+	}
+	// Idempotent: canceling again answers the same terminal status.
+	st2, err := c.Cancel(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != client.StateCanceled {
+		t.Fatalf("second cancel state = %s, want canceled", st2.State)
+	}
+	// The running job is untouched by its neighbor's cancellation.
+	fin, err := c.Wait(ctx, running.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != client.StateDone {
+		t.Fatalf("running job finished %s, want done", fin.State)
+	}
+}
+
+// TestCancelRunningJob pins the running path: cancel aborts the in-flight
+// simulation (the worker frees up promptly) and the job lands terminal
+// "canceled", not failed or done.
+func TestCancelRunningJob(t *testing.T) {
+	_, c := testDaemon(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, slowTestRequest("GEMM", "SAC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until it is actually running so the cancel exercises the
+	// in-flight path, not the queued one.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur, err := c.Status(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == client.StateRunning {
+			break
+		}
+		if cur.Done() {
+			t.Fatalf("job finished (%s) before it could be canceled; slow request too fast", cur.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != client.StateCanceled {
+		t.Fatalf("canceled running job state = %s (%s), want canceled", fin.State, fin.Error)
+	}
+	// The freed worker must accept and finish new work.
+	next, err := c.Run(ctx, tinyRequest("BP", "SAC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Cycles <= 0 {
+		t.Fatalf("post-cancel job returned bogus cycles %d", next.Cycles)
+	}
+}
+
+// TestCancelUnknownJob pins the 404 path.
+func TestCancelUnknownJob(t *testing.T) {
+	_, c := testDaemon(t, Config{Workers: 1})
+	_, err := c.Cancel(context.Background(), "no-such-job")
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != 404 {
+		t.Fatalf("cancel of unknown job: err=%v, want 404", err)
+	}
+}

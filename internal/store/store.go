@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -121,6 +122,11 @@ type Options struct {
 	// of every object quarantined by Get — the sacd daemon counts these
 	// into sacd_store_corrupt_total.
 	OnCorrupt func(key string)
+	// Registry, when set, exports the store's traffic counters as
+	// sacd_store_hits_total / sacd_store_misses_total /
+	// sacd_store_evictions_total, so warm-tier effectiveness is visible on
+	// /metrics instead of dead-ending in the Go accessors.
+	Registry *obs.Registry
 }
 
 // indexEntry is the per-object index record.
@@ -146,9 +152,14 @@ type Store struct {
 	clock int64
 	total int64
 
-	hits    atomic.Int64
-	misses  atomic.Int64
-	corrupt atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	corrupt   atomic.Int64
+	evictions atomic.Int64
+
+	// Optional obs exports mirroring the atomics above; nil when Open ran
+	// without a Registry.
+	mHits, mMisses, mEvictions *obs.Metric
 }
 
 // Open opens (creating if necessary) the store rooted at dir.
@@ -160,6 +171,11 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{dir: dir, max: opts.MaxBytes, onCorrupt: opts.OnCorrupt, idx: make(map[string]indexEntry)}
+	if reg := opts.Registry; reg != nil {
+		s.mHits = reg.Counter("sacd_store_hits_total", "Store reads served from disk.")
+		s.mMisses = reg.Counter("sacd_store_misses_total", "Store reads that found nothing usable.")
+		s.mEvictions = reg.Counter("sacd_store_evictions_total", "Objects evicted by the LRU size cap.")
+	}
 	if err := s.loadIndex(); err != nil {
 		// Corrupt or missing index: rebuild from the objects on disk.
 		s.rebuildIndex()
@@ -256,14 +272,14 @@ func (s *Store) Get(key string) (*stats.Run, bool) {
 	path := s.objectPath(key)
 	b, err := os.ReadFile(path)
 	if err != nil {
-		s.misses.Add(1)
+		s.noteMiss()
 		return nil, false
 	}
 	var env envelope
 	if err := json.Unmarshal(b, &env); err != nil ||
 		env.Version != schemaVersion || env.Result == nil || keyOf(env.Key) != key {
 		s.quarantine(key)
-		s.misses.Add(1)
+		s.noteMiss()
 		return nil, false
 	}
 	if sum, err := resultSum(env.Result); err != nil || sum != env.Sum {
@@ -271,7 +287,7 @@ func (s *Store) Get(key string) (*stats.Run, bool) {
 		// bit rot or tampering that would otherwise be served as a
 		// plausible-looking result.
 		s.quarantine(key)
-		s.misses.Add(1)
+		s.noteMiss()
 		return nil, false
 	}
 	s.mu.Lock()
@@ -281,7 +297,7 @@ func (s *Store) Get(key string) (*stats.Run, bool) {
 		s.idx[key] = e
 	}
 	s.mu.Unlock()
-	s.hits.Add(1)
+	s.noteHit()
 	return env.Result, true
 }
 
@@ -377,6 +393,27 @@ func (s *Store) evictLocked() {
 		os.Remove(s.objectPath(c.key))
 		delete(s.idx, c.key)
 		s.total -= c.size
+		s.evictions.Add(1)
+		if s.mEvictions != nil {
+			s.mEvictions.Inc()
+		}
+	}
+}
+
+// noteHit counts one Get served from disk, mirrored to the obs registry
+// when one was supplied at Open.
+func (s *Store) noteHit() {
+	s.hits.Add(1)
+	if s.mHits != nil {
+		s.mHits.Inc()
+	}
+}
+
+// noteMiss counts one Get that found nothing usable.
+func (s *Store) noteMiss() {
+	s.misses.Add(1)
+	if s.mMisses != nil {
+		s.mMisses.Inc()
 	}
 }
 
@@ -428,6 +465,14 @@ func (s *Store) Hits() int64 { return s.hits.Load() }
 
 // Misses returns the number of Get calls that found nothing usable.
 func (s *Store) Misses() int64 { return s.misses.Load() }
+
+// Evictions returns the number of objects evicted by the LRU cap since Open.
+func (s *Store) Evictions() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.evictions.Load()
+}
 
 // Corrupt returns the number of objects quarantined by Get since Open.
 func (s *Store) Corrupt() int64 {

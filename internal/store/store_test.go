@@ -10,6 +10,10 @@ import (
 
 	"repro/internal/gpu"
 	"repro/internal/stats"
+
+	"bytes"
+	"fmt"
+	"repro/internal/obs"
 )
 
 func testConfig() gpu.Config {
@@ -411,5 +415,59 @@ func TestJSONIdentityAfterRoundTrip(t *testing.T) {
 	gb, _ := json.Marshal(got)
 	if string(wb) != string(gb) {
 		t.Fatalf("JSON differs after round trip:\n%s\n%s", wb, gb)
+	}
+}
+
+// TestObsCountersExported pins the Registry satellite: with a registry
+// wired at Open, hits, misses, and evictions move the exported counters in
+// lockstep with the Go accessors.
+func TestObsCountersExported(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	// Derive the single-object size so the capped store below holds two.
+	probe, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.PutRun(cfg, "BP", "", testRun("BP", 1)); err != nil {
+		t.Fatal(err)
+	}
+	objSize := probe.SizeBytes()
+	probe.quarantine(Key(cfg, "BP", ""))
+
+	reg := obs.NewRegistry()
+	s, err := Open(dir, Options{MaxBytes: objSize*2 + objSize/2, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(Key(cfg, "BP", "")); ok {
+		t.Fatal("quarantined entry came back")
+	}
+	for _, b := range []string{"BP", "RN", "SN"} {
+		if err := s.PutRun(cfg, b, "", testRun(b, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Get(Key(cfg, "SN", "")); !ok {
+		t.Fatal("fresh entry missed")
+	}
+
+	want := map[string]int64{
+		"sacd_store_hits_total":      s.Hits(),
+		"sacd_store_misses_total":    s.Misses(),
+		"sacd_store_evictions_total": s.Evictions(),
+	}
+	if want["sacd_store_hits_total"] == 0 || want["sacd_store_misses_total"] == 0 ||
+		want["sacd_store_evictions_total"] == 0 {
+		t.Fatalf("test exercised nothing: %v", want)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range want {
+		if !strings.Contains(buf.String(), fmt.Sprintf("%s %d", name, v)) {
+			t.Errorf("metrics missing %s %d:\n%s", name, v, buf.String())
+		}
 	}
 }
