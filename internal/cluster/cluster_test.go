@@ -293,6 +293,133 @@ func TestClusterGlobalDedup(t *testing.T) {
 	}
 }
 
+// TestClusterFailedFlightRetries pins failure-memo eviction: a flight that
+// fails transiently (here: deadline expiry on an empty fleet) must not
+// poison its cache key — once a worker joins, resubmitting the same cell
+// runs fresh and succeeds instead of replaying the stale error forever.
+func TestClusterFailedFlightRetries(t *testing.T) {
+	coord, hs := testCoordinator(t, nil)
+	cc := newClient(hs.URL)
+	ctx := context.Background()
+
+	req := tinyRequest("RN", "SAC", 0)
+	expiring := req
+	expiring.TimeoutMS = 200
+	st, err := cc.Submit(ctx, expiring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = cc.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != client.StateExpired {
+		t.Fatalf("empty-fleet state = %s, want expired", st.State)
+	}
+
+	startWorker(t, hs.URL, "worker-a")
+	waitLive(t, coord, 1)
+	res, err := cc.Run(ctx, req)
+	if err != nil {
+		t.Fatalf("resubmission replayed the stale failure: %v", err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatalf("bogus cycles %d", res.Cycles)
+	}
+}
+
+// TestClusterGC pins the memory bounds: done flights fall out of the memo
+// after MemoTTL and terminal jobs out of the table after Retention, and a
+// post-GC resubmission re-dispatches (served from the worker's store, not
+// the coordinator memo).
+func TestClusterGC(t *testing.T) {
+	c := New(Config{
+		Heartbeat: 20 * time.Millisecond,
+		Lapse:     250 * time.Millisecond,
+		MemoTTL:   50 * time.Millisecond,
+		Retention: 50 * time.Millisecond,
+		Dial: func(url string) *client.Client {
+			return client.New(url,
+				client.WithRetries(1),
+				client.WithBackoff(2*time.Millisecond, 10*time.Millisecond),
+				client.WithPollInterval(2*time.Millisecond))
+		},
+	})
+	hs := httptest.NewServer(c.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		c.Close()
+	})
+	startWorker(t, hs.URL, "worker-a")
+	waitLive(t, c, 1)
+	cc := newClient(hs.URL)
+	ctx := context.Background()
+
+	req := tinyRequest("RN", "SAC", 0)
+	if _, err := cc.Run(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		fs := c.Fleet()
+		if fs.Jobs == 0 && fs.Flights == 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if fs := c.Fleet(); fs.Jobs != 0 || fs.Flights != 0 {
+		t.Fatalf("GC never drained: jobs=%d flights=%d", fs.Jobs, fs.Flights)
+	}
+
+	// A post-GC resubmission must hit the worker again (dispatched climbs),
+	// not be answered from a coordinator memo that no longer exists. The
+	// worker's own flight memo may answer it instantly — that's the point:
+	// eviction is cheap exactly because the worker still holds the result.
+	before := c.Fleet().Workers[0].Dispatched
+	st, err := cc.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = cc.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != client.StateDone {
+		t.Fatalf("post-GC state = %s (%s)", st.State, st.Error)
+	}
+	if after := c.Fleet().Workers[0].Dispatched; after != before+1 {
+		t.Fatalf("post-GC dispatched = %d, want %d (one fresh dispatch)", after, before+1)
+	}
+}
+
+// TestClusterHeartbeatRevival pins that a bare heartbeat (empty status, as a
+// minimal API caller might send) revives a lapsed worker all the way back to
+// healthy — not stuck at "gone" where pickWorker would skip it.
+func TestClusterHeartbeatRevival(t *testing.T) {
+	c := New(Config{})
+	defer c.Close()
+	if _, err := c.Register(client.WorkerInfo{ID: "w1", URL: "http://unused"}); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	c.markGoneLocked("w1", c.workers["w1"], "test lapse")
+	c.mu.Unlock()
+
+	if !c.Heartbeat("w1", client.Health{}) {
+		t.Fatal("heartbeat rejected a known worker")
+	}
+	c.mu.Lock()
+	w := c.workers["w1"]
+	health, gone := w.health, w.gone
+	c.mu.Unlock()
+	if gone || health != client.HealthHealthy {
+		t.Fatalf("revived worker gone=%v health=%q, want healthy in ring", gone, health)
+	}
+	if _, _, ok := c.pickWorker("anykey", nil); !ok {
+		t.Fatal("pickWorker skips the revived worker")
+	}
+}
+
 // TestClusterNoWorkers pins the empty-fleet behavior: a deadlined job waits
 // for a worker and expires instead of failing instantly.
 func TestClusterNoWorkers(t *testing.T) {

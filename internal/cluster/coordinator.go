@@ -34,6 +34,17 @@ type Config struct {
 	MaxAttempts int
 	// Vnodes is the ring's virtual-node count per worker (0 = DefaultVnodes).
 	Vnodes int
+	// MemoTTL bounds how long a completed flight's result stays pinned as a
+	// memo entry. Past it the flight is evicted; a later submission of the
+	// same key re-dispatches, which is cheap because the owning worker's
+	// content-addressed store still has the result (source "store" instead
+	// of "memo"). Default 15m.
+	MemoTTL time.Duration
+	// Retention bounds how long a terminal job stays queryable via
+	// Status/Result after it finishes; past it the job is garbage-collected
+	// so coordinator memory does not grow with every job ever accepted.
+	// Default 15m.
+	Retention time.Duration
 	// DefaultFidelity applies to requests that name no rung ("" = exact).
 	DefaultFidelity string
 	// Registry, when set, receives the coordinator's fleet metrics.
@@ -81,6 +92,10 @@ type cflight struct {
 	err    error
 	source string // worker-reported source of the leader's result
 	cycles int64
+	// doneAt (guarded by Coordinator.mu) stamps successful completion; the
+	// GC sweeper evicts the flight MemoTTL after it. Failed flights never
+	// get a stamp — they are evicted immediately so resubmissions retry.
+	doneAt time.Time
 }
 
 // cjob is one accepted job at the coordinator.
@@ -96,6 +111,7 @@ type cjob struct {
 	state     string
 	source    string
 	errMsg    string
+	run       *stats.Run // done jobs keep their result until Retention GC
 	cycles    int64
 	worker    string // worker that produced (or is producing) the result
 	submitted time.Time
@@ -148,6 +164,12 @@ func New(cfg Config) *Coordinator {
 	}
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 4
+	}
+	if cfg.MemoTTL <= 0 {
+		cfg.MemoTTL = 15 * time.Minute
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = 15 * time.Minute
 	}
 	if cfg.Dial == nil {
 		cfg.Dial = func(url string) *client.Client {
@@ -246,6 +268,11 @@ func (c *Coordinator) Heartbeat(id string, h client.Health) bool {
 	}
 	if w.gone {
 		w.gone = false
+		if h.Status == "" {
+			// A bare heartbeat must not leave the revived worker stuck at
+			// health "gone", or pickWorker would never route to it.
+			w.health = client.HealthHealthy
+		}
 		c.ring.Add(id)
 		c.noteRingLocked()
 		c.logf("worker %s revived by heartbeat (%s)", id, c.ring)
@@ -295,7 +322,11 @@ func (c *Coordinator) noteRingLocked() {
 
 // watchLapses is the heartbeat-lapse sweeper: a worker silent past Lapse is
 // declared gone (fast failure detection for SIGKILLed workers whose jobs
-// would otherwise hang until the per-attempt timeout).
+// would otherwise hang until the per-attempt timeout). The same tick also
+// runs the memory GC: done flights past MemoTTL and terminal jobs past
+// Retention are evicted so the coordinator does not accrete every result
+// and job it has ever seen (workers' content-addressed stores keep evicted
+// results one cheap re-dispatch away).
 func (c *Coordinator) watchLapses() {
 	defer c.wg.Done()
 	t := time.NewTicker(c.cfg.Heartbeat)
@@ -312,7 +343,27 @@ func (c *Coordinator) watchLapses() {
 					c.markGoneLocked(id, w, fmt.Sprintf("heartbeat lapse >%s", c.cfg.Lapse))
 				}
 			}
+			c.gcLocked(now)
 			c.mu.Unlock()
+		}
+	}
+}
+
+// gcLocked evicts done flights older than MemoTTL and terminal jobs older
+// than Retention. Lock order is c.mu → j.mu, matching every other path
+// (no caller acquires c.mu while holding a job lock).
+func (c *Coordinator) gcLocked(now time.Time) {
+	for key, f := range c.flights {
+		if !f.doneAt.IsZero() && now.Sub(f.doneAt) > c.cfg.MemoTTL {
+			delete(c.flights, key)
+		}
+	}
+	for id, j := range c.jobs {
+		j.mu.Lock()
+		fin := j.finished
+		j.mu.Unlock()
+		if !fin.IsZero() && now.Sub(fin) > c.cfg.Retention {
+			delete(c.jobs, id)
 		}
 	}
 }
@@ -407,6 +458,7 @@ func (c *Coordinator) settle(j *cjob, f *cflight, source string) {
 			source = f.source
 		}
 		j.source = source
+		j.run = f.res
 		j.cycles = f.cycles
 	case errors.Is(f.err, context.DeadlineExceeded):
 		j.state = client.StateExpired
@@ -510,6 +562,16 @@ func (c *Coordinator) lead(j *cjob, f *cflight) {
 		lastErr = err
 		tried[id] = true
 	}
+	c.mu.Lock()
+	if f.err != nil {
+		// Evict the failed flight so a resubmission retries instead of
+		// recalling the failure forever (parity with sacd's flight table).
+		// Joiners hold the flight pointer, so they still observe the error.
+		delete(c.flights, j.res.Key)
+	} else {
+		f.doneAt = time.Now()
+	}
+	c.mu.Unlock()
 	c.settle(j, f, "")
 	j.mu.Lock()
 	c.logf("job %s %s (%s/%s key=%.12s worker=%s source=%s)", j.id, j.state,
@@ -542,9 +604,12 @@ func (c *Coordinator) pickWorker(key string, tried map[string]bool) (string, *wo
 // expiry) sends the caller back into the steal loop; a best-effort
 // steal-cancel tells the abandoned worker to stop burning cycles.
 func (c *Coordinator) dispatch(j *cjob, id string, w *workerEntry) (*stats.Run, client.JobStatus, error) {
-	ctx, cancel := context.WithCancel(j.ctx)
+	var ctx context.Context
+	var cancel context.CancelFunc
 	if c.cfg.StealAfter > 0 {
 		ctx, cancel = context.WithTimeout(j.ctx, c.cfg.StealAfter)
+	} else {
+		ctx, cancel = context.WithCancel(j.ctx)
 	}
 	defer cancel()
 
@@ -702,21 +767,22 @@ func displayFidelity(fid string) string {
 	return fid
 }
 
-// Result returns a done job's result; ok is false for unknown IDs.
+// Result returns a done job's result; ok is false for unknown IDs. The
+// result rides the job itself, not the flight table, so memo eviction never
+// strands a retained done job without its payload.
 func (c *Coordinator) Result(id string) (*stats.Run, client.JobStatus, bool) {
 	c.mu.Lock()
 	j := c.jobs[id]
-	var f *cflight
-	if j != nil {
-		f = c.flights[j.res.Key]
-	}
 	c.mu.Unlock()
 	if j == nil {
 		return nil, client.JobStatus{}, false
 	}
 	st, _ := c.Status(id)
-	if st.State == client.StateDone && f != nil && isDone(f) {
-		return f.res, st, true
+	j.mu.Lock()
+	run := j.run
+	j.mu.Unlock()
+	if st.State == client.StateDone && run != nil {
+		return run, st, true
 	}
 	return nil, st, true
 }
