@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race shuffle smoke chaossmoke fidelitysmoke fuzz vuln fieldalign check bench benchsmoke benchguard fig8 fmt
+.PHONY: build test vet race shuffle smoke chaossmoke fidelitysmoke fuzz vuln fieldalign check bench benchsmoke benchguard loadsmoke fig8 fmt
 
 build:
 	$(GO) build ./...
@@ -91,23 +91,31 @@ fieldalign:
 # check is the CI gate: static analysis, the full suite under the race
 # detector and again in shuffled order, the sacd daemon smoke, the chaos /
 # crash-recovery smoke, a fuzz smoke of the parsers, a one-iteration
-# benchmark smoke, and an advisory vulnerability scan.
-check: vet fieldalign race shuffle smoke chaossmoke fidelitysmoke clustersmoke fuzz benchsmoke vuln
+# benchmark smoke, a 30-second load smoke of the batch serving path, and an
+# advisory vulnerability scan.
+check: vet fieldalign race shuffle smoke chaossmoke fidelitysmoke clustersmoke fuzz benchsmoke loadsmoke vuln
 
 # benchsmoke compiles and executes the throughput-critical benchmarks for a
 # single iteration — it catches benchmarks broken by API drift without
 # paying for a measurement run.
 benchsmoke:
-	$(GO) test -run '^$$' -bench 'StepParallel|SimulatorThroughput$$|IdleFastForward|LLCLookup|Estimate$$|SampledRun$$' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'StepParallel|SimulatorThroughput$$|IdleFastForward|LLCLookup|Estimate$$|SampledRun$$|RemoteEstimateSweep$$' -benchtime 1x .
+
+# loadsmoke is the serving-throughput gate: sacload drives an in-process sacd
+# over real loopback HTTP for 30 seconds and fails if the warm batch path
+# sustains fewer than 2,000 jobs/s (the documented single-node floor).
+loadsmoke:
+	$(GO) run ./cmd/sacload -inprocess -duration 30s -concurrency 8 -batch 64 -min-rate 2000
 
 # benchguard is the perf-regression gate: a full Fig 8 sweep with no
 # observer attached must stay within 1% of the newest recorded allocation
-# baseline, and the serial stepper's sim-cycles/s must stay within tolerance
-# of the newest recorded throughput (see benchguard_test.go; baselines are
-# the highest-_sequence BENCH_*.json). Takes minutes; run before merging
-# cycle-loop changes.
+# baseline, the serial stepper's sim-cycles/s must stay within tolerance of
+# the newest recorded throughput, and the warmed batch serving path must
+# stay within tolerance of the newest recorded jobs/s (see
+# benchguard_test.go; baselines are the highest-_sequence BENCH_*.json).
+# Takes minutes; run before merging cycle-loop or serving-path changes.
 benchguard:
-	BENCH_GUARD=1 $(GO) test -run 'TestFig8AllocGuard|TestSerialThroughputGuard' -timeout 60m -v .
+	BENCH_GUARD=1 $(GO) test -run 'TestFig8AllocGuard|TestSerialThroughputGuard|TestRemoteSweepGuard' -timeout 60m -v .
 
 # bench regenerates every table/figure as Go benchmarks with allocation
 # stats. REPRO_SET=fast shrinks the benchmark sets for a quick pass.

@@ -160,3 +160,43 @@ func TestSerialThroughputGuard(t *testing.T) {
 			got, tol*100, base.SimCyclesPerSec, file)
 	}
 }
+
+// TestRemoteSweepGuard gates the batch serving path's throughput: a warmed
+// loopback daemon must answer a full 256-cell estimate sweep over jobs:batch
+// at no less than tolerance below the newest recorded jobs_per_sec. Runs
+// under BENCH_GUARD=1 alongside the other wall-clock gates.
+func TestRemoteSweepGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") != "1" {
+		t.Skip("set BENCH_GUARD=1 to run the remote sweep regression gate")
+	}
+	file, rec := newestBaseline(t, "BenchmarkRemoteEstimateSweep")
+	var base struct {
+		JobsPerSec float64 `json:"jobs_per_sec"`
+	}
+	if err := json.Unmarshal(rec, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.JobsPerSec <= 0 {
+		t.Fatalf("%s has no jobs_per_sec baseline for BenchmarkRemoteEstimateSweep", file)
+	}
+	tol := guardTolerance(t)
+
+	universe := remoteUniverse()
+	c := startBenchDaemon(t, universe)
+	var jobs int
+	res := testing.Benchmark(func(b *testing.B) {
+		jobs = 0
+		for i := 0; i < b.N; i++ {
+			sweepBatch(b, c, universe)
+			jobs += len(universe)
+		}
+	})
+	got := float64(jobs) / res.T.Seconds()
+	floor := base.JobsPerSec * (1 - tol)
+	t.Logf("remote sweep: got %.0f jobs/s, baseline %.0f (%s), floor %.0f (-%.0f%%)",
+		got, base.JobsPerSec, file, floor, tol*100)
+	if got < floor {
+		t.Fatalf("batch serving regression: %.0f jobs/s is more than %.0f%% below baseline %.0f (%s)",
+			got, tol*100, base.JobsPerSec, file)
+	}
+}

@@ -10,6 +10,7 @@
 package client
 
 import (
+	"encoding/json"
 	"time"
 
 	sac "repro"
@@ -120,6 +121,13 @@ type JobStatus struct {
 	// DeadlineAt is the job's absolute deadline (requests with TimeoutMS
 	// only); preserved across daemon restarts.
 	DeadlineAt *time.Time `json:"deadline_at,omitempty"`
+
+	// Result carries a done job's completed run as raw JSON. Only the batch
+	// and watch endpoints populate it, and only when asked (?results=1), so
+	// a warm batch costs one round trip instead of one per job. The bytes
+	// are the store's canonical stats.Run encoding, served without a
+	// decode/re-encode cycle.
+	Result json.RawMessage `json:"result,omitempty"`
 }
 
 // Done reports whether the job reached a terminal state.
@@ -208,6 +216,43 @@ type FleetStatus struct {
 	// DedupHits counts jobs that joined another job's in-flight execution
 	// fleet-wide (the global singleflight).
 	DedupHits int64 `json:"dedup_hits"`
+}
+
+// MaxBatch caps how many jobs one jobs:batch call (and how many ids one
+// jobs:watch call) may carry; larger requests are rejected with HTTP 400.
+const MaxBatch = 1024
+
+// BatchRequest is the POST /v1/jobs:batch payload: up to MaxBatch jobs
+// submitted in one round trip.
+type BatchRequest struct {
+	Jobs []JobRequest `json:"jobs"`
+}
+
+// BatchItem is one job's outcome inside a BatchResponse: exactly one of
+// Status (the job was accepted) or Error (it was rejected) is set. Items are
+// in request order.
+type BatchItem struct {
+	Status *JobStatus `json:"status,omitempty"`
+	Error  string     `json:"error,omitempty"`
+}
+
+// BatchResponse answers a jobs:batch submission. Admission is all-or-
+// nothing: a 202 carries a status per item (estimate jobs are already
+// terminal, with results when ?results=1 was requested); a 400 sets Error
+// and per-item errors on the offending items, and nothing was accepted —
+// one bad cell cannot half-land a sweep.
+type BatchResponse struct {
+	Error string      `json:"error,omitempty"`
+	Jobs  []BatchItem `json:"jobs"`
+}
+
+// WatchResponse answers GET /v1/jobs:watch: the terminal statuses among the
+// watched ids at return time (empty if the timeout passed with none), plus
+// any ids this daemon does not know — a job can age out of retention while
+// being watched, and one forgotten id must not poison the rest.
+type WatchResponse struct {
+	Jobs    []JobStatus `json:"jobs"`
+	Unknown []string    `json:"unknown,omitempty"`
 }
 
 // errorBody is the JSON error payload every non-2xx API response carries.

@@ -266,6 +266,127 @@ func (c *Client) Submit(ctx context.Context, req JobRequest) (JobStatus, error) 
 	return st, nil
 }
 
+// SubmitBatch enqueues up to MaxBatch jobs in one round trip and returns
+// their statuses in request order. Admission is all-or-nothing: per-item
+// validation failures reject the whole batch with a 400 whose message counts
+// the offending items. Terminal statuses (warm estimate jobs) carry their
+// results inline (JobStatus.Result), so a warm batch needs no follow-up
+// fetches. The ctx deadline propagates exactly like Submit's.
+func (c *Client) SubmitBatch(ctx context.Context, reqs []JobRequest) ([]JobStatus, error) {
+	b, err := json.Marshal(BatchRequest{Jobs: reqs})
+	if err != nil {
+		return nil, err
+	}
+	var hdr http.Header
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			hdr = http.Header{TimeoutHeader: []string{strconv.FormatInt(ms, 10)}}
+		}
+	}
+	var resp BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs:batch?results=1", b, &resp, hdr); err != nil {
+		return nil, err
+	}
+	sts := make([]JobStatus, len(resp.Jobs))
+	for i, item := range resp.Jobs {
+		if item.Status == nil {
+			return nil, fmt.Errorf("sacd: batch item %d missing status (error: %s)", i, item.Error)
+		}
+		sts[i] = *item.Status
+	}
+	return sts, nil
+}
+
+// maxWatchPoll caps one watch long-poll's requested timeout safely under
+// DefaultTransport's 60s ResponseHeaderTimeout: the server must answer
+// (possibly with an empty re-arm response) before the transport gives up.
+const maxWatchPoll = 45 * time.Second
+
+// Watch long-polls the daemon until at least one of ids reaches a terminal
+// state or timeout passes (0 = the server's default), returning every
+// terminal status among ids — with results inlined — plus any ids the daemon
+// does not know. An empty response means the timeout passed first: re-arm.
+func (c *Client) Watch(ctx context.Context, ids []string, timeout time.Duration) (WatchResponse, error) {
+	if timeout <= 0 || timeout > maxWatchPoll {
+		timeout = maxWatchPoll
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < timeout {
+			timeout = rem
+		}
+	}
+	if timeout <= 0 {
+		return WatchResponse{}, ctx.Err()
+	}
+	q := url.Values{
+		"ids":        []string{strings.Join(ids, ",")},
+		"timeout_ms": []string{strconv.FormatInt(timeout.Milliseconds(), 10)},
+		"results":    []string{"1"},
+	}
+	var resp WatchResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs:watch?"+q.Encode(), nil, &resp, nil); err != nil {
+		return WatchResponse{}, err
+	}
+	return resp, nil
+}
+
+// WaitAll blocks until every listed job is terminal (or ctx expires) and
+// returns the terminal statuses by id. It holds one open long-poll over the
+// remaining jobs instead of polling each — collection costs O(completions)
+// round trips, not O(jobs × poll-rate). An id the daemon does not know is an
+// error: the job aged out of retention before it was collected.
+func (c *Client) WaitAll(ctx context.Context, ids []string) (map[string]JobStatus, error) {
+	out := make(map[string]JobStatus, len(ids))
+	pending := make([]string, 0, len(ids))
+	for _, id := range ids {
+		pending = append(pending, id)
+	}
+	for len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("sacd: %d jobs still pending: %w", len(pending), err)
+		}
+		chunk := pending
+		if len(chunk) > MaxBatch {
+			chunk = chunk[:MaxBatch]
+		}
+		resp, err := c.Watch(ctx, chunk, 0)
+		if err != nil {
+			return out, err
+		}
+		if len(resp.Unknown) > 0 {
+			return out, fmt.Errorf("sacd: %d watched jobs unknown to the daemon (first: %s)",
+				len(resp.Unknown), resp.Unknown[0])
+		}
+		if len(resp.Jobs) == 0 {
+			continue // long-poll timed out; re-arm
+		}
+		settled := make(map[string]bool, len(resp.Jobs))
+		for _, st := range resp.Jobs {
+			out[st.ID] = st
+			settled[st.ID] = true
+		}
+		next := pending[:0]
+		for _, id := range pending {
+			if !settled[id] {
+				next = append(next, id)
+			}
+		}
+		pending = next
+	}
+	return out, nil
+}
+
+// ResultRaw fetches a completed result as its raw JSON bytes — the store's
+// canonical stats.Run encoding, untouched by a decode/re-encode cycle — for
+// callers that relay or archive results without inspecting them.
+func (c *Client) ResultRaw(ctx context.Context, id string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result", nil, &raw, nil); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
 // Status fetches the current status of a job.
 func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
 	var st JobStatus
@@ -287,20 +408,35 @@ func (c *Client) Result(ctx context.Context, id string) (*sac.Stats, error) {
 }
 
 // Wait polls until the job reaches a terminal state (done or failed) or ctx
-// expires.
+// expires. A backpressured status poll (429/503 after the retry loop gives
+// up) does not fail the wait: the job is accepted and will finish whether or
+// not status checks get through, so Wait keeps polling with the daemon's
+// Retry-After hint as a capped floor on the interval — the same pacing rule
+// the submit backoff uses — until ctx runs out.
 func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
 	for {
 		st, err := c.Status(ctx, id)
+		interval := c.poll
 		if err != nil {
-			return JobStatus{}, err
-		}
-		if st.Done() {
+			var apiErr *APIError
+			if !errors.As(err, &apiErr) || !apiErr.Temporary() || ctx.Err() != nil {
+				return JobStatus{}, err
+			}
+			if floor := apiErr.RetryAfter; floor > 0 {
+				if floor > maxRetryAfter {
+					floor = maxRetryAfter
+				}
+				if interval < floor {
+					interval = floor
+				}
+			}
+		} else if st.Done() {
 			return st, nil
 		}
 		select {
 		case <-ctx.Done():
 			return st, fmt.Errorf("sacd: job %s still %s: %w", id, st.State, ctx.Err())
-		case <-time.After(c.poll):
+		case <-time.After(interval):
 		}
 	}
 }

@@ -274,3 +274,59 @@ func TestCancelAPI(t *testing.T) {
 		t.Fatalf("cancel status = %+v, want terminal canceled", st)
 	}
 }
+
+// TestWaitSurvivesBackpressuredStatusPoll pins the Wait backpressure
+// contract: a 429 status poll does not fail the wait — the daemon's
+// Retry-After hint becomes a floor on the poll interval, and the very next
+// poll after that pause sees the terminal state.
+func TestWaitSurvivesBackpressuredStatusPoll(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0.3")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "overloaded"})
+			return
+		}
+		json.NewEncoder(w).Encode(JobStatus{ID: "j1", State: StateDone})
+	})
+	// No transport-level retries: every Status call is one HTTP request, so
+	// the pacing we measure is Wait's own.
+	WithRetries(0)(c)
+	WithPollInterval(time.Millisecond)(c)
+
+	t0 := time.Now()
+	st, err := c.Wait(context.Background(), "j1")
+	if err != nil {
+		t.Fatalf("backpressured wait failed: %v", err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state %s, want done", st.State)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("%d status calls, want 2 (429 then done)", calls.Load())
+	}
+	if elapsed := time.Since(t0); elapsed < 250*time.Millisecond {
+		t.Fatalf("wait re-polled after %v; Retry-After of 0.3s must floor the interval", elapsed)
+	}
+}
+
+// TestWaitPermanentStatusErrorFails checks the other side of that contract:
+// a non-temporary status error (the job genuinely is not there) still fails
+// the wait immediately instead of polling forever.
+func TestWaitPermanentStatusErrorFails(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "unknown job"})
+	})
+	_, err := c.Wait(context.Background(), "gone")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("want 404 APIError, got %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("404 polled %d times, want 1", calls.Load())
+	}
+}

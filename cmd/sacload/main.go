@@ -1,0 +1,339 @@
+// Command sacload measures how many jobs per second a sacd daemon (or
+// saccoord coordinator) sustains on its batch serving path. Workers loop
+// over a fixed cell universe submitting jobs:batch requests; once the store
+// is warm every request is answered from verified on-disk bytes, so the
+// number this prints is the protocol ceiling — submit, dedup, zero-copy
+// store hit, response — with simulation cost excluded by design.
+//
+// Usage:
+//
+//	sacload -target http://localhost:8341 -duration 30s -concurrency 8
+//	sacload -inprocess -duration 30s -min-rate 2000
+//
+// With -inprocess (or an empty -target) sacload starts a throwaway sacd on
+// a loopback ephemeral port with a temp-dir store, so CI can gate on warm
+// throughput without any external daemon.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	sac "repro"
+	"repro/client"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		target      = flag.String("target", "", "sacd or saccoord base URL (empty = start an in-process daemon)")
+		inprocess   = flag.Bool("inprocess", false, "start a throwaway in-process sacd (implied when -target is empty)")
+		duration    = flag.Duration("duration", 30*time.Second, "timed phase length (warmup excluded)")
+		concurrency = flag.Int("concurrency", 8, "concurrent submitting workers")
+		batch       = flag.Int("batch", 64, "jobs per jobs:batch request")
+		fidelity    = flag.String("fidelity", "estimate", "fidelity for every job: estimate | sampled | exact")
+		benchmarks  = flag.String("benchmarks", "", "comma-separated benchmark names (default the fast set)")
+		orgs        = flag.String("orgs", "SAC,memory-side", "comma-separated LLC organizations")
+		scale       = flag.Int("scale", 512, "WorkloadScale for every cell (smaller = cheaper warmup)")
+		minRate     = flag.Float64("min-rate", 0, "exit 1 if sustained jobs/s falls below this")
+		jsonOut     = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+	if err := run(*target, *inprocess, *duration, *concurrency, *batch,
+		*fidelity, *benchmarks, *orgs, *scale, *minRate, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "sacload:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the machine-readable summary (-json) and the source of the
+// human-readable one.
+type report struct {
+	Target      string  `json:"target"`
+	Cells       int     `json:"cells"`
+	Concurrency int     `json:"concurrency"`
+	Batch       int     `json:"batch"`
+	Fidelity    string  `json:"fidelity"`
+	DurationS   float64 `json:"duration_s"`
+	Jobs        int64   `json:"jobs"`
+	Failures    int64   `json:"failures"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	P50Ms       float64 `json:"p50_ms"`
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+}
+
+func run(target string, inprocess bool, duration time.Duration, concurrency, batch int,
+	fidelity, benchmarks, orgs string, scale int, minRate float64, jsonOut bool) error {
+	if batch <= 0 || batch > client.MaxBatch {
+		return fmt.Errorf("-batch must be in 1..%d", client.MaxBatch)
+	}
+	if concurrency <= 0 {
+		return fmt.Errorf("-concurrency must be positive")
+	}
+	universe, err := buildUniverse(benchmarks, orgs, fidelity, scale)
+	if err != nil {
+		return err
+	}
+
+	if target == "" {
+		inprocess = true
+	}
+	if inprocess {
+		stop, base, err := startDaemon(concurrency, batch)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		target = base
+		fmt.Fprintf(os.Stderr, "sacload: in-process daemon at %s\n", target)
+	}
+	c := client.New(target)
+	ctx := context.Background()
+
+	// Warmup: push the whole universe through once so the timed phase
+	// measures the serving path, not first-touch simulation.
+	t0 := time.Now()
+	if err := warm(ctx, c, universe); err != nil {
+		return fmt.Errorf("warmup: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "sacload: warmed %d cells in %.1fs\n", len(universe), time.Since(t0).Seconds())
+
+	// Timed phase: workers round-robin the universe in batch-sized strides.
+	// Every job in a batch waited the batch's full round trip, so the round
+	// trip is each job's latency.
+	lat := obs.NewRegistry().Histogram("sacload_job_latency_seconds",
+		"Per-job latency during the timed phase.", latencyBuckets())
+	var jobs, failures atomic.Int64
+	var cursor atomic.Int64
+	tctx, cancel := context.WithTimeout(ctx, duration)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tctx.Err() == nil {
+				base := cursor.Add(int64(batch)) - int64(batch)
+				reqs := make([]client.JobRequest, batch)
+				for i := range reqs {
+					reqs[i] = universe[(base+int64(i))%int64(len(universe))]
+				}
+				bt := time.Now()
+				// In-flight batches get a grace window past the deadline so
+				// the last stride completes instead of counting as failed.
+				gctx, gcancel := context.WithTimeout(ctx, duration+30*time.Second)
+				n := oneBatch(gctx, c, reqs)
+				gcancel()
+				rt := time.Since(bt).Seconds()
+				for i := 0; i < batch; i++ {
+					lat.Observe(rt)
+				}
+				jobs.Add(int64(batch))
+				failures.Add(int64(batch) - n)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := report{
+		Target:      target,
+		Cells:       len(universe),
+		Concurrency: concurrency,
+		Batch:       batch,
+		Fidelity:    fidelity,
+		DurationS:   elapsed.Seconds(),
+		Jobs:        jobs.Load(),
+		Failures:    failures.Load(),
+		JobsPerSec:  float64(jobs.Load()-failures.Load()) / elapsed.Seconds(),
+		P50Ms:       1000 * lat.Quantile(0.50),
+		P90Ms:       1000 * lat.Quantile(0.90),
+		P99Ms:       1000 * lat.Quantile(0.99),
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("sacload: %d jobs in %.1fs = %.0f jobs/s (%d failed)\n",
+			rep.Jobs, rep.DurationS, rep.JobsPerSec, rep.Failures)
+		fmt.Printf("sacload: latency p50=%.2fms p90=%.2fms p99=%.2fms (batch=%d, concurrency=%d)\n",
+			rep.P50Ms, rep.P90Ms, rep.P99Ms, batch, concurrency)
+	}
+	if rep.Failures > 0 {
+		return fmt.Errorf("%d of %d jobs failed", rep.Failures, rep.Jobs)
+	}
+	if minRate > 0 && rep.JobsPerSec < minRate {
+		return fmt.Errorf("sustained %.0f jobs/s, below the -min-rate floor of %.0f", rep.JobsPerSec, minRate)
+	}
+	return nil
+}
+
+// oneBatch submits reqs and blocks until every job is terminal, returning
+// how many finished done (the rest count as failures). Warm estimate jobs
+// come back terminal in the submit response; anything still pending is
+// collected by one watch loop.
+func oneBatch(ctx context.Context, c *client.Client, reqs []client.JobRequest) int64 {
+	sts, err := c.SubmitBatch(ctx, reqs)
+	if err != nil {
+		return 0
+	}
+	var done int64
+	var pending []string
+	for _, st := range sts {
+		switch {
+		case st.State == client.StateDone:
+			done++
+		case !st.Done():
+			pending = append(pending, st.ID)
+		}
+	}
+	if len(pending) > 0 {
+		final, err := c.WaitAll(ctx, pending)
+		if err != nil {
+			return done
+		}
+		for _, st := range final {
+			if st.State == client.StateDone {
+				done++
+			}
+		}
+	}
+	return done
+}
+
+// warm simulates every universe cell once so the timed phase hits the store.
+func warm(ctx context.Context, c *client.Client, universe []client.JobRequest) error {
+	for off := 0; off < len(universe); off += client.MaxBatch {
+		end := min(off+client.MaxBatch, len(universe))
+		sts, err := c.SubmitBatch(ctx, universe[off:end])
+		if err != nil {
+			return err
+		}
+		var pending []string
+		for _, st := range sts {
+			if !st.Done() {
+				pending = append(pending, st.ID)
+			} else if st.State != client.StateDone {
+				return fmt.Errorf("cell %s: %s: %s", st.ID, st.State, st.Error)
+			}
+		}
+		final, err := c.WaitAll(ctx, pending)
+		if err != nil {
+			return err
+		}
+		for id, st := range final {
+			if st.State != client.StateDone {
+				return fmt.Errorf("cell %s: %s: %s", id, st.State, st.Error)
+			}
+		}
+	}
+	return nil
+}
+
+// buildUniverse expands benchmarks × orgs into concrete requests carrying an
+// explicit config, so the cell set (and therefore the store keys) is
+// identical no matter which daemon serves it.
+func buildUniverse(benchmarks, orgs, fidelity string, scale int) ([]client.JobRequest, error) {
+	var benches []string
+	if benchmarks == "" {
+		benches = sac.FastSet()
+	} else {
+		benches = splitList(benchmarks)
+	}
+	orgList := splitList(orgs)
+	if len(benches) == 0 || len(orgList) == 0 {
+		return nil, fmt.Errorf("need at least one benchmark and one org")
+	}
+	var universe []client.JobRequest
+	for _, b := range benches {
+		for _, o := range orgList {
+			cfg := sac.ScaledConfig()
+			if scale > 0 {
+				cfg.WorkloadScale = scale
+			}
+			universe = append(universe, client.JobRequest{
+				Benchmark: b,
+				Org:       o,
+				Config:    &cfg,
+				Fidelity:  fidelity,
+			})
+		}
+	}
+	return universe, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// latencyBuckets spans 100µs to ~100s exponentially — wide enough for warm
+// store hits at the bottom and cold exact simulations at the top.
+func latencyBuckets() []float64 {
+	var b []float64
+	for v := 1e-4; v < 120; v *= 2 {
+		b = append(b, v)
+	}
+	return b
+}
+
+// startDaemon boots a loopback sacd with a temp-dir store sized for the run
+// and returns its base URL plus a cleanup that tears the whole thing down.
+func startDaemon(concurrency, batch int) (stop func(), base string, err error) {
+	dir, err := os.MkdirTemp("", "sacload-*")
+	if err != nil {
+		return nil, "", err
+	}
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, "", err
+	}
+	s := server.New(server.Config{
+		Store:   st,
+		Workers: runtime.GOMAXPROCS(0),
+		// Non-estimate fidelities queue; give the full worker fan-out room.
+		QueueCap: int(math.Max(256, float64(2*concurrency*batch))),
+	})
+	s.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		st.Close()
+		os.RemoveAll(dir)
+		return nil, "", err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	stop = func() {
+		hs.Close()
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = s.Drain(dctx)
+		cancel()
+		st.Close()
+		os.RemoveAll(dir)
+	}
+	return stop, "http://" + ln.Addr().String(), nil
+}

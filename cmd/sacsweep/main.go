@@ -84,6 +84,12 @@ func main() {
 	}
 	if *remote != "" {
 		r.Simulate = remoteExecutor(ctx, *remote)
+		if *parallel == 0 {
+			// Remote cells burn no local CPU, so the cores-bound default
+			// starves batching; results are bit-identical at any parallelism,
+			// and wide concurrency is what fills each batch window.
+			r.Parallelism = 64
+		}
 		fmt.Fprintf(os.Stderr, "sacsweep: executing cells remotely via %s\n", *remote)
 	}
 	if *cacheDir != "" {
@@ -289,11 +295,14 @@ type printer interface{ Print(w io.Writer) }
 // against a saccoord coordinator (or a single sacd daemon — the APIs are
 // identical), shipped with its full explicit config so the remote cache key
 // equals the local one and results come back byte-identical to an
-// in-process sweep. Cells the remote cannot name (ScaleInput variants exist
-// only in this process's catalog) quietly run locally — a sweep is never
-// partial because one experiment synthesizes workloads.
+// in-process sweep. Concurrent cells coalesce through a client.Batcher into
+// jobs:batch submissions collected by one shared jobs:watch long-poll, so a
+// sweep's protocol cost is per batch, not per cell. Cells the remote cannot
+// name (ScaleInput variants exist only in this process's catalog) quietly
+// run locally — a sweep is never partial because one experiment synthesizes
+// workloads.
 func remoteExecutor(ctx context.Context, base string) func(gpu.Config, sac.Spec, gpu.RunOpts) (*sac.Stats, error) {
-	rc := client.New(base)
+	b := client.NewBatcher(client.New(base), 0, 0)
 	return func(cfg gpu.Config, spec sac.Spec, o gpu.RunOpts) (*sac.Stats, error) {
 		if _, err := workload.ByName(spec.Name); err != nil {
 			return backend.Run(cfg, spec, o)
@@ -311,6 +320,6 @@ func remoteExecutor(ctx context.Context, base string) func(gpu.Config, sac.Spec,
 		if cctx == nil {
 			cctx = ctx
 		}
-		return rc.Run(cctx, req)
+		return b.Run(cctx, req)
 	}
 }

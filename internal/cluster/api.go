@@ -9,6 +9,7 @@ import (
 
 	"repro/client"
 	"repro/internal/obs"
+	"repro/internal/server"
 )
 
 // Handler returns the coordinator's HTTP API. The jobs surface is the sacd
@@ -18,6 +19,8 @@ import (
 // the fleet-membership protocol the worker Agent speaks:
 //
 //	POST   /v1/jobs                    submit a job              → 202 JobStatus
+//	POST   /v1/jobs:batch              submit up to MaxBatch     → 202 BatchResponse
+//	GET    /v1/jobs:watch              long-poll for terminals   → 200 WatchResponse
 //	GET    /v1/jobs/{id}               job status                → 200 JobStatus
 //	DELETE /v1/jobs/{id}               cancel a job              → 200 JobStatus
 //	GET    /v1/jobs/{id}/result        finished job's result     → 200 stats.Run
@@ -27,9 +30,15 @@ import (
 //	GET    /v1/fleet                   worker table + counters   → 200 FleetStatus
 //	GET    /v1/healthz                 coordinator health        → 200 Health
 //	GET    /metrics, /metrics.json     fleet metrics (when a Registry is set)
+//
+// The watch handler is literally sacd's (server.WatchHandler over the
+// coordinator as a server.JobSource), and responses are gzip-compressed for
+// clients that advertise support, same as sacd.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs:batch", c.handleBatch)
+	mux.Handle("GET /v1/jobs:watch", server.WatchHandler(c))
 	mux.HandleFunc("GET /v1/jobs/{id}", c.handleStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", c.handleResult)
@@ -43,7 +52,7 @@ func (c *Coordinator) Handler() http.Handler {
 		mux.Handle("GET /metrics", h)
 		mux.Handle("GET /metrics.json", h)
 	}
-	return mux
+	return server.Gzip(mux)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -85,6 +94,57 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleBatch fans a batch out by ring placement in one pass (duplicates
+// join flights, unique keys dispatch). Same wire shape as sacd's.
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var breq client.BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&breq); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if v := r.Header.Get(client.TimeoutHeader); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid %s header %q", client.TimeoutHeader, v)
+			return
+		}
+		for i := range breq.Jobs {
+			if breq.Jobs[i].TimeoutMS == 0 {
+				breq.Jobs[i].TimeoutMS = ms
+			}
+		}
+	}
+	q := r.URL.Query()
+	results := q.Get("results") == "1" || q.Get("results") == "true"
+	sts, itemErrs, err := c.SubmitBatch(breq.Jobs)
+	switch {
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	case itemErrs != nil:
+		resp := client.BatchResponse{Jobs: make([]client.BatchItem, len(itemErrs))}
+		n := 0
+		for i, e := range itemErrs {
+			if e != "" {
+				resp.Jobs[i].Error = e
+				n++
+			}
+		}
+		resp.Error = fmt.Sprintf("batch rejected: %d of %d jobs invalid", n, len(itemErrs))
+		writeJSON(w, http.StatusBadRequest, resp)
+	default:
+		if results {
+			server.AttachResults(c, sts)
+		}
+		resp := client.BatchResponse{Jobs: make([]client.BatchItem, len(sts))}
+		for i := range sts {
+			resp.Jobs[i].Status = &sts[i]
+		}
+		writeJSON(w, http.StatusAccepted, resp)
+	}
+}
+
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st, ok := c.Status(r.PathValue("id"))
 	if !ok {
@@ -105,7 +165,7 @@ func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	res, st, ok := c.Result(id)
+	raw, st, ok := c.ResultRaw(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
@@ -118,7 +178,16 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	case client.StateCanceled:
 		writeError(w, http.StatusGone, "job %s canceled: %s", id, st.Error)
 	case client.StateDone:
-		writeJSON(w, http.StatusOK, res)
+		if raw == nil {
+			writeError(w, http.StatusInternalServerError, "result bytes unavailable")
+			return
+		}
+		// Relay the worker's bytes untouched (plus the newline the JSON
+		// encoder this replaced used to emit).
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(raw)
+		_, _ = w.Write([]byte{'\n'})
 	default:
 		writeError(w, http.StatusConflict, "job %s is %s, result not ready", id, st.State)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -87,8 +88,11 @@ type workerEntry struct {
 // cflight is one fleet-wide singleflight execution: the first job for a key
 // leads (dispatches to workers), and every other job with the same key joins.
 type cflight struct {
-	done   chan struct{}
-	res    *stats.Run
+	done chan struct{}
+	// raw is the result in canonical wire form, exactly as the worker served
+	// it — the coordinator relays results without ever decoding them, so a
+	// warm fleet hit costs zero JSON round trips coordinator-side.
+	raw    json.RawMessage
 	err    error
 	source string // worker-reported source of the leader's result
 	cycles int64
@@ -107,11 +111,19 @@ type cjob struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu        sync.Mutex
-	state     string
-	source    string
-	errMsg    string
-	run       *stats.Run // done jobs keep their result until Retention GC
+	// doneCh closes exactly once when the job reaches a terminal state; the
+	// shared watch endpoint (server.WatchJobs) parks on it.
+	doneCh   chan struct{}
+	doneOnce sync.Once
+
+	mu     sync.Mutex
+	state  string
+	source string
+	errMsg string
+	// raw is the done job's result in wire form, kept until Retention GC;
+	// run is its lazily-decoded form, built only for in-process Go callers.
+	raw       json.RawMessage
+	run       *stats.Run
 	cycles    int64
 	worker    string // worker that produced (or is producing) the result
 	submitted time.Time
@@ -378,10 +390,87 @@ func (c *Coordinator) Submit(req client.JobRequest) (client.JobStatus, error) {
 	if err != nil {
 		return client.JobStatus{}, err
 	}
+	j := c.newCJob(req, rj)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		j.cancel()
+		return client.JobStatus{}, ErrClosed
+	}
+	c.jobs[j.id] = j
+	if c.m != nil {
+		c.m.jobs.Inc()
+	}
+	start := c.startJobLocked(j)
+	c.mu.Unlock()
+	start()
+	st, _ := c.Status(j.id)
+	return st, nil
+}
+
+// SubmitBatch accepts up to client.MaxBatch jobs, making every flight
+// decision in one pass under the lock — duplicates inside the batch join the
+// first item's flight exactly like duplicates across clients, so a sweep
+// submitted as one batch still costs one worker execution per unique key.
+// Semantics mirror server.SubmitBatch: all-or-nothing, with per-item
+// validation errors ("" = valid) when any request is bad.
+func (c *Coordinator) SubmitBatch(reqs []client.JobRequest) ([]client.JobStatus, []string, error) {
+	if len(reqs) == 0 {
+		return nil, nil, errors.New("empty batch")
+	}
+	if len(reqs) > client.MaxBatch {
+		return nil, nil, fmt.Errorf("batch of %d jobs exceeds the limit of %d", len(reqs), client.MaxBatch)
+	}
+	rjs := make([]server.ResolvedJob, len(reqs))
+	itemErrs := make([]string, len(reqs))
+	bad := false
+	for i, req := range reqs {
+		rj, err := server.ResolveRequest(req, c.cfg.DefaultFidelity)
+		if err != nil {
+			itemErrs[i] = err.Error()
+			bad = true
+			continue
+		}
+		rjs[i] = rj
+	}
+	if bad {
+		return nil, itemErrs, nil
+	}
+	jobs := make([]*cjob, len(reqs))
+	starts := make([]func(), len(reqs))
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	for i, req := range reqs {
+		j := c.newCJob(req, rjs[i])
+		jobs[i] = j
+		c.jobs[j.id] = j
+		if c.m != nil {
+			c.m.jobs.Inc()
+		}
+		starts[i] = c.startJobLocked(j)
+	}
+	c.mu.Unlock()
+	for _, start := range starts {
+		start()
+	}
+	sts := make([]client.JobStatus, len(jobs))
+	for i, j := range jobs {
+		sts[i], _ = c.Status(j.id)
+	}
+	c.logf("accepted batch of %d", len(jobs))
+	return sts, nil, nil
+}
+
+// newCJob builds one accepted job with its lifecycle context.
+func (c *Coordinator) newCJob(req client.JobRequest, rj server.ResolvedJob) *cjob {
 	j := &cjob{
 		id:        newJobID(),
 		req:       req,
 		res:       rj,
+		doneCh:    make(chan struct{}),
 		state:     client.StateQueued,
 		submitted: time.Now(),
 	}
@@ -393,43 +482,35 @@ func (c *Coordinator) Submit(req client.JobRequest) (client.JobStatus, error) {
 		ctx, j.cancel = context.WithCancel(ctx)
 	}
 	j.ctx = ctx
+	return j
+}
 
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		j.cancel()
-		return client.JobStatus{}, ErrClosed
-	}
-	c.jobs[j.id] = j
-	if c.m != nil {
-		c.m.jobs.Inc()
-	}
-	f := c.flights[rj.Key]
+// startJobLocked makes the flight decision for one registered job — lead,
+// memo recall, or dedup join — and returns the action to invoke once c.mu
+// drops. The caller holds c.mu; deferring the action keeps goroutine spawns
+// and settle's j.mu acquisition outside the coordinator lock.
+func (c *Coordinator) startJobLocked(j *cjob) func() {
+	f := c.flights[j.res.Key]
 	switch {
 	case f == nil:
 		f = &cflight{done: make(chan struct{})}
-		c.flights[rj.Key] = f
-		c.mu.Unlock()
+		c.flights[j.res.Key] = f
 		c.wg.Add(1)
-		go c.lead(j, f)
+		return func() { go c.lead(j, f) }
 	case isDone(f):
 		// Completed flight: recall without touching the fleet.
 		if c.m != nil {
 			c.m.memo.Inc()
 		}
-		c.mu.Unlock()
-		c.settle(j, f, client.SourceMemo)
+		return func() { c.settle(j, f, client.SourceMemo) }
 	default:
 		c.dedup++
 		if c.m != nil {
 			c.m.dedup.Inc()
 		}
-		c.mu.Unlock()
 		c.wg.Add(1)
-		go c.join(j, f)
+		return func() { go c.join(j, f) }
 	}
-	st, _ := c.Status(j.id)
-	return st, nil
 }
 
 func isDone(f *cflight) bool {
@@ -442,12 +523,14 @@ func isDone(f *cflight) bool {
 }
 
 // settle publishes a flight's outcome into one job. source overrides the
-// flight's own source for dedup joins and memo recalls.
+// flight's own source for dedup joins and memo recalls. The terminal-state
+// channel closes here and only here — on the one call that actually
+// transitions the job — so watchers wake exactly once.
 func (c *Coordinator) settle(j *cjob, f *cflight, source string) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state == client.StateDone || j.state == client.StateFailed ||
 		j.state == client.StateExpired || j.state == client.StateCanceled {
+		j.mu.Unlock()
 		return
 	}
 	j.finished = time.Now()
@@ -458,7 +541,7 @@ func (c *Coordinator) settle(j *cjob, f *cflight, source string) {
 			source = f.source
 		}
 		j.source = source
-		j.run = f.res
+		j.raw = f.raw
 		j.cycles = f.cycles
 	case errors.Is(f.err, context.DeadlineExceeded):
 		j.state = client.StateExpired
@@ -477,6 +560,8 @@ func (c *Coordinator) settle(j *cjob, f *cflight, source string) {
 		c.m.jobSeconds.Observe(j.finished.Sub(j.submitted).Seconds())
 	}
 	j.cancel()
+	j.mu.Unlock()
+	j.doneOnce.Do(func() { close(j.doneCh) })
 }
 
 // fail publishes a terminal error that did not come from the flight (joiner
@@ -550,9 +635,9 @@ func (c *Coordinator) lead(j *cjob, f *cflight) {
 		j.mu.Lock()
 		j.worker = id
 		j.mu.Unlock()
-		res, st, err := c.dispatch(j, id, w)
+		raw, st, err := c.dispatch(j, id, w)
 		if err == nil {
-			f.res, f.source, f.cycles = res, st.Source, st.Cycles
+			f.raw, f.source, f.cycles = raw, st.Source, st.Cycles
 			break
 		}
 		if errors.Is(err, errPermanent) {
@@ -599,11 +684,13 @@ func (c *Coordinator) pickWorker(key string, tried map[string]bool) (string, *wo
 	return "", nil, false
 }
 
-// dispatch runs one attempt on one worker: submit, wait, fetch. Any
+// dispatch runs one attempt on one worker: a single-item batch submit (so a
+// warm worker answers terminally, result inline, in one round trip), then a
+// long-poll watch until terminal — no ticker, no per-poll request storm. Any
 // non-permanent error (network death, per-attempt timeout, worker-side
 // expiry) sends the caller back into the steal loop; a best-effort
 // steal-cancel tells the abandoned worker to stop burning cycles.
-func (c *Coordinator) dispatch(j *cjob, id string, w *workerEntry) (*stats.Run, client.JobStatus, error) {
+func (c *Coordinator) dispatch(j *cjob, id string, w *workerEntry) (json.RawMessage, client.JobStatus, error) {
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if c.cfg.StealAfter > 0 {
@@ -642,29 +729,43 @@ func (c *Coordinator) dispatch(j *cjob, id string, w *workerEntry) (*stats.Run, 
 		}
 		req.TimeoutMS = rem
 	}
-	st, err := cl.Submit(ctx, req)
+	sts, err := cl.SubmitBatch(ctx, []client.JobRequest{req})
 	if err != nil {
-		return nil, st, fmt.Errorf("worker %s: submit: %w", id, err)
+		return nil, client.JobStatus{}, fmt.Errorf("worker %s: submit: %w", id, err)
 	}
+	st := sts[0]
 	if st.Key != "" && st.Key != j.res.Key {
 		// Placement and dedup both hang off this key; a worker computing a
 		// different one means version drift, which stealing cannot fix.
 		return nil, st, fmt.Errorf("%w: worker %s key mismatch: %s != %s", errPermanent, id, st.Key, j.res.Key)
 	}
-	if !st.Done() {
-		st, err = cl.Wait(ctx, st.ID)
-		if err != nil {
+	for !st.Done() {
+		resp, werr := cl.Watch(ctx, []string{st.ID}, 0)
+		if werr != nil {
 			c.stealCancel(cl, st.ID, id)
-			return nil, st, fmt.Errorf("worker %s: wait: %w", id, err)
+			return nil, st, fmt.Errorf("worker %s: watch: %w", id, werr)
 		}
+		if len(resp.Unknown) > 0 {
+			// The worker restarted or GC'd the job mid-watch: steal.
+			return nil, st, fmt.Errorf("worker %s: job %s vanished", id, st.ID)
+		}
+		if len(resp.Jobs) > 0 {
+			st = resp.Jobs[0]
+		}
+		// Empty response = long-poll timeout: re-arm (ctx bounds the loop).
 	}
 	switch st.State {
 	case client.StateDone:
-		res, err := cl.Result(ctx, st.ID)
-		if err != nil {
-			return nil, st, fmt.Errorf("worker %s: result: %w", id, err)
+		raw := st.Result
+		if len(raw) == 0 {
+			// The watch response inlines results; this fallback covers a
+			// worker answering without them.
+			raw, err = cl.ResultRaw(ctx, st.ID)
+			if err != nil {
+				return nil, st, fmt.Errorf("worker %s: result: %w", id, err)
+			}
 		}
-		return res, st, nil
+		return raw, st, nil
 	case client.StateFailed:
 		return nil, st, fmt.Errorf("%w: worker %s: %s", errPermanent, id, st.Error)
 	default:
@@ -769,7 +870,9 @@ func displayFidelity(fid string) string {
 
 // Result returns a done job's result; ok is false for unknown IDs. The
 // result rides the job itself, not the flight table, so memo eviction never
-// strands a retained done job without its payload.
+// strands a retained done job without its payload. The wire bytes are the
+// source of truth; the decode happens lazily here, once, only for in-process
+// Go callers (HTTP consumers go through ResultRaw and never pay it).
 func (c *Coordinator) Result(id string) (*stats.Run, client.JobStatus, bool) {
 	c.mu.Lock()
 	j := c.jobs[id]
@@ -780,11 +883,57 @@ func (c *Coordinator) Result(id string) (*stats.Run, client.JobStatus, bool) {
 	st, _ := c.Status(id)
 	j.mu.Lock()
 	run := j.run
+	if run == nil && len(j.raw) > 0 {
+		var r stats.Run
+		if err := json.Unmarshal(j.raw, &r); err == nil {
+			j.run = &r
+			run = &r
+		}
+	}
 	j.mu.Unlock()
 	if st.State == client.StateDone && run != nil {
 		return run, st, true
 	}
 	return nil, st, true
+}
+
+// ResultRaw returns a done job's result in canonical wire form, untouched
+// since the worker served it. Nil raw with ok=true means no result (the job
+// is not done). Together with Status and DoneChan this satisfies
+// server.JobSource, so the coordinator mounts the same watch handler sacd
+// does.
+func (c *Coordinator) ResultRaw(id string) (json.RawMessage, client.JobStatus, bool) {
+	c.mu.Lock()
+	j := c.jobs[id]
+	c.mu.Unlock()
+	if j == nil {
+		return nil, client.JobStatus{}, false
+	}
+	st, _ := c.Status(id)
+	if st.State != client.StateDone {
+		return nil, st, true
+	}
+	j.mu.Lock()
+	raw := j.raw
+	if raw == nil && j.run != nil {
+		if b, err := json.Marshal(j.run); err == nil {
+			j.raw = b
+			raw = b
+		}
+	}
+	j.mu.Unlock()
+	return raw, st, true
+}
+
+// DoneChan exposes a job's terminal-state channel to the watch endpoint.
+func (c *Coordinator) DoneChan(id string) (<-chan struct{}, bool) {
+	c.mu.Lock()
+	j := c.jobs[id]
+	c.mu.Unlock()
+	if j == nil {
+		return nil, false
+	}
+	return j.doneCh, true
 }
 
 // Fleet snapshots the worker table and fleet counters.

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"compress/gzip"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// gzPool recycles gzip writers across responses; BestSpeed because the
+// payloads are JSON served on a hot path — ratio matters less than not
+// burning the cycles the zero-copy store path just saved.
+var gzPool = sync.Pool{New: func() any {
+	zw, _ := gzip.NewWriterLevel(io.Discard, gzip.BestSpeed)
+	return zw
+}}
+
+// gzipWriter compresses a response lazily: the gzip writer spins up on the
+// first header/body write, so handlers that end up writing nothing (a watch
+// whose client vanished) cost nothing, and bodyless statuses (204/304) pass
+// through uncompressed — Content-Encoding on an empty body confuses caches.
+type gzipWriter struct {
+	http.ResponseWriter
+	zw          *gzip.Writer
+	skip        bool
+	wroteHeader bool
+}
+
+func (g *gzipWriter) WriteHeader(code int) {
+	if g.wroteHeader {
+		g.ResponseWriter.WriteHeader(code)
+		return
+	}
+	g.wroteHeader = true
+	if code == http.StatusNoContent || code == http.StatusNotModified {
+		g.skip = true
+		g.ResponseWriter.WriteHeader(code)
+		return
+	}
+	h := g.Header()
+	h.Set("Content-Encoding", "gzip")
+	h.Del("Content-Length")
+	h.Add("Vary", "Accept-Encoding")
+	g.ResponseWriter.WriteHeader(code)
+	g.zw = gzPool.Get().(*gzip.Writer)
+	g.zw.Reset(g.ResponseWriter)
+}
+
+func (g *gzipWriter) Write(b []byte) (int, error) {
+	if !g.wroteHeader {
+		g.WriteHeader(http.StatusOK)
+	}
+	if g.skip {
+		return g.ResponseWriter.Write(b)
+	}
+	return g.zw.Write(b)
+}
+
+// close flushes and recycles the gzip writer, if one was ever started.
+func (g *gzipWriter) close() {
+	if g.zw == nil {
+		return
+	}
+	_ = g.zw.Close()
+	gzPool.Put(g.zw)
+	g.zw = nil
+}
+
+// Gzip compresses responses for clients that advertise gzip support (the Go
+// http.Transport does by default and decompresses transparently, so the
+// typed client gets this for free). Both sacd and saccoord wrap their API
+// mux in it. /debug/ is exempt: pprof payloads are already binary and the
+// profile endpoints stream.
+func Gzip(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") ||
+			strings.HasPrefix(r.URL.Path, "/debug/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		gw := &gzipWriter{ResponseWriter: w}
+		defer gw.close()
+		next.ServeHTTP(gw, r)
+	})
+}

@@ -156,24 +156,45 @@ type job struct {
 	cancelCh   chan struct{}
 	cancelOnce sync.Once
 
-	mu        sync.Mutex
-	cancel    context.CancelFunc
-	state     string
-	source    string
-	err       error
-	res       *stats.Run
+	// doneCh closes exactly once when the job reaches a terminal state —
+	// the long-poll watch endpoint parks on it instead of polling status.
+	doneCh   chan struct{}
+	doneOnce sync.Once
+
+	mu     sync.Mutex
+	cancel context.CancelFunc
+	state  string
+	source string
+	err    error
+	res    *stats.Run
+	// raw is the result in canonical wire form. Store hits carry only raw
+	// (the verified on-disk bytes, served without a decode/re-encode);
+	// fresh simulations carry res and marshal raw lazily on first demand.
+	// cycles mirrors the run's cycle counter for status reporting.
+	raw       json.RawMessage
+	cycles    int64
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
 }
+
+// markTerminal closes doneCh exactly once, waking every watcher of this job.
+// Call it after the terminal state is published under j.mu.
+func (j *job) markTerminal() { j.doneOnce.Do(func() { close(j.doneCh) }) }
 
 // flight is one singleflight execution of a cache key. The first job to
 // reach a key becomes the leader and executes; concurrent jobs for the same
 // key wait on done (source "dedup"), later jobs find the completed flight
 // (source "memo"). Failed flights are evicted so a resubmission retries.
 type flight struct {
-	done   chan struct{}
-	res    *stats.Run
+	done chan struct{}
+	res  *stats.Run
+	// raw is the canonical wire-form result when the leader loaded it from
+	// the store (verified bytes, no decode); nil for fresh simulations,
+	// whose res is marshaled lazily when a raw consumer asks. cycles is the
+	// run's cycle counter, available on both paths without decoding.
+	raw    json.RawMessage
+	cycles int64
 	err    error
 	source string // how the leader obtained the result: sim or store
 }
@@ -451,6 +472,7 @@ func (s *Server) submit(req client.JobRequest, pinnedID string, deadline time.Ti
 		key:       rj.Key,
 		deadline:  deadline,
 		cancelCh:  make(chan struct{}),
+		doneCh:    make(chan struct{}),
 		state:     client.StateQueued,
 		submitted: now,
 	}
@@ -461,7 +483,7 @@ func (s *Server) submit(req client.JobRequest, pinnedID string, deadline time.Ti
 		// The estimate rung answers in microseconds: run it synchronously on
 		// the accept path — no queue slot, no journal record, no worker — and
 		// hand the client a terminal status in the submission response.
-		return s.runInline(j)
+		return s.runInline(j, false)
 	}
 
 	s.mu.Lock()
@@ -475,28 +497,41 @@ func (s *Server) submit(req client.JobRequest, pinnedID string, deadline time.Ti
 		}
 		return client.JobStatus{}, err
 	}
+	if err := s.enqueueLocked(j, journaled); err != nil {
+		s.mu.Unlock()
+		if s.m != nil {
+			s.m.rejected.Inc()
+		}
+		return client.JobStatus{}, err
+	}
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	s.logf("accepted %s %s/%s lane=%s fidelity=%s key=%.12s",
+		j.id, j.spec.Name, j.cfg.Org, lanes[lane], backend.Display(j.fidelity), j.key)
+	return st, nil
+}
+
+// enqueueLocked journals the accept (unless journaled marks it already on
+// disk), publishes the job, and queues it in its lane. The caller holds s.mu
+// and has already passed admitLocked; on error nothing was enqueued.
+func (s *Server) enqueueLocked(j *job, journaled bool) error {
 	if s.jnl != nil {
-		raw, merr := json.Marshal(req)
+		raw, merr := json.Marshal(j.req)
 		if merr != nil {
-			s.mu.Unlock()
-			return client.JobStatus{}, fmt.Errorf("server: encoding request: %w", merr)
+			return fmt.Errorf("server: encoding request: %w", merr)
 		}
 		j.rawReq = raw
 		if !journaled {
 			rec := journal.Record{Op: journal.OpAccept, ID: j.id, Req: raw}
-			if !deadline.IsZero() {
-				rec.Deadline = deadline.UnixMilli()
+			if !j.deadline.IsZero() {
+				rec.Deadline = j.deadline.UnixMilli()
 			}
 			if jerr := s.jnl.Append(rec); jerr != nil {
 				// The accept may not be durable: refuse to acknowledge it.
 				// journalErr flips the health state to unhealthy so the
 				// client's retry meets a 503 instead of a broken promise.
 				s.journalErr = jerr
-				s.mu.Unlock()
-				if s.m != nil {
-					s.m.rejected.Inc()
-				}
-				return client.JobStatus{}, fmt.Errorf("%w: %v", ErrUnhealthy, jerr)
+				return fmt.Errorf("%w: %v", ErrUnhealthy, jerr)
 			}
 			s.journalErr = nil
 			if s.m != nil {
@@ -505,39 +540,206 @@ func (s *Server) submit(req client.JobRequest, pinnedID string, deadline time.Ti
 			}
 		}
 	}
-	s.queues[lane] = append(s.queues[lane], j)
+	s.queues[j.lane] = append(s.queues[j.lane], j)
 	s.queued++
 	s.jobs[j.id] = j
 	if s.m != nil {
 		s.m.accepted.Inc()
-		s.m.queueDepth[lane].Add(1)
+		s.m.queueDepth[j.lane].Add(1)
 	}
 	s.cond.Signal()
-	st := s.statusLocked(j)
+	return nil
+}
+
+// SubmitBatch validates and enqueues up to client.MaxBatch jobs in one call.
+// Admission is all-or-nothing: if any request fails validation, itemErrs
+// carries one message per offending item (aligned with reqs, "" = valid) and
+// nothing is accepted; if the batch as a whole cannot be admitted (queue
+// cap, shedding, drain), err is the usual sentinel. On success every job is
+// admitted under one lock acquisition — a batch can never half-land around a
+// concurrent submitter — and estimate items are executed inline (first
+// occurrence of each key first, so in-batch duplicates hit the memo/store)
+// before the statuses, in request order, are returned.
+func (s *Server) SubmitBatch(reqs []client.JobRequest) (sts []client.JobStatus, itemErrs []string, err error) {
+	if len(reqs) == 0 {
+		return nil, nil, errors.New("empty batch")
+	}
+	if len(reqs) > client.MaxBatch {
+		return nil, nil, fmt.Errorf("batch of %d jobs exceeds the limit of %d", len(reqs), client.MaxBatch)
+	}
+	now := time.Now()
+	jobs := make([]*job, len(reqs))
+	bad := false
+	itemErrs = make([]string, len(reqs))
+	nQueued := 0
+	for i, req := range reqs {
+		rj, rerr := ResolveRequest(req, s.cfg.DefaultFidelity)
+		if rerr != nil {
+			itemErrs[i] = rerr.Error()
+			bad = true
+			continue
+		}
+		lane, _ := laneIndex(req.Priority)
+		var deadline time.Time
+		if req.TimeoutMS > 0 {
+			deadline = now.Add(time.Duration(req.TimeoutMS) * time.Millisecond)
+		}
+		jobs[i] = &job{
+			id:        newJobID(),
+			req:       req,
+			lane:      lane,
+			cfg:       rj.Cfg,
+			spec:      rj.Spec,
+			plan:      rj.Plan,
+			fidelity:  rj.Fidelity,
+			key:       rj.Key,
+			deadline:  deadline,
+			cancelCh:  make(chan struct{}),
+			doneCh:    make(chan struct{}),
+			state:     client.StateQueued,
+			submitted: now,
+		}
+		if rj.Fidelity != backend.Estimate {
+			nQueued++
+		}
+	}
+	if bad {
+		if s.m != nil {
+			s.m.rejected.Add(float64(len(reqs)))
+		}
+		return nil, itemErrs, nil
+	}
+
+	s.mu.Lock()
+	// Admit the batch as a unit: the strictest lane decides shedding, and
+	// the queue must fit every queueable item or none. Estimate items gate
+	// only on drain, exactly like the single-submit inline path — they take
+	// no queue slot and no worker, so the cap and shedding don't apply.
+	for _, j := range jobs {
+		if j.fidelity == backend.Estimate {
+			if s.draining || s.closed {
+				s.mu.Unlock()
+				if s.m != nil {
+					s.m.rejected.Add(float64(len(reqs)))
+				}
+				return nil, nil, ErrDraining
+			}
+			continue
+		}
+		if aerr := s.admitLocked(j, false); aerr != nil {
+			s.mu.Unlock()
+			if s.m != nil {
+				s.m.rejected.Add(float64(len(reqs)))
+				if errors.Is(aerr, ErrShedding) {
+					s.m.shed.Inc()
+				}
+			}
+			return nil, nil, aerr
+		}
+	}
+	if nQueued > 0 && s.queued+nQueued > s.cfg.QueueCap {
+		s.mu.Unlock()
+		if s.m != nil {
+			s.m.rejected.Add(float64(len(reqs)))
+		}
+		return nil, nil, ErrQueueFull
+	}
+	var estimates []*job
+	for _, j := range jobs {
+		if j.fidelity == backend.Estimate {
+			// Registered now so the returned ids resolve immediately; run
+			// after the lock drops.
+			s.jobs[j.id] = j
+			if s.m != nil {
+				s.m.accepted.Inc()
+			}
+			estimates = append(estimates, j)
+			continue
+		}
+		if qerr := s.enqueueLocked(j, false); qerr != nil {
+			// A journal append failed mid-batch: earlier items are accepted
+			// and will run (content-addressed results make that harmless on
+			// retry); the batch as a whole reports the failure.
+			s.mu.Unlock()
+			if s.m != nil {
+				s.m.rejected.Inc()
+			}
+			return nil, nil, qerr
+		}
+	}
 	s.mu.Unlock()
-	s.logf("accepted %s %s/%s lane=%s fidelity=%s key=%.12s",
-		j.id, j.spec.Name, j.cfg.Org, lanes[lane], backend.Display(j.fidelity), j.key)
-	return st, nil
+
+	s.runInlineBatch(estimates)
+
+	sts = make([]client.JobStatus, len(jobs))
+	s.mu.Lock()
+	for i, j := range jobs {
+		sts[i] = s.statusLocked(j)
+	}
+	s.mu.Unlock()
+	s.logf("accepted batch of %d (%d queued, %d estimate)", len(jobs), nQueued, len(estimates))
+	return sts, nil, nil
+}
+
+// runInlineBatch executes a batch's estimate items with bounded parallelism,
+// first occurrence of each key first so in-batch duplicates land on the
+// store (zero-copy raw hit) instead of simulating twice.
+func (s *Server) runInlineBatch(estimates []*job) {
+	if len(estimates) == 0 {
+		return
+	}
+	var firsts, dups []*job
+	seen := make(map[string]bool, len(estimates))
+	for _, j := range estimates {
+		if seen[j.key] {
+			dups = append(dups, j)
+			continue
+		}
+		seen[j.key] = true
+		firsts = append(firsts, j)
+	}
+	for _, wave := range [][]*job{firsts, dups} {
+		if len(wave) == 0 {
+			continue
+		}
+		sem := make(chan struct{}, s.cfg.Workers)
+		var wg sync.WaitGroup
+		for _, j := range wave {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(j *job) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				s.runInline(j, true)
+			}(j)
+		}
+		wg.Wait()
+	}
 }
 
 // runInline executes an estimate job synchronously on the accept path: the
 // rung answers in microseconds, so it takes no queue slot, no journal record
 // and no worker, and the submission response already carries the terminal
 // state. Only drain gates admission — shedding and the queue cap protect
-// workers and queue slots, neither of which this path consumes.
-func (s *Server) runInline(j *job) (client.JobStatus, error) {
-	s.mu.Lock()
-	if s.draining || s.closed {
+// workers and queue slots, neither of which this path consumes. admitted
+// marks jobs SubmitBatch already registered and counted under its one lock
+// pass (an admitted batch runs to completion even if a drain starts
+// mid-batch, like any accepted job).
+func (s *Server) runInline(j *job, admitted bool) (client.JobStatus, error) {
+	if !admitted {
+		s.mu.Lock()
+		if s.draining || s.closed {
+			s.mu.Unlock()
+			if s.m != nil {
+				s.m.rejected.Inc()
+			}
+			return client.JobStatus{}, ErrDraining
+		}
+		s.jobs[j.id] = j
 		s.mu.Unlock()
 		if s.m != nil {
-			s.m.rejected.Inc()
+			s.m.accepted.Inc()
 		}
-		return client.JobStatus{}, ErrDraining
-	}
-	s.jobs[j.id] = j
-	s.mu.Unlock()
-	if s.m != nil {
-		s.m.accepted.Inc()
 	}
 
 	j.mu.Lock()
@@ -547,6 +749,8 @@ func (s *Server) runInline(j *job) (client.JobStatus, error) {
 
 	var (
 		res    *stats.Run
+		raw    json.RawMessage
+		cycles int64
 		source string
 		err    error
 	)
@@ -561,8 +765,10 @@ func (s *Server) runInline(j *job) (client.JobStatus, error) {
 		if hook := s.cfg.Chaos.BeforeRun; hook != nil {
 			hook(j.id)
 		}
-		if cached, ok := s.cfg.Store.Get(j.key); ok {
-			res, source = cached, client.SourceStore
+		if b, c, ok := s.cfg.Store.GetRaw(j.key); ok {
+			// Warm hit: the verified on-disk bytes are the response — no
+			// decode, no re-encode.
+			raw, cycles, source = b, c, client.SourceStore
 			if s.m != nil {
 				s.m.hits.Inc()
 			}
@@ -573,9 +779,12 @@ func (s *Server) runInline(j *job) (client.JobStatus, error) {
 		}
 		res, err = backend.Run(j.cfg, j.spec, gpu.RunOpts{Faults: j.plan, Fidelity: j.fidelity})
 		source = client.SourceSim
-		if err == nil && s.cfg.Store != nil {
-			if perr := s.cfg.Store.PutRunAt(j.cfg, j.spec.Name, j.plan.Key(), j.fidelity, res); perr != nil {
-				s.logf("store: put %s: %v", j.id, perr)
+		if err == nil {
+			cycles = res.Cycles
+			if s.cfg.Store != nil {
+				if perr := s.cfg.Store.PutRunAt(j.cfg, j.spec.Name, j.plan.Key(), j.fidelity, res); perr != nil {
+					s.logf("store: put %s: %v", j.id, perr)
+				}
 			}
 		}
 	}()
@@ -589,10 +798,13 @@ func (s *Server) runInline(j *job) (client.JobStatus, error) {
 	} else {
 		j.state = client.StateDone
 		j.res = res
+		j.raw = raw
+		j.cycles = cycles
 	}
 	total := j.finished.Sub(j.submitted).Seconds()
 	state := j.state
 	j.mu.Unlock()
+	j.markTerminal()
 	if s.m != nil {
 		if err != nil {
 			s.m.failed.Inc()
@@ -692,6 +904,7 @@ func (s *Server) expireLocked(j *job) {
 	j.err = fmt.Errorf("deadline %s passed", j.deadline.Format(time.RFC3339Nano))
 	total := now.Sub(j.submitted).Seconds()
 	j.mu.Unlock()
+	j.markTerminal()
 	if s.m != nil {
 		s.m.expired.Inc()
 		s.m.jobLatency.Observe(total)
@@ -716,6 +929,7 @@ func (s *Server) cancelLocked(j *job) {
 	total := now.Sub(j.submitted).Seconds()
 	j.mu.Unlock()
 	j.closeCancel()
+	j.markTerminal()
 	if s.m != nil {
 		s.m.canceled.Inc()
 		s.m.jobLatency.Observe(total)
@@ -779,6 +993,9 @@ func (s *Server) runJob(j *job) {
 				marked = true
 			}
 			j.mu.Unlock()
+			if marked {
+				j.markTerminal()
+			}
 			s.logf("worker: recovered panic executing %s: %v", j.id, r)
 			if marked {
 				if s.m != nil {
@@ -891,8 +1108,10 @@ func (s *Server) lead(f *flight, j *job) {
 	if d := s.cfg.Chaos.RunDelay; d > 0 {
 		time.Sleep(d)
 	}
-	if res, ok := s.cfg.Store.Get(j.key); ok {
-		f.res, f.source = res, client.SourceStore
+	if raw, cycles, ok := s.cfg.Store.GetRaw(j.key); ok {
+		// Warm hit: keep the verified on-disk bytes as the wire-form result
+		// so status and result responses never decode or re-encode it.
+		f.raw, f.cycles, f.source = raw, cycles, client.SourceStore
 		if s.m != nil {
 			s.m.hits.Inc()
 		}
@@ -929,7 +1148,7 @@ func (s *Server) lead(f *flight, j *job) {
 		f.err = err
 		return
 	}
-	f.res, f.source = runs[0], client.SourceSim
+	f.res, f.cycles, f.source = runs[0], runs[0].Cycles, client.SourceSim
 }
 
 // journalState maps a terminal client state to its journal done-state.
@@ -965,11 +1184,14 @@ func (j *job) finish(s *Server, f *flight, source string) {
 	} else {
 		j.state = client.StateDone
 		j.res = f.res
+		j.raw = f.raw
+		j.cycles = f.cycles
 	}
 	total := j.finished.Sub(j.submitted).Seconds()
 	run := j.finished.Sub(j.started).Seconds()
 	state := j.state
 	j.mu.Unlock()
+	j.markTerminal()
 
 	if s.m != nil {
 		switch state {
@@ -1080,6 +1302,8 @@ func (s *Server) statusLocked(j *job) client.JobStatus {
 	}
 	if j.res != nil {
 		st.Cycles = j.res.Cycles
+	} else {
+		st.Cycles = j.cycles // raw store hits carry cycles without a decode
 	}
 	j.mu.Unlock()
 	if st.State == client.StateQueued {
@@ -1109,7 +1333,9 @@ func (s *Server) Status(id string) (client.JobStatus, bool) {
 	return s.statusLocked(j), true
 }
 
-// Result returns a finished job's result.
+// Result returns a finished job's result. Jobs served raw from the store
+// decode lazily here — HTTP consumers go through ResultRaw and never pay the
+// decode; only in-process Go callers do, once, cached on the job.
 func (s *Server) Result(id string) (*stats.Run, client.JobStatus, bool) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
@@ -1121,8 +1347,55 @@ func (s *Server) Result(id string) (*stats.Run, client.JobStatus, bool) {
 	s.mu.Unlock()
 	j.mu.Lock()
 	res := j.res
+	if res == nil && len(j.raw) > 0 {
+		var run stats.Run
+		if err := json.Unmarshal(j.raw, &run); err == nil {
+			j.res = &run
+			res = &run
+		}
+	}
 	j.mu.Unlock()
 	return res, st, true
+}
+
+// ResultRaw returns a finished job's result in canonical wire form: store
+// hits hand back the verified on-disk bytes untouched, fresh simulations
+// marshal once and cache the bytes on the job. Nil raw with ok=true means
+// the job exists but holds no result (not terminal, or failed).
+func (s *Server) ResultRaw(id string) (json.RawMessage, client.JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, client.JobStatus{}, false
+	}
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	return j.rawResult(), st, true
+}
+
+// rawResult returns the job's result bytes, marshaling res once on demand.
+func (j *job) rawResult() json.RawMessage {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.raw == nil && j.res != nil {
+		if b, err := json.Marshal(j.res); err == nil {
+			j.raw = b
+		}
+	}
+	return j.raw
+}
+
+// DoneChan exposes a job's terminal-state channel to the watch endpoint: it
+// is closed exactly once when the job reaches a terminal state.
+func (s *Server) DoneChan(id string) (<-chan struct{}, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.doneCh, true
 }
 
 // HealthSnapshot summarizes the server for /v1/healthz.

@@ -22,6 +22,7 @@
 package store
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -99,8 +100,26 @@ type envelope struct {
 	Key     KeyMaterial `json:"key"`
 	// Sum is the hex SHA-256 of the canonical Result JSON, written at Put
 	// and verified at Get so corruption is caught rather than served.
-	Sum    string     `json:"sum"`
+	Sum string `json:"sum"`
+	// Cycles mirrors Result.Cycles so raw reads can report the headline
+	// counter without parsing the payload. Absent on pre-PR10 objects
+	// (GetRaw falls back to a partial decode); not covered by Sum, so a
+	// wrong value here can mislabel a status but never corrupt a result.
+	Cycles int64      `json:"cycles,omitempty"`
 	Result *stats.Run `json:"result"`
+}
+
+// rawEnvelope is envelope with the result payload left as raw bytes. Because
+// Put writes json.Marshal(envelope{...}) — which embeds the canonical
+// json.Marshal of the result verbatim — the RawMessage here is exactly the
+// bytes Sum was computed over, so the content hash verifies without ever
+// decoding the run.
+type rawEnvelope struct {
+	Version int             `json:"version"`
+	Key     KeyMaterial     `json:"key"`
+	Sum     string          `json:"sum"`
+	Cycles  int64           `json:"cycles"`
+	Result  json.RawMessage `json:"result"`
 }
 
 // resultSum computes the content hash stored in envelope.Sum.
@@ -127,7 +146,18 @@ type Options struct {
 	// sacd_store_evictions_total, so warm-tier effectiveness is visible on
 	// /metrics instead of dead-ending in the Go accessors.
 	Registry *obs.Registry
+	// HotBytes caps the in-memory tier of verified result bytes. A raw read
+	// that verified once is kept in memory (LRU by bytes) so repeat hits on
+	// the same key skip the file read and the SHA-256 — the dominant cost of
+	// a warm hit on the high-throughput serving path. 0 means the 64 MiB
+	// default; negative disables the tier entirely.
+	HotBytes int64
 }
+
+// defaultHotBytes is the in-memory verified-bytes budget when Options leaves
+// HotBytes zero: big enough to hold thousands of estimate results, small
+// next to a simulation's working set.
+const defaultHotBytes = 64 << 20
 
 // indexEntry is the per-object index record.
 type indexEntry struct {
@@ -152,6 +182,18 @@ type Store struct {
 	clock int64
 	total int64
 
+	// Hot tier: verified result bytes kept in memory so repeat raw reads of
+	// a key cost a map lookup instead of a file read plus SHA-256. Entries
+	// are immutable once inserted (callers must treat the returned
+	// RawMessage as read-only, which every server path does — the bytes go
+	// straight to the wire). Guarded by its own mutex so a hot hit never
+	// contends with Put's index rewrite.
+	hotMu   sync.Mutex
+	hot     map[string]*list.Element // key → element whose Value is *hotEntry
+	hotLRU  *list.List               // front = most recently used
+	hotSize int64
+	hotMax  int64
+
 	hits      atomic.Int64
 	misses    atomic.Int64
 	corrupt   atomic.Int64
@@ -171,6 +213,14 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{dir: dir, max: opts.MaxBytes, onCorrupt: opts.OnCorrupt, idx: make(map[string]indexEntry)}
+	s.hotMax = opts.HotBytes
+	if s.hotMax == 0 {
+		s.hotMax = defaultHotBytes
+	}
+	if s.hotMax > 0 {
+		s.hot = make(map[string]*list.Element)
+		s.hotLRU = list.New()
+	}
 	if reg := opts.Registry; reg != nil {
 		s.mHits = reg.Counter("sacd_store_hits_total", "Store reads served from disk.")
 		s.mMisses = reg.Counter("sacd_store_misses_total", "Store reads that found nothing usable.")
@@ -266,29 +316,152 @@ func (s *Store) saveIndexLocked() {
 // recorded Sum — are quarantined as .corrupt files and reported as misses,
 // never deserialized into a caller's hands.
 func (s *Store) Get(key string) (*stats.Run, bool) {
-	if s == nil {
+	raw, _, ok := s.getRaw(key)
+	if !ok {
 		return nil, false
+	}
+	var run stats.Run
+	if err := json.Unmarshal(raw, &run); err != nil {
+		// Unreachable for objects Put wrote (the hash just verified over
+		// valid JSON), but a defensive quarantine beats a panic.
+		s.quarantine(key)
+		s.noteMiss()
+		return nil, false
+	}
+	return &run, true
+}
+
+// GetRaw returns the stored result payload for key as verified raw JSON —
+// the exact canonical bytes Put wrote — plus its simulated cycle count, or
+// ok=false on a miss. The content hash is checked over the raw bytes (they
+// are, by construction, the bytes Sum was computed over), so callers may
+// serve them to the wire without a json.Unmarshal+Marshal round trip per
+// warm hit. Corruption handling matches Get: bad objects are quarantined as
+// .corrupt files and reported as misses.
+func (s *Store) GetRaw(key string) (json.RawMessage, int64, bool) {
+	return s.getRaw(key)
+}
+
+// hotEntry is one resident verified result.
+type hotEntry struct {
+	key    string
+	raw    json.RawMessage
+	cycles int64
+}
+
+// hotGet returns the resident bytes for key, bumping its recency.
+func (s *Store) hotGet(key string) (json.RawMessage, int64, bool) {
+	if s.hot == nil {
+		return nil, 0, false
+	}
+	s.hotMu.Lock()
+	defer s.hotMu.Unlock()
+	el, ok := s.hot[key]
+	if !ok {
+		return nil, 0, false
+	}
+	s.hotLRU.MoveToFront(el)
+	e := el.Value.(*hotEntry)
+	return e.raw, e.cycles, true
+}
+
+// hotPut inserts (or refreshes) key's verified bytes, evicting from the LRU
+// tail past the byte budget. Oversized payloads are skipped rather than
+// allowed to flush the whole tier.
+func (s *Store) hotPut(key string, raw json.RawMessage, cycles int64) {
+	if s.hot == nil || int64(len(raw)) > s.hotMax/4 {
+		return
+	}
+	s.hotMu.Lock()
+	defer s.hotMu.Unlock()
+	if el, ok := s.hot[key]; ok {
+		s.hotSize -= int64(len(el.Value.(*hotEntry).raw))
+		s.hotLRU.Remove(el)
+		delete(s.hot, key)
+	}
+	s.hot[key] = s.hotLRU.PushFront(&hotEntry{key: key, raw: raw, cycles: cycles})
+	s.hotSize += int64(len(raw))
+	for s.hotSize > s.hotMax {
+		tail := s.hotLRU.Back()
+		if tail == nil {
+			break
+		}
+		e := tail.Value.(*hotEntry)
+		s.hotLRU.Remove(tail)
+		delete(s.hot, e.key)
+		s.hotSize -= int64(len(e.raw))
+	}
+}
+
+// hotDrop forgets key's resident bytes (quarantine, disk eviction).
+func (s *Store) hotDrop(key string) {
+	if s.hot == nil {
+		return
+	}
+	s.hotMu.Lock()
+	defer s.hotMu.Unlock()
+	if el, ok := s.hot[key]; ok {
+		s.hotSize -= int64(len(el.Value.(*hotEntry).raw))
+		s.hotLRU.Remove(el)
+		delete(s.hot, key)
+	}
+}
+
+// HotLen returns the number of results resident in the in-memory tier.
+func (s *Store) HotLen() int {
+	if s == nil || s.hot == nil {
+		return 0
+	}
+	s.hotMu.Lock()
+	defer s.hotMu.Unlock()
+	return len(s.hot)
+}
+
+// getRaw is the shared verified read beneath Get and GetRaw.
+func (s *Store) getRaw(key string) (json.RawMessage, int64, bool) {
+	if s == nil {
+		return nil, 0, false
+	}
+	if raw, cycles, ok := s.hotGet(key); ok {
+		s.mu.Lock()
+		if e, ok := s.idx[key]; ok {
+			s.clock++
+			e.Used = s.clock
+			s.idx[key] = e
+		}
+		s.mu.Unlock()
+		s.noteHit()
+		return raw, cycles, true
 	}
 	path := s.objectPath(key)
 	b, err := os.ReadFile(path)
 	if err != nil {
 		s.noteMiss()
-		return nil, false
+		return nil, 0, false
 	}
-	var env envelope
+	var env rawEnvelope
 	if err := json.Unmarshal(b, &env); err != nil ||
-		env.Version != schemaVersion || env.Result == nil || keyOf(env.Key) != key {
+		env.Version != schemaVersion || len(env.Result) == 0 ||
+		string(env.Result) == "null" || keyOf(env.Key) != key {
 		s.quarantine(key)
 		s.noteMiss()
-		return nil, false
+		return nil, 0, false
 	}
-	if sum, err := resultSum(env.Result); err != nil || sum != env.Sum {
+	sum := sha256.Sum256(env.Result)
+	if hex.EncodeToString(sum[:]) != env.Sum {
 		// The payload parsed but its content hash does not check out:
 		// bit rot or tampering that would otherwise be served as a
 		// plausible-looking result.
 		s.quarantine(key)
 		s.noteMiss()
-		return nil, false
+		return nil, 0, false
+	}
+	if env.Cycles == 0 {
+		// Pre-PR10 object without the mirrored counter: one partial decode
+		// (no kernel records or counter tree allocated) recovers it.
+		var c struct{ Cycles int64 }
+		_ = json.Unmarshal(env.Result, &c)
+		env.Cycles = c.Cycles
 	}
 	s.mu.Lock()
 	if e, ok := s.idx[key]; ok {
@@ -297,8 +470,9 @@ func (s *Store) Get(key string) (*stats.Run, bool) {
 		s.idx[key] = e
 	}
 	s.mu.Unlock()
+	s.hotPut(key, env.Result, env.Cycles)
 	s.noteHit()
-	return env.Result, true
+	return env.Result, env.Cycles, true
 }
 
 // Put stores res under key (as derived by Key from the same cell identity).
@@ -318,7 +492,7 @@ func (s *Store) Put(key string, m KeyMaterial, res *stats.Run) error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	b, err := json.Marshal(envelope{Version: schemaVersion, Key: m, Sum: sum, Result: res})
+	b, err := json.Marshal(envelope{Version: schemaVersion, Key: m, Sum: sum, Cycles: res.Cycles, Result: res})
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -349,6 +523,9 @@ func (s *Store) Put(key string, m KeyMaterial, res *stats.Run) error {
 	defer s.mu.Unlock()
 	if old, ok := s.idx[key]; ok {
 		s.total -= old.Size
+		// Drop any resident bytes for the replaced object; the next raw read
+		// re-verifies from disk and repopulates.
+		s.hotDrop(key)
 	}
 	s.clock++
 	s.idx[key] = indexEntry{Size: int64(len(b)), Used: s.clock}
@@ -392,6 +569,7 @@ func (s *Store) evictLocked() {
 		}
 		os.Remove(s.objectPath(c.key))
 		delete(s.idx, c.key)
+		s.hotDrop(c.key)
 		s.total -= c.size
 		s.evictions.Add(1)
 		if s.mEvictions != nil {
@@ -422,6 +600,7 @@ func (s *Store) noteMiss() {
 // the suffix), dropped from the index so the slot heals, counted, and
 // reported through the OnCorrupt hook.
 func (s *Store) quarantine(key string) {
+	s.hotDrop(key)
 	path := s.objectPath(key)
 	if err := os.Rename(path, path+".corrupt"); err != nil {
 		// Rename failed (exotic filesystem, permissions): fall back to

@@ -471,3 +471,181 @@ func TestObsCountersExported(t *testing.T) {
 		}
 	}
 }
+
+// TestGetRawZeroCopyBytes pins the zero-copy invariant GetRaw serves under:
+// the raw bytes a hit returns are exactly json.Marshal of the stored result
+// (what Put embedded), so servers can relay them without a decode/re-encode
+// round trip — and the legacy cycles sidecar decodes without touching them.
+func TestGetRawZeroCopyBytes(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	want := testRun("BP", 12345)
+	if err := s.PutRun(cfg, "BP", "", want); err != nil {
+		t.Fatal(err)
+	}
+	key := Key(cfg, "BP", "")
+	raw, cycles, ok := s.GetRaw(key)
+	if !ok {
+		t.Fatal("fresh put is a GetRaw miss")
+	}
+	canonical, _ := json.Marshal(want)
+	if !bytes.Equal(raw, canonical) {
+		t.Fatalf("raw bytes are not canonical json.Marshal of the result:\n got %s\nwant %s", raw, canonical)
+	}
+	if cycles != want.Cycles {
+		t.Fatalf("cycles sidecar %d, want %d", cycles, want.Cycles)
+	}
+	if s.Hits() != 1 {
+		t.Fatalf("hits=%d after GetRaw, want 1", s.Hits())
+	}
+	if _, _, ok := s.GetRaw(Key(cfg, "RN", "")); ok {
+		t.Fatal("unstored key is a GetRaw hit")
+	}
+}
+
+// TestGetRawVerifiesContentHash checks GetRaw performs the same content-hash
+// verification Get does: tampered payload bytes are quarantined, not served.
+func TestGetRawVerifiesContentHash(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(cfg, "BP", "")
+	if err := s.PutRun(cfg, "BP", "", testRun("BP", 7)); err != nil {
+		t.Fatal(err)
+	}
+	path := s.objectPath(key)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(b), `"Cycles":7`, `"Cycles":8`, 1)
+	if tampered == string(b) {
+		t.Fatal("test setup: cycles field not found in object JSON")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.GetRaw(key); ok {
+		t.Fatal("tampered object served raw")
+	}
+	if s.Corrupt() != 1 {
+		t.Fatalf("Corrupt=%d after tampered GetRaw, want 1", s.Corrupt())
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("tampered object not quarantined: %v", err)
+	}
+}
+
+// TestGetRawNilStore checks the nil receiver reads as a miss, matching the
+// rest of the Store surface servers call without a nil guard.
+func TestGetRawNilStore(t *testing.T) {
+	var s *Store
+	if _, _, ok := s.GetRaw("deadbeef"); ok {
+		t.Fatal("nil store returned a hit")
+	}
+}
+
+// TestHotTierServesRepeatReads checks the in-memory tier: the first raw read
+// verifies from disk and goes resident, and repeat reads are served from
+// memory (observable: they survive the file vanishing underneath).
+func TestHotTierServesRepeatReads(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	want := testRun("BP", 99)
+	if err := s.PutRun(cfg, "BP", "", want); err != nil {
+		t.Fatal(err)
+	}
+	key := Key(cfg, "BP", "")
+	if s.HotLen() != 0 {
+		t.Fatalf("hot tier holds %d entries before any read, want 0 (reads verify from disk first)", s.HotLen())
+	}
+	first, _, ok := s.GetRaw(key)
+	if !ok {
+		t.Fatal("disk read missed")
+	}
+	if s.HotLen() != 1 {
+		t.Fatalf("hot tier holds %d entries after a verified read, want 1", s.HotLen())
+	}
+	if err := os.Remove(s.objectPath(key)); err != nil {
+		t.Fatal(err)
+	}
+	second, cycles, ok := s.GetRaw(key)
+	if !ok {
+		t.Fatal("hot read missed after file removal")
+	}
+	if !bytes.Equal(first, second) || cycles != want.Cycles {
+		t.Fatal("hot read returned different bytes than the disk read")
+	}
+}
+
+// TestHotTierBytesBounded checks the LRU byte budget: entries beyond
+// HotBytes push the oldest out, and a negative budget disables the tier.
+func TestHotTierBytesBounded(t *testing.T) {
+	cfg := testConfig()
+	one, _ := json.Marshal(testRun("BP", 1))
+	// Budget fits roughly two results (entries above budget/4 are skipped,
+	// so the budget must be comfortably larger than one object).
+	s, err := Open(t.TempDir(), Options{HotBytes: int64(len(one))*2 + 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches := []string{"BP", "RN", "SN"}
+	for _, b := range benches {
+		if err := s.PutRun(cfg, b, "", testRun(b, 5)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := s.GetRaw(Key(cfg, b, "")); !ok {
+			t.Fatalf("read of %s missed", b)
+		}
+	}
+	if got := s.HotLen(); got >= len(benches) {
+		t.Fatalf("hot tier holds %d entries, want < %d (budget must evict)", got, len(benches))
+	}
+
+	off, err := Open(t.TempDir(), Options{HotBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := off.PutRun(cfg, "BP", "", testRun("BP", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := off.GetRaw(Key(cfg, "BP", "")); !ok {
+		t.Fatal("read missed with the hot tier disabled")
+	}
+	if off.HotLen() != 0 {
+		t.Fatalf("disabled hot tier holds %d entries", off.HotLen())
+	}
+}
+
+// TestHotTierDroppedOnQuarantine checks that quarantining a key also forgets
+// its resident bytes, so a healed slot never serves the pre-corruption data.
+func TestHotTierDroppedOnQuarantine(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	if err := s.PutRun(cfg, "BP", "", testRun("BP", 7)); err != nil {
+		t.Fatal(err)
+	}
+	key := Key(cfg, "BP", "")
+	if _, _, ok := s.GetRaw(key); !ok {
+		t.Fatal("read missed")
+	}
+	s.quarantine(key)
+	if s.HotLen() != 0 {
+		t.Fatalf("hot tier still holds %d entries after quarantine", s.HotLen())
+	}
+	if _, _, ok := s.GetRaw(key); ok {
+		t.Fatal("quarantined key still served")
+	}
+}
